@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "table3", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Error("table3 output missing")
+	}
+	buf.Reset()
+	if err := run(&buf, "verify", 0.0005); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all algorithms agree") {
+		t.Error("verify output missing")
+	}
+	if err := run(&buf, "nope", 1); err == nil {
+		t.Error("unknown figure must error")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "9", 0.00005); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 9a") {
+		t.Error("figure 9 output missing")
+	}
+}

@@ -1,0 +1,123 @@
+// Command tssgen generates a synthetic skyline workload in the paper's
+// setup (§VI-A): Independent or Anti-correlated totally ordered
+// attributes plus lattice-DAG partially ordered attributes. It writes a
+// CSV data file and one DAG edge-list file per PO attribute, which
+// tssquery consumes.
+//
+//	tssgen -n 100000 -to 2 -po 2 -height 8 -density 0.8 -dist anti -out ./work
+//
+// Output files: <out>/data.csv (columns to_0..to_k, po_0..po_m, PO
+// values as integer ids) and <out>/dag_<d>.txt ("N" on the first line,
+// then one "better worse" edge per line).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/data"
+	"repro/internal/poset"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of rows")
+	nTO := flag.Int("to", 2, "totally ordered attributes")
+	nPO := flag.Int("po", 2, "partially ordered attributes")
+	h := flag.Int("height", 8, "lattice DAG height")
+	d := flag.Float64("density", 0.8, "lattice DAG density")
+	dist := flag.String("dist", "indep", "distribution: indep or anti")
+	seed := flag.Int64("seed", 1, "random seed")
+	domain := flag.Int("domain", 10_000, "TO domain size")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	distribution := data.Independent
+	if *dist == "anti" {
+		distribution = data.AntiCorrelated
+	} else if *dist != "indep" {
+		fatalf("unknown distribution %q (want indep or anti)", *dist)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("mkdir: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	dags := make([]*poset.DAG, *nPO)
+	sizes := make([]int, *nPO)
+	for i := range dags {
+		dags[i] = data.Lattice(rng, *h, *d)
+		sizes[i] = dags[i].N()
+		if err := writeDAG(filepath.Join(*out, fmt.Sprintf("dag_%d.txt", i)), dags[i]); err != nil {
+			fatalf("write dag %d: %v", i, err)
+		}
+	}
+
+	to := data.GenTO(rng, *n, *nTO, *domain, distribution)
+	po := data.GenPO(rng, *n, sizes)
+
+	f, err := os.Create(filepath.Join(*out, "data.csv"))
+	if err != nil {
+		fatalf("create data.csv: %v", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := make([]string, 0, *nTO+*nPO)
+	for i := 0; i < *nTO; i++ {
+		header = append(header, fmt.Sprintf("to_%d", i))
+	}
+	for i := 0; i < *nPO; i++ {
+		header = append(header, fmt.Sprintf("po_%d", i))
+	}
+	if err := w.Write(header); err != nil {
+		fatalf("write: %v", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < *n; i++ {
+		for d := 0; d < *nTO; d++ {
+			row[d] = strconv.Itoa(int(to[i][d]))
+		}
+		for d := 0; d < *nPO; d++ {
+			row[*nTO+d] = strconv.Itoa(int(po[i][d]))
+		}
+		if err := w.Write(row); err != nil {
+			fatalf("write: %v", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fatalf("flush: %v", err)
+	}
+	fmt.Printf("wrote %d rows (%d TO, %d PO) to %s\n", *n, *nTO, *nPO, *out)
+	for i, s := range sizes {
+		fmt.Printf("  dag_%d.txt: %d values, %d edges\n", i, s, dags[i].Edges())
+	}
+}
+
+func writeDAG(path string, dag *poset.DAG) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, dag.N()); err != nil {
+		return err
+	}
+	for v := 0; v < dag.N(); v++ {
+		for _, w := range dag.Out(v) {
+			if _, err := fmt.Fprintln(f, v, w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

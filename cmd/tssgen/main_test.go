@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/poset"
+
+	"math/rand"
+)
+
+func TestWriteDAGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dag := data.Lattice(rng, 5, 0.9)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dag.txt")
+	if err := writeDAG(path, dag); err != nil {
+		t.Fatal(err)
+	}
+	// Parse it back by hand and compare edge counts.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		t.Fatal("empty file")
+	}
+	if strings.TrimSpace(sc.Text()) == "" {
+		t.Fatal("missing node count")
+	}
+	edges := 0
+	back := poset.NewDAG(dag.N())
+	for sc.Scan() {
+		var u, v int
+		if _, err := parseEdge(sc.Text(), &u, &v); err != nil {
+			t.Fatal(err)
+		}
+		back.MustEdge(u, v)
+		edges++
+	}
+	if edges != dag.Edges() {
+		t.Fatalf("wrote %d edges, DAG has %d", edges, dag.Edges())
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parseEdge mirrors tssquery's edge parsing for the round-trip test.
+func parseEdge(line string, u, v *int) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return 0, os.ErrInvalid
+	}
+	var err error
+	*u, err = atoi(fields[0])
+	if err != nil {
+		return 0, err
+	}
+	*v, err = atoi(fields[1])
+	if err != nil {
+		return 0, err
+	}
+	return 2, nil
+}
+
+func atoi(s string) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, os.ErrInvalid
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}

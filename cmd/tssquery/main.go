@@ -1,0 +1,240 @@
+// Command tssquery computes the skyline of a CSV workload (as produced
+// by tssgen, or hand-written in the same format) with a selectable
+// algorithm, reporting the simulated cost model's counters.
+//
+//	tssquery -data work/data.csv -dags work/dag_0.txt,work/dag_1.txt -method stss
+//	tssquery -data work/data.csv -dags work/dag_0.txt -method sdc+ -limit 20
+//
+// The CSV header names the columns: to_* columns are totally ordered
+// (smaller is better), po_* columns hold integer value ids into the
+// corresponding DAG file (first line N, then "better worse" edges).
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "CSV data file")
+	dagList := flag.String("dags", "", "comma-separated DAG files, one per PO column")
+	method := flag.String("method", "stss", "stss, bbs+, sdc, sdc+, bnl, sfs, salsa or less")
+	queryDAGs := flag.String("querydags", "", "dynamic query: comma-separated DAG files replacing the data's partial orders (dTSS)")
+	ideal := flag.String("ideal", "", "fully dynamic query: comma-separated ideal TO values (requires -querydags)")
+	limit := flag.Int("limit", 10, "skyline rows to print (0 = all)")
+	flag.Parse()
+	if *dataPath == "" {
+		fatalf("missing -data")
+	}
+
+	domains, err := loadDomains(*dagList)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ds, err := readData(*dataPath, domains)
+	if err != nil {
+		fatalf("read %s: %v", *dataPath, err)
+	}
+	if err := ds.Validate(); err != nil {
+		fatalf("validate: %v", err)
+	}
+
+	var res *core.Result
+	if *queryDAGs != "" {
+		res, err = runDynamic(ds, *queryDAGs, *ideal)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		res, err = runStatic(ds, *method)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	m := &res.Metrics
+	fmt.Printf("rows=%d skyline=%d\n", len(ds.Pts), len(res.SkylineIDs))
+	fmt.Printf("reads=%d writes=%d checks=%d cpu=%v total=%v (5ms/IO)\n",
+		m.ReadIOs, m.WriteIOs, m.DomChecks, m.CPU.Round(1000),
+		m.TotalTime(core.DefaultIOCost).Round(1000))
+	n := *limit
+	if n == 0 || n > len(res.SkylineIDs) {
+		n = len(res.SkylineIDs)
+	}
+	for _, id := range res.SkylineIDs[:n] {
+		p := &ds.Pts[id]
+		fmt.Printf("  row %d: TO=%v PO=%v\n", id, p.TO, p.PO)
+	}
+	if n < len(res.SkylineIDs) {
+		fmt.Printf("  ... %d more\n", len(res.SkylineIDs)-n)
+	}
+}
+
+// loadDomains reads and preprocesses one DAG file per PO column.
+func loadDomains(dagList string) ([]*poset.Domain, error) {
+	if dagList == "" {
+		return nil, nil
+	}
+	var domains []*poset.Domain
+	for _, path := range strings.Split(dagList, ",") {
+		dag, err := readDAG(path)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, err)
+		}
+		dom, err := poset.NewDomain(dag)
+		if err != nil {
+			return nil, fmt.Errorf("domain %s: %w", path, err)
+		}
+		domains = append(domains, dom)
+	}
+	return domains, nil
+}
+
+// runStatic answers a static skyline query with the chosen method.
+func runStatic(ds *core.Dataset, method string) (*core.Result, error) {
+	switch method {
+	case "stss":
+		return core.STSS(ds, core.Options{UseMemTree: true}), nil
+	case "bbs+":
+		return core.BBSPlus(ds, core.Options{}), nil
+	case "sdc":
+		return core.SDC(ds, core.Options{}), nil
+	case "sdc+":
+		return core.SDCPlus(ds, core.Options{}), nil
+	case "bnl":
+		return core.BNL(ds), nil
+	case "sfs":
+		return core.SFS(ds), nil
+	case "salsa":
+		return core.SaLSa(ds)
+	case "less":
+		return core.LESS(ds, 16)
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+// runDynamic answers a dynamic (or fully dynamic, when idealCSV is set)
+// skyline query with dTSS over freshly built group structures.
+func runDynamic(ds *core.Dataset, queryDAGs, idealCSV string) (*core.Result, error) {
+	qDomains, err := loadDomains(queryDAGs)
+	if err != nil {
+		return nil, err
+	}
+	db := core.NewDynamicDB(ds, core.Options{})
+	if idealCSV == "" {
+		return db.QueryTSS(qDomains, core.Options{UseMemTree: true})
+	}
+	var q []int32
+	for _, part := range strings.Split(idealCSV, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -ideal value %q: %w", part, err)
+		}
+		q = append(q, int32(v))
+	}
+	return db.QueryTSSFull(q, qDomains, core.Options{UseMemTree: true})
+}
+
+func readDAG(path string) (*poset.DAG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty DAG file")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil {
+		return nil, fmt.Errorf("bad node count: %v", err)
+	}
+	dag := poset.NewDAG(n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("bad edge %q: %v", line, err)
+		}
+		if err := dag.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return dag, sc.Err()
+}
+
+func readData(path string, domains []*poset.Domain) (*core.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReader(f))
+	header, err := r.Read()
+	if err != nil {
+		return nil, err
+	}
+	var toCols, poCols []int
+	for i, name := range header {
+		switch {
+		case strings.HasPrefix(name, "to_"):
+			toCols = append(toCols, i)
+		case strings.HasPrefix(name, "po_"):
+			poCols = append(poCols, i)
+		default:
+			return nil, fmt.Errorf("column %q is neither to_* nor po_*", name)
+		}
+	}
+	if len(poCols) != len(domains) {
+		return nil, fmt.Errorf("%d po_* columns but %d DAG files", len(poCols), len(domains))
+	}
+	ds := &core.Dataset{Domains: domains}
+	id := int32(0)
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		p := core.Point{ID: id}
+		for _, c := range toCols {
+			v, err := strconv.Atoi(rec[c])
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %v", id, err)
+			}
+			p.TO = append(p.TO, int32(v))
+		}
+		for _, c := range poCols {
+			v, err := strconv.Atoi(rec[c])
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %v", id, err)
+			}
+			p.PO = append(p.PO, int32(v))
+		}
+		ds.Pts = append(ds.Pts, p)
+		id++
+	}
+	return ds, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/poset"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadDAG(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "dag.txt", "4\n0 1\n0 2\n# comment\n1 3\n2 3\n")
+	dag, err := readDAG(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.N() != 4 || dag.Edges() != 4 {
+		t.Fatalf("N=%d edges=%d", dag.N(), dag.Edges())
+	}
+	if err := dag.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDAGErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.txt":    "",
+		"badcount.txt": "x\n",
+		"badedge.txt":  "2\n0 zero\n",
+		"oob.txt":      "2\n0 5\n",
+	} {
+		path := writeFile(t, dir, name, content)
+		if _, err := readDAG(path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := readDAG(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file: expected error")
+	}
+}
+
+func TestReadDataAndSkyline(t *testing.T) {
+	dir := t.TempDir()
+	dagPath := writeFile(t, dir, "dag.txt", "4\n0 1\n0 2\n1 3\n2 3\n")
+	dag, err := readDAG(dagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := poset.NewDomain(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flights example: airlines a..d = 0..3.
+	csv := "to_0,to_1,po_0\n" +
+		"1800,0,0\n2000,0,0\n1800,0,1\n1200,1,1\n1400,1,0\n" +
+		"1000,1,1\n1000,1,3\n1800,1,2\n500,2,3\n1200,2,2\n"
+	dataPath := writeFile(t, dir, "data.csv", csv)
+	ds, err := readData(dataPath, []*poset.Domain{dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Pts) != 10 || ds.NumTO() != 2 || ds.NumPO() != 1 {
+		t.Fatalf("shape: n=%d to=%d po=%d", len(ds.Pts), ds.NumTO(), ds.NumPO())
+	}
+	got := map[int32]bool{}
+	for _, id := range ds.NaiveSkyline() {
+		got[id] = true
+	}
+	// Table I first order: rows 0,4,5,8,9.
+	for _, id := range []int32{0, 4, 5, 8, 9} {
+		if !got[id] {
+			t.Errorf("row %d missing from skyline", id)
+		}
+	}
+	if len(got) != 5 {
+		t.Errorf("skyline size %d, want 5", len(got))
+	}
+}
+
+func TestReadDataErrors(t *testing.T) {
+	dir := t.TempDir()
+	dom, _ := poset.NewDomain(poset.NewDAG(2))
+	cases := map[string]string{
+		"badcol.csv":  "foo\n1\n",
+		"badnum.csv":  "to_0\nxyz\n",
+		"badnum2.csv": "to_0,po_0\n1,zz\n",
+	}
+	for name, content := range cases {
+		path := writeFile(t, dir, name, content)
+		domains := []*poset.Domain{dom}
+		if name == "badnum.csv" {
+			domains = nil
+		}
+		if _, err := readData(path, domains); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Mismatched DAG count.
+	path := writeFile(t, dir, "mismatch.csv", "to_0,po_0\n1,0\n")
+	if _, err := readData(path, nil); err == nil {
+		t.Error("po column without DAG: expected error")
+	}
+}

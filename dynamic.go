@@ -1,0 +1,126 @@
+package tss
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+// Dynamic is a table prepared for dynamic skyline queries (the paper's
+// dTSS, §V): rows are grouped by their PO value combination with one
+// small R-tree per group, built once. Each query supplies fresh
+// preference DAGs over the same value sets; only the DAG preprocessing
+// (topological sort, spanning tree, interval propagation) happens per
+// query — no index is rebuilt and no coordinate is recomputed.
+type Dynamic struct {
+	table *Table
+	db    *core.DynamicDB
+}
+
+// PrepareDynamic freezes the table's current rows into a dynamic-query
+// database. The table's own Orders become irrelevant for querying; only
+// their value sets matter.
+func (t *Table) PrepareDynamic() *Dynamic {
+	return &Dynamic{table: t, db: core.NewDynamicDB(t.ds, core.Options{})}
+}
+
+// Groups returns the number of distinct PO value combinations.
+func (d *Dynamic) Groups() int { return d.db.NumGroups() }
+
+// EnableCache memoises up to capacity past query results, keyed by the
+// canonical form of the query's preference orders: repeating a query
+// (however its Orders were re-built) is served without touching any
+// index (§V-B).
+func (d *Dynamic) EnableCache(capacity int) { d.db.EnableCache(capacity) }
+
+// CacheStats returns (hits, misses) since EnableCache.
+func (d *Dynamic) CacheStats() (hits, misses int64) { return d.db.CacheStats() }
+
+// Query computes the dynamic skyline under the given preference orders
+// (one per PO column; each must use exactly the same value labels as
+// the column's original Order). The orders may be freshly built per
+// query — compiling them is the only per-query preprocessing needed.
+func (d *Dynamic) Query(orders ...*Order) (*SkylineResult, error) {
+	domains, err := d.compileQueryOrders(orders)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.db.QueryTSS(domains, core.Options{UseMemTree: true})
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// QueryAt computes the *fully dynamic* skyline (§V-B): besides the
+// preference orders, the query names the ideal TO values ideal (one per
+// TO column); every TO comparison becomes a distance |value − ideal|,
+// so "best" means closest to the ideal rather than smallest. Row
+// grouping and per-group indexes are still reused; only the precomputed
+// local skylines are unusable for this query class.
+func (d *Dynamic) QueryAt(ideal []int64, orders ...*Order) (*SkylineResult, error) {
+	domains, err := d.compileQueryOrders(orders)
+	if err != nil {
+		return nil, err
+	}
+	if len(ideal) != len(d.table.toNames) {
+		return nil, fmt.Errorf("tss: ideal point has %d values, table has %d TO columns",
+			len(ideal), len(d.table.toNames))
+	}
+	q := make([]int32, len(ideal))
+	for i, v := range ideal {
+		if v < 0 || v > 1<<30 {
+			return nil, fmt.Errorf("tss: ideal value %d out of supported range [0, 2^30]", v)
+		}
+		q[i] = int32(v)
+	}
+	res, err := d.db.QueryTSSFull(q, domains, core.Options{UseMemTree: true})
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// QueryBaseline answers the same query with the rebuild-everything
+// SDC+ adaptation — the baseline dTSS is evaluated against. Exposed so
+// applications (and the examples) can reproduce the paper's dynamic
+// comparison on their own data.
+func (d *Dynamic) QueryBaseline(orders ...*Order) (*SkylineResult, error) {
+	domains, err := d.compileQueryOrders(orders)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.DynamicSDCPlus(d.table.ds, domains, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+func (d *Dynamic) compileQueryOrders(orders []*Order) ([]*poset.Domain, error) {
+	if len(orders) != len(d.table.orders) {
+		return nil, fmt.Errorf("tss: query has %d orders, table has %d PO columns",
+			len(orders), len(d.table.orders))
+	}
+	domains := make([]*poset.Domain, len(orders))
+	for i, o := range orders {
+		base := d.table.orders[i]
+		if len(o.labels) != len(base.labels) {
+			return nil, fmt.Errorf("tss: query order %d has %d values, column expects %d",
+				i, len(o.labels), len(base.labels))
+		}
+		for vi, l := range base.labels {
+			if o.labels[vi] != l {
+				return nil, fmt.Errorf("tss: query order %d value %d is %q, column expects %q",
+					i, vi, o.labels[vi], l)
+			}
+		}
+		dom, err := o.compile()
+		if err != nil {
+			return nil, err
+		}
+		domains[i] = dom
+	}
+	return domains, nil
+}

@@ -1,0 +1,77 @@
+package tss
+
+import "testing"
+
+func TestQueryAtFullyDynamic(t *testing.T) {
+	table := flightsTable(order1())
+	dyn := table.PrepareDynamic()
+
+	// A traveller who wants a fare close to 1200 with exactly one stop
+	// (maybe a deliberate layover) and prefers airline a to everyone.
+	pref := NewOrder("a", "b", "c", "d").
+		Prefer("a", "b").Prefer("a", "c").Prefer("a", "d")
+	res, err := dyn.QueryAt([]int64{1200, 1}, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p4 (1200, 1, b) sits exactly on the ideal point: distance (0,0).
+	// Only an a-ticket at distance (0,0) could beat it; none exists, so
+	// p4 must be in the skyline.
+	found := false
+	for _, row := range res.Rows {
+		if row == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("row 3 (p4, on the ideal point) missing from %v", res.Rows)
+	}
+	// p2 (2000, 0, a) is dominated by p1 (1800, 0, a): both 1 stop away
+	// from the ideal stops, p1 closer in price (600 vs 800).
+	for _, row := range res.Rows {
+		if row == 1 {
+			t.Errorf("row 1 (p2) should be dominated in the dynamic space")
+		}
+	}
+}
+
+func TestQueryAtValidation(t *testing.T) {
+	table := flightsTable(order1())
+	dyn := table.PrepareDynamic()
+	q := NewOrder("a", "b", "c", "d")
+	if _, err := dyn.QueryAt([]int64{1}, q); err == nil {
+		t.Error("wrong ideal arity must fail")
+	}
+	if _, err := dyn.QueryAt([]int64{-1, 0}, q); err == nil {
+		t.Error("negative ideal must fail")
+	}
+	if _, err := dyn.QueryAt([]int64{0, 0}); err == nil {
+		t.Error("missing orders must fail")
+	}
+}
+
+func TestFacadeCache(t *testing.T) {
+	table := flightsTable(order1())
+	dyn := table.PrepareDynamic()
+	dyn.EnableCache(8)
+
+	q := func() *Order { return NewOrder("a", "b", "c", "d").Prefer("b", "a") }
+	r1, err := dyn.Query(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dyn.Query(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := dyn.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatal("cached result differs")
+	}
+	if r2.Stats.PageReads != 0 {
+		t.Error("cache hit must not read pages")
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"repro/internal/poset"
+	"repro/internal/rtree"
+)
+
+// tChecker answers exact t-dominance questions against the skyline
+// points accepted so far. Implementations must be exact: no false hits
+// for points (dominatedPoint true ⟺ some accepted point strictly
+// dominates the candidate), and sound for boxes (dominatedBox true ⟹
+// every point inside is dominated; false may be conservative).
+//
+// Two implementations exist: a candidate-list scan (the configuration
+// the paper benchmarks "for fairness") and the in-memory R-tree over
+// virtual points with Boolean range queries (paper §IV-B).
+type tChecker interface {
+	// dominatedPoint reports whether the point (to, vals) is strictly
+	// t-dominated by an accepted point.
+	dominatedPoint(to []int32, vals []int32) bool
+	// dominatedBox reports whether every point of the box with TO lower
+	// corner toLo and per-PO-dimension topological-ordinal ranges
+	// [ordLo[d], ordHi[d]] is t-dominated.
+	dominatedBox(toLo []int32, ordLo, ordHi []int32) bool
+	// add accepts a skyline point.
+	add(p *Point)
+	// checks returns the number of elementary dominance-check
+	// operations performed (list comparisons or R-tree leaf predicate
+	// evaluations).
+	checks() int64
+}
+
+// The exactness argument shared by both implementations
+// (see DESIGN.md §3.1–3.2):
+//
+// A witness skyline point s answers the query for one interval run q of
+// a candidate value y's merged set when (a) s.TO ⪯ candidate TO, (b)
+// some interval of s covers q, and (c) strictness holds: s is strictly
+// better in a TO dimension, or post(s_d) lies outside q_d in some PO
+// dimension d. Covering the run that contains post(y) implies s_d
+// reaches-or-equals y; post(s_d) ∈ q_d together with coverage forces
+// s_d == y_d (mutual reachability in a DAG), so the strictness test is
+// exact for points. Requiring all runs (in all combinations across PO
+// dimensions) to find witnesses is exact for points and sound for
+// boxes, where different values of the range may be dominated by
+// different witnesses (joint coverage).
+
+// forEachCombo iterates the cartesian product of per-dimension interval
+// lists, reusing one combo slice. fn returning false aborts and makes
+// forEachCombo return false. An empty lists slice yields exactly one
+// empty combo (the pure-TO case).
+func forEachCombo(lists []poset.IntervalSet, fn func(combo []poset.Interval) bool) bool {
+	combo := make([]poset.Interval, len(lists))
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == len(lists) {
+			return fn(combo)
+		}
+		for _, iv := range lists[d] {
+			combo[d] = iv
+			if !rec(d + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// skyEntry caches the per-dimension data needed to use an accepted
+// skyline point as a dominance witness.
+type skyEntry struct {
+	to    []int32
+	vals  []int32
+	posts []int32             // post(vals[d])
+	sets  []poset.IntervalSet // Intervals(vals[d])
+}
+
+func makeSkyEntry(domains []*poset.Domain, p *Point) skyEntry {
+	e := skyEntry{to: p.TO, vals: p.PO}
+	e.posts = make([]int32, len(p.PO))
+	e.sets = make([]poset.IntervalSet, len(p.PO))
+	for d, v := range p.PO {
+		e.posts[d] = domains[d].Post(v)
+		e.sets[d] = domains[d].Intervals(v)
+	}
+	return e
+}
+
+// listChecker keeps the skyline as a flat candidate list — the
+// scan-based paradigm of §III-A and the configuration the paper's
+// headline experiments use for TSS.
+type listChecker struct {
+	domains  []*poset.Domain
+	sky      []skyEntry
+	nChecks  int64
+	stabOnly bool
+}
+
+func newListChecker(domains []*poset.Domain, stabOnly bool) *listChecker {
+	return &listChecker{domains: domains, stabOnly: stabOnly}
+}
+
+func (c *listChecker) checks() int64 { return c.nChecks }
+
+func (c *listChecker) add(p *Point) {
+	c.sky = append(c.sky, makeSkyEntry(c.domains, p))
+}
+
+func (c *listChecker) dominatedPoint(to []int32, vals []int32) bool {
+	for i := range c.sky {
+		c.nChecks++
+		if c.entryDominatesPoint(&c.sky[i], to, vals) {
+			return true
+		}
+	}
+	return false
+}
+
+// entryDominatesPoint is exact strict t-dominance of one accepted point
+// over a candidate point. The stabOnly flag switches the per-dimension
+// preference test between the stabbing form and the paper-literal
+// ∀-interval containment form; both are exact (ablation).
+func (c *listChecker) entryDominatesPoint(s *skyEntry, to []int32, vals []int32) bool {
+	strict := false
+	for d, sv := range s.to {
+		cv := to[d]
+		if sv > cv {
+			return false
+		}
+		if sv < cv {
+			strict = true
+		}
+	}
+	for d, sv := range s.vals {
+		cv := vals[d]
+		if sv == cv {
+			continue
+		}
+		dm := c.domains[d]
+		var pref bool
+		if c.stabOnly {
+			pref = dm.TPrefers(sv, cv)
+		} else {
+			pref = dm.TPrefersContainment(sv, cv)
+		}
+		if !pref {
+			return false
+		}
+		strict = true
+	}
+	return strict
+}
+
+func (c *listChecker) dominatedBox(toLo []int32, ordLo, ordHi []int32) bool {
+	lists := make([]poset.IntervalSet, len(ordLo))
+	for d := range ordLo {
+		lists[d] = c.domains[d].OrdRangeIntervals(ordLo[d], ordHi[d])
+	}
+	// Every combination of runs must find a witness (joint coverage).
+	return forEachCombo(lists, func(combo []poset.Interval) bool {
+		for i := range c.sky {
+			c.nChecks++
+			if c.entryCoversCombo(&c.sky[i], toLo, combo) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// entryCoversCombo reports whether s witnesses one run combination: TO
+// at least as good as the box corner, every run covered, and the
+// strictness condition (strict TO or post outside the covered run).
+func (c *listChecker) entryCoversCombo(s *skyEntry, toLo []int32, combo []poset.Interval) bool {
+	strict := false
+	for d, sv := range s.to {
+		cv := toLo[d]
+		if sv > cv {
+			return false
+		}
+		if sv < cv {
+			strict = true
+		}
+	}
+	for d, q := range combo {
+		if !s.sets[d].Covers(q) {
+			return false
+		}
+		if !q.Stabs(s.posts[d]) {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// memChecker stores each accepted skyline point as one or more virtual
+// points in an in-memory R-tree over (TO…, I1, I2 per PO dimension) and
+// answers dominance questions with Boolean range queries (paper §IV-B
+// second optimisation, and the global tree of dTSS in §V-A). The
+// strictness predicate is evaluated per leaf entry, keeping the check
+// exact even for duplicates.
+type memChecker struct {
+	domains  []*poset.Domain
+	nTO      int
+	sizes    []int32 // domain sizes, for the I2 reflection N - hi
+	tree     *rtree.Tree
+	owners   [][]int32 // virtual point id -> owner's posts per PO dim
+	nChecks  int64
+	stabOnly bool
+	hi       []int32 // query scratch
+	lo       []int32 // all-zeros scratch
+}
+
+// memTreeCapacity is the fan-out of the in-memory dominance tree; small
+// nodes keep the Boolean queries CPU-friendly.
+const memTreeCapacity = 16
+
+func newMemChecker(domains []*poset.Domain, nTO int, stabOnly bool) *memChecker {
+	dims := nTO + 2*len(domains)
+	c := &memChecker{
+		domains:  domains,
+		nTO:      nTO,
+		sizes:    make([]int32, len(domains)),
+		tree:     rtree.New(dims, memTreeCapacity, nil),
+		stabOnly: stabOnly,
+		hi:       make([]int32, dims),
+		lo:       make([]int32, dims),
+	}
+	for d, dm := range domains {
+		c.sizes[d] = int32(dm.Size())
+	}
+	return c
+}
+
+func (c *memChecker) checks() int64 { return c.nChecks }
+
+// add inserts one virtual point per combination of the owner's interval
+// sets across PO dimensions: coordinates (TO…, q.Lo, N−q.Hi, …), all
+// minimised, so that covering = coordinate-wise ≤.
+func (c *memChecker) add(p *Point) {
+	lists := make([]poset.IntervalSet, len(p.PO))
+	posts := make([]int32, len(p.PO))
+	for d, v := range p.PO {
+		lists[d] = c.domains[d].Intervals(v)
+		posts[d] = c.domains[d].Post(v)
+	}
+	forEachCombo(lists, func(combo []poset.Interval) bool {
+		coords := make([]int32, c.nTO+2*len(combo))
+		copy(coords, p.TO)
+		for d, q := range combo {
+			coords[c.nTO+2*d] = q.Lo
+			coords[c.nTO+2*d+1] = c.sizes[d] - q.Hi
+		}
+		id := int32(len(c.owners))
+		c.owners = append(c.owners, posts)
+		c.tree.Insert(rtree.Point{Coords: coords, ID: id})
+		return true
+	})
+}
+
+// queryCombo runs one Boolean range query: does an accepted virtual
+// point cover this run combination with the strictness predicate?
+func (c *memChecker) queryCombo(toLo []int32, combo []poset.Interval) bool {
+	copy(c.hi, toLo)
+	for d, q := range combo {
+		c.hi[c.nTO+2*d] = q.Lo
+		c.hi[c.nTO+2*d+1] = c.sizes[d] - q.Hi
+	}
+	return c.tree.RangeExists(c.lo, c.hi, func(e rtree.Entry) bool {
+		c.nChecks++
+		// Inside the box ⟹ TO ⪯ and all runs covered; test strictness.
+		for d := 0; d < c.nTO; d++ {
+			if e.Lo[d] < toLo[d] {
+				return true
+			}
+		}
+		posts := c.owners[e.ID]
+		for d, q := range combo {
+			if !q.Stabs(posts[d]) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func (c *memChecker) dominatedPoint(to []int32, vals []int32) bool {
+	lists := make([]poset.IntervalSet, len(vals))
+	for d, v := range vals {
+		if c.stabOnly {
+			lists[d] = poset.IntervalSet{c.domains[d].PostRun(v)}
+		} else {
+			lists[d] = c.domains[d].Intervals(v)
+		}
+	}
+	return forEachCombo(lists, func(combo []poset.Interval) bool {
+		return c.queryCombo(to, combo)
+	})
+}
+
+func (c *memChecker) dominatedBox(toLo []int32, ordLo, ordHi []int32) bool {
+	lists := make([]poset.IntervalSet, len(ordLo))
+	for d := range ordLo {
+		lists[d] = c.domains[d].OrdRangeIntervals(ordLo[d], ordHi[d])
+	}
+	return forEachCombo(lists, func(combo []poset.Interval) bool {
+		return c.queryCombo(toLo, combo)
+	})
+}
+
+// newChecker builds the checker selected by the options.
+func newChecker(domains []*poset.Domain, nTO int, opt Options) tChecker {
+	if opt.UseMemTree {
+		return newMemChecker(domains, nTO, opt.StabOnly)
+	}
+	return newListChecker(domains, opt.StabOnly)
+}

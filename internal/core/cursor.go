@@ -1,0 +1,119 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/rtree"
+)
+
+// Cursor is a pull-based sTSS skyline iterator: Next returns skyline
+// points one at a time, doing only the work needed to certify the next
+// result. Because sTSS is optimally progressive — precedence guarantees
+// a surviving point is final the moment it is examined — a consumer that
+// stops after k results pays only the traversal cost up to the k-th
+// emission. This is the API face of the paper's progressiveness claim
+// (Figure 11): top-k-style consumption never touches the rest of the
+// index.
+type Cursor struct {
+	ds      *Dataset
+	tree    *rtree.Tree
+	io      *rtree.IOCounter
+	checker tChecker
+	heap    bbsHeap
+	metrics Metrics
+	start   time.Time
+	done    bool
+}
+
+// NewSTSSCursor builds the sTSS index for ds and returns a cursor over
+// its skyline. Construction performs the bulk load (charged to the
+// build counters); no query work happens until the first Next.
+func NewSTSSCursor(ds *Dataset, opt Options) *Cursor {
+	opt = opt.withDefaults()
+	c := &Cursor{ds: ds, io: &rtree.IOCounter{}, start: time.Now()}
+	if len(ds.Pts) == 0 {
+		c.done = true
+		return c
+	}
+	buildStart := time.Now()
+	c.tree = buildSTSSTree(ds, opt, c.io)
+	if opt.UseDyadic {
+		for _, dm := range ds.Domains {
+			dm.EnableDyadic()
+		}
+	}
+	if opt.BufferPages > 0 {
+		c.tree.SetBuffer(rtree.NewBuffer(opt.BufferPages))
+	}
+	c.metrics.BuildWriteIOs = c.io.Writes
+	c.metrics.BuildCPU = time.Since(buildStart)
+	c.io.Writes, c.io.Reads = 0, 0
+	c.checker = newChecker(ds.Domains, ds.NumTO(), opt)
+	for _, e := range c.tree.Root().Entries {
+		c.heap.push(e)
+	}
+	c.start = time.Now()
+	return c
+}
+
+// Next returns the next skyline point id; ok is false when the skyline
+// is exhausted. Each returned point is definite — it will never be
+// revoked — and the ids arrive in non-decreasing mindist order.
+func (c *Cursor) Next() (id int32, ok bool) {
+	if c.done {
+		return 0, false
+	}
+	nTO := c.ds.NumTO()
+	for c.heap.len() > 0 {
+		it := c.heap.pop()
+		if it.isPoint {
+			p := &c.ds.Pts[it.e.ID]
+			if c.checker.dominatedPoint(p.TO, p.PO) {
+				c.metrics.PointsPruned++
+				continue
+			}
+			c.checker.add(p)
+			c.metrics.Emissions = append(c.metrics.Emissions, Emission{
+				ID:  p.ID,
+				IOs: c.io.Reads + c.io.Writes,
+				CPU: time.Since(c.start),
+			})
+			return p.ID, true
+		}
+		if c.checker.dominatedBox(it.e.Lo[:nTO], it.e.Lo[nTO:], it.e.Hi[nTO:]) {
+			c.metrics.NodesPruned++
+			continue
+		}
+		node := c.tree.Open(it.e)
+		c.metrics.NodesOpened++
+		for _, e := range node.Entries {
+			if e.IsLeafEntry() {
+				c.heap.push(e)
+				continue
+			}
+			if c.checker.dominatedBox(e.Lo[:nTO], e.Lo[nTO:], e.Hi[nTO:]) {
+				c.metrics.NodesPruned++
+				continue
+			}
+			c.heap.push(e)
+		}
+	}
+	c.done = true
+	return 0, false
+}
+
+// Metrics snapshots the work done so far (IOs, checks, prunes and the
+// emissions already returned by Next).
+func (c *Cursor) Metrics() Metrics {
+	m := c.metrics
+	if c.checker != nil {
+		m.DomChecks = c.checker.checks()
+	}
+	m.ReadIOs = c.io.Reads
+	m.WriteIOs = c.io.Writes
+	m.CPU = time.Since(c.start)
+	return m
+}
+
+// Exhausted reports whether the skyline has been fully enumerated.
+func (c *Cursor) Exhausted() bool { return c.done }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Order-theoretic properties of the exact dominance relation: it must
+// be a strict partial order on points (irreflexive, asymmetric,
+// transitive) for the skyline to be well defined.
+
+func TestDominanceIsStrictPartialOrder(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDataset(rng, 25, 2, 2)
+		pts := ds.Pts
+		for i := range pts {
+			if ds.Dominates(&pts[i], &pts[i]) {
+				return false // irreflexive
+			}
+			for j := range pts {
+				if ds.Dominates(&pts[i], &pts[j]) && ds.Dominates(&pts[j], &pts[i]) {
+					return false // asymmetric
+				}
+				if !ds.Dominates(&pts[i], &pts[j]) {
+					continue
+				}
+				for k := range pts {
+					if ds.Dominates(&pts[j], &pts[k]) && !ds.Dominates(&pts[i], &pts[k]) {
+						return false // transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkylineCompleteness: every non-skyline point is dominated by some
+// *skyline* point (not merely by any point) — the property that makes
+// the skyline a sufficient answer set.
+func TestSkylineCompleteness(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDataset(rng, 40, 2, 1)
+		sky := idSet(ds.NaiveSkyline())
+		var skyPts []*Point
+		for i := range ds.Pts {
+			if sky[ds.Pts[i].ID] {
+				skyPts = append(skyPts, &ds.Pts[i])
+			}
+		}
+		for i := range ds.Pts {
+			if sky[ds.Pts[i].ID] {
+				continue
+			}
+			covered := false
+			for _, s := range skyPts {
+				if ds.Dominates(s, &ds.Pts[i]) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMDominanceStrongerThanDominance: m-dominance in the transformed
+// space implies exact dominance (soundness of all baseline prunes), and
+// the reverse implication fails on at least some inputs (which is why
+// the baselines need cross-examination at all).
+func TestMDominanceStrongerThanDominance(t *testing.T) {
+	foundGap := false
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDataset(rng, 30, 1, 2)
+		for i := range ds.Pts {
+			for j := range ds.Pts {
+				if i == j {
+					continue
+				}
+				a, b := &ds.Pts[i], &ds.Pts[j]
+				m := paretoDominates(mCoords(ds.Domains, a), mCoords(ds.Domains, b))
+				d := ds.Dominates(a, b)
+				if m && !d {
+					t.Fatalf("seed %d: m-dominance without dominance (%d over %d)", seed, a.ID, b.ID)
+				}
+				if d && !m {
+					foundGap = true
+				}
+			}
+		}
+	}
+	if !foundGap {
+		t.Error("expected at least one dominance not captured by m-dominance across 40 random domains")
+	}
+}
+
+// TestPointLevelMonotone: if a dominates b then a's stratum is not
+// higher than b's — the soundness condition of SDC+'s stratum order.
+func TestPointLevelMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDataset(rng, 30, 1, 2)
+		for i := range ds.Pts {
+			for j := range ds.Pts {
+				if i != j && ds.Dominates(&ds.Pts[i], &ds.Pts[j]) {
+					if pointLevel(ds.Domains, &ds.Pts[i]) > pointLevel(ds.Domains, &ds.Pts[j]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPostRunProperties: the post-run contains the value's own post and
+// is one of its merged intervals.
+func TestPostRunProperties(t *testing.T) {
+	dm := figure2Domain()
+	for v := int32(0); v < int32(dm.Size()); v++ {
+		run := dm.PostRun(v)
+		if !run.Stabs(dm.Post(v)) {
+			t.Errorf("PostRun(%d) = %v does not contain post %d", v, run, dm.Post(v))
+		}
+		found := false
+		for _, iv := range dm.Intervals(v) {
+			if iv == run {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("PostRun(%d) = %v is not one of the merged intervals %v",
+				v, run, dm.Intervals(v))
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/poset"
+)
+
+// --- Paper worked examples -------------------------------------------------
+//
+// These tests pin the implementation to the concrete numbers in the
+// paper: Table I (flight example, two partial orders), Table II (sTSS
+// trace over the Figure 2 domain and Figure 3 data) and the dynamic
+// walkthrough of Figures 5 and 6.
+
+// flightsDataset builds the introduction's ticket table (Figure 1(a)):
+// TO attributes (price, stops), PO attribute airline with values
+// a=0, b=1, c=2, d=3. Point IDs are 1-based like the paper's p1..p10.
+func flightsDataset(dag *poset.DAG) *Dataset {
+	rows := []struct {
+		price, stops int32
+		airline      int32
+	}{
+		{1800, 0, 0}, {2000, 0, 0}, {1800, 0, 1}, {1200, 1, 1}, {1400, 1, 0},
+		{1000, 1, 1}, {1000, 1, 3}, {1800, 1, 2}, {500, 2, 3}, {1200, 2, 2},
+	}
+	ds := &Dataset{Domains: []*poset.Domain{poset.MustDomain(dag)}}
+	for i, r := range rows {
+		ds.Pts = append(ds.Pts, Point{
+			ID: int32(i + 1),
+			TO: []int32{r.price, r.stops},
+			PO: []int32{r.airline},
+		})
+	}
+	return ds
+}
+
+// airlineOrder1 is Table I's first partial order: a over b and c, any
+// company over d (a→b, a→c, b→d, c→d).
+func airlineOrder1() *poset.DAG {
+	dag := poset.NewDAG(4)
+	dag.MustEdge(0, 1)
+	dag.MustEdge(0, 2)
+	dag.MustEdge(1, 3)
+	dag.MustEdge(2, 3)
+	return dag
+}
+
+// airlineOrder2 is Table I's second partial order: only b over a.
+func airlineOrder2() *poset.DAG {
+	dag := poset.NewDAG(4)
+	dag.MustEdge(1, 0)
+	return dag
+}
+
+func idSet(ids []int32) map[int32]bool {
+	m := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func sameIDSet(a, b []int32) bool {
+	sa, sb := idSet(a), idSet(b)
+	if len(sa) != len(sb) || len(a) != len(b) {
+		return false
+	}
+	for id := range sa {
+		if !sb[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// allStaticAlgorithms runs every static algorithm (and every sTSS
+// configuration) on ds, returning named results.
+func allStaticAlgorithms(ds *Dataset) map[string]*Result {
+	return map[string]*Result{
+		"BNL":             BNL(ds),
+		"SFS":             SFS(ds),
+		"BBS+":            BBSPlus(ds, Options{}),
+		"SDC":             SDC(ds, Options{}),
+		"SDC+":            SDCPlus(ds, Options{}),
+		"sTSS/list":       STSS(ds, Options{}),
+		"sTSS/list/stab":  STSS(ds, Options{StabOnly: true}),
+		"sTSS/mem":        STSS(ds, Options{UseMemTree: true}),
+		"sTSS/mem/stab":   STSS(ds, Options{UseMemTree: true, StabOnly: true}),
+		"sTSS/nodyadic":   STSS(ds, Options{NoDyadic: true}),
+		"sTSS/mem/nodya":  STSS(ds, Options{UseMemTree: true, NoDyadic: true}),
+		"sTSS/smallnodes": STSS(ds, Options{Capacity: 3}),
+	}
+}
+
+func TestTableIFirstOrder(t *testing.T) {
+	ds := flightsDataset(airlineOrder1())
+	want := []int32{1, 5, 6, 9, 10}
+	if got := ds.NaiveSkyline(); !sameIDSet(got, want) {
+		t.Fatalf("naive skyline = %v, want %v", got, want)
+	}
+	for name, res := range allStaticAlgorithms(ds) {
+		if !sameIDSet(res.SkylineIDs, want) {
+			t.Errorf("%s skyline = %v, want %v", name, res.SkylineIDs, want)
+		}
+	}
+}
+
+func TestTableISecondOrder(t *testing.T) {
+	ds := flightsDataset(airlineOrder2())
+	want := []int32{3, 6, 7, 8, 9, 10}
+	if got := ds.NaiveSkyline(); !sameIDSet(got, want) {
+		t.Fatalf("naive skyline = %v, want %v", got, want)
+	}
+	for name, res := range allStaticAlgorithms(ds) {
+		if !sameIDSet(res.SkylineIDs, want) {
+			t.Errorf("%s skyline = %v, want %v", name, res.SkylineIDs, want)
+		}
+	}
+}
+
+func TestFlightsTOOnlySkyline(t *testing.T) {
+	// Figure 1(b): ignoring the airline, the skyline is p1,p3,p6,p7,p9.
+	base := flightsDataset(airlineOrder1())
+	ds := &Dataset{}
+	for _, p := range base.Pts {
+		ds.Pts = append(ds.Pts, Point{ID: p.ID, TO: p.TO})
+	}
+	want := []int32{1, 3, 6, 7, 9}
+	if got := ds.NaiveSkyline(); !sameIDSet(got, want) {
+		t.Fatalf("naive TO skyline = %v, want %v", got, want)
+	}
+	for _, res := range []*Result{BNL(ds), SFS(ds), STSS(ds, Options{}), STSS(ds, Options{UseMemTree: true})} {
+		if !sameIDSet(res.SkylineIDs, want) {
+			t.Errorf("TO-only skyline = %v, want %v", res.SkylineIDs, want)
+		}
+	}
+}
+
+// figure2Domain rebuilds the paper's Figure 2 domain with its exact
+// spanning tree (values a..i = 0..8).
+func figure2Domain() *poset.Domain {
+	dag := poset.NewDAG(9)
+	for _, e := range [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {1, 4}, {2, 5}, {3, 6}, {6, 7}, {6, 8}, // tree
+		{0, 2}, {2, 6}, {4, 6}, {5, 7}, // non-tree
+	} {
+		dag.MustEdge(e[0], e[1])
+	}
+	return poset.MustDomain(dag, poset.WithTreeParents([]int32{-1, 0, 1, 1, 1, 2, 3, 6, 6}))
+}
+
+// figure3Dataset is the running example of §IV-A: one TO attribute A1
+// and the Figure 2 PO attribute A2.
+func figure3Dataset() *Dataset {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		f
+		g
+		h
+		i
+	)
+	rows := []struct {
+		a1 int32
+		a2 int32
+	}{
+		{2, c}, {3, d}, {1, h}, {8, a}, {6, e}, {7, c}, {9, b},
+		{4, i}, {2, f}, {3, g}, {5, g}, {7, f}, {9, h},
+	}
+	ds := &Dataset{Domains: []*poset.Domain{figure2Domain()}}
+	for k, r := range rows {
+		ds.Pts = append(ds.Pts, Point{ID: int32(k + 1), TO: []int32{r.a1}, PO: []int32{r.a2}})
+	}
+	return ds
+}
+
+// TestTableII reproduces the sTSS execution of Table II: the skyline is
+// {p1..p5}, discovered in exactly that order (the optimal progressive
+// emission order by mindist), with at least one subtree pruned by the
+// t-dominance check (the N4 prune of step 7).
+func TestTableII(t *testing.T) {
+	ds := figure3Dataset()
+	want := []int32{1, 2, 3, 4, 5}
+	if got := ds.NaiveSkyline(); !sameIDSet(got, want) {
+		t.Fatalf("naive skyline = %v, want %v", got, want)
+	}
+	res := STSS(ds, Options{Capacity: 3}) // paper uses node capacity 3
+	for k, id := range want {
+		if k >= len(res.SkylineIDs) || res.SkylineIDs[k] != id {
+			t.Fatalf("sTSS emission order = %v, want %v", res.SkylineIDs, want)
+		}
+	}
+	if len(res.SkylineIDs) != len(want) {
+		t.Fatalf("sTSS skyline = %v, want %v", res.SkylineIDs, want)
+	}
+	if res.Metrics.NodesPruned == 0 {
+		t.Error("expected at least one MBB prune (Table II step 7)")
+	}
+	if len(res.Metrics.Emissions) != 5 {
+		t.Errorf("expected 5 emissions, got %d", len(res.Metrics.Emissions))
+	}
+	// Same result across every configuration.
+	for name, r := range allStaticAlgorithms(ds) {
+		if !sameIDSet(r.SkylineIDs, want) {
+			t.Errorf("%s = %v, want %v", name, r.SkylineIDs, want)
+		}
+	}
+}
+
+// figure5Dataset is the dynamic walkthrough data (§V-A): two TO
+// attributes and a three-value PO attribute A3 (a=0, b=1, c=2).
+func figure5Dataset() *Dataset {
+	rows := []struct {
+		a1, a2 int32
+		a3     int32
+	}{
+		{1, 2, 0}, {3, 1, 0}, {3, 4, 0}, {4, 5, 0}, {2, 2, 1},
+		{1, 5, 1}, {2, 5, 2}, {3, 4, 2}, {4, 4, 2}, {5, 2, 2},
+	}
+	// The dataset's own domains carry no preferences; queries bring
+	// their own.
+	ds := &Dataset{Domains: []*poset.Domain{poset.MustDomain(poset.NewDAG(3))}}
+	for k, r := range rows {
+		ds.Pts = append(ds.Pts, Point{ID: int32(k + 1), TO: []int32{r.a1, r.a2}, PO: []int32{r.a3}})
+	}
+	return ds
+}
+
+func TestDynamicWalkthrough(t *testing.T) {
+	ds := figure5Dataset()
+	db := NewDynamicDB(ds, Options{})
+	if db.NumGroups() != 3 {
+		t.Fatalf("groups = %d, want 3 (Ga, Gb, Gc)", db.NumGroups())
+	}
+
+	// Query 1 (Figure 5): b better than c, nothing else.
+	q1 := poset.NewDAG(3)
+	q1.MustEdge(1, 2)
+	dom1 := poset.MustDomain(q1)
+	want1 := []int32{1, 2, 5, 6}
+	if got := NaiveSkylineUnder([]*poset.Domain{dom1}, ds.Pts); !sameIDSet(got, want1) {
+		t.Fatalf("naive dynamic skyline q1 = %v, want %v", got, want1)
+	}
+	for _, opt := range []Options{
+		{}, {UseMemTree: true}, {PrecomputedLocal: true}, {UseMemTree: true, PrecomputedLocal: true},
+	} {
+		res, err := db.QueryTSS([]*poset.Domain{dom1}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDSet(res.SkylineIDs, want1) {
+			t.Errorf("dTSS(%+v) q1 = %v, want %v", opt, res.SkylineIDs, want1)
+		}
+	}
+	resB, err := DynamicSDCPlus(ds, []*poset.Domain{dom1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDSet(resB.SkylineIDs, want1) {
+		t.Errorf("dynamic SDC+ q1 = %v, want %v", resB.SkylineIDs, want1)
+	}
+	// The rebuild baseline must charge the external sort.
+	if resB.Metrics.WriteIOs == 0 || resB.Metrics.ReadIOs == 0 {
+		t.Error("dynamic SDC+ should charge rebuild IOs")
+	}
+
+	// Query 2 (Figure 6): a and c better than b.
+	q2 := poset.NewDAG(3)
+	q2.MustEdge(0, 1)
+	q2.MustEdge(2, 1)
+	dom2 := poset.MustDomain(q2)
+	want2 := []int32{1, 2, 7, 8, 10}
+	if got := NaiveSkylineUnder([]*poset.Domain{dom2}, ds.Pts); !sameIDSet(got, want2) {
+		t.Fatalf("naive dynamic skyline q2 = %v, want %v", got, want2)
+	}
+	res2, err := db.QueryTSS([]*poset.Domain{dom2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDSet(res2.SkylineIDs, want2) {
+		t.Errorf("dTSS q2 = %v, want %v", res2.SkylineIDs, want2)
+	}
+	res2b, err := DynamicSDCPlus(ds, []*poset.Domain{dom2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDSet(res2b.SkylineIDs, want2) {
+		t.Errorf("dynamic SDC+ q2 = %v, want %v", res2b.SkylineIDs, want2)
+	}
+}
+
+// TestDynamicGroupSkipped: in query 1 of the walkthrough the whole Gc
+// group is dominated via its root MBB — dTSS must spend exactly one
+// node visit (the root) on it. We verify the prune counter sees it.
+func TestDynamicGroupSkipped(t *testing.T) {
+	ds := figure5Dataset()
+	db := NewDynamicDB(ds, Options{})
+	q1 := poset.NewDAG(3)
+	q1.MustEdge(1, 2)
+	res, err := db.QueryTSS([]*poset.Domain{poset.MustDomain(q1)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.NodesPruned == 0 {
+		t.Error("expected the Gc group to be pruned at its root")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ds := figure5Dataset()
+	db := NewDynamicDB(ds, Options{})
+	// Wrong number of domains.
+	if _, err := db.QueryTSS(nil, Options{}); err == nil {
+		t.Error("QueryTSS must reject missing domains")
+	}
+	// Wrong domain size.
+	wrong := poset.MustDomain(poset.NewDAG(5))
+	if _, err := db.QueryTSS([]*poset.Domain{wrong}, Options{}); err == nil {
+		t.Error("QueryTSS must reject mis-sized domains")
+	}
+	if _, err := DynamicSDCPlus(ds, []*poset.Domain{wrong}, Options{}); err == nil {
+		t.Error("DynamicSDCPlus must reject mis-sized domains")
+	}
+}

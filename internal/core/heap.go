@@ -1,0 +1,85 @@
+package core
+
+import "repro/internal/rtree"
+
+// heapItem is one best-first search entry: an R-tree node MBB or a data
+// point, prioritised by L1 mindist to the most preferable corner of the
+// index space. Ties pop points before nodes and then lower sequence
+// numbers, making every run deterministic.
+type heapItem struct {
+	mind    int64
+	isPoint bool
+	seq     int64
+	e       rtree.Entry
+}
+
+// bbsHeap is a hand-rolled binary min-heap (container/heap's interface
+// boxes every element; this sits on the hot path of every algorithm).
+type bbsHeap struct {
+	a   []heapItem
+	seq int64
+}
+
+func (h *bbsHeap) len() int { return len(h.a) }
+
+func (h *bbsHeap) less(i, j int) bool {
+	x, y := &h.a[i], &h.a[j]
+	if x.mind != y.mind {
+		return x.mind < y.mind
+	}
+	if x.isPoint != y.isPoint {
+		return x.isPoint
+	}
+	return x.seq < y.seq
+}
+
+// push inserts an entry, assigning it the next sequence number.
+func (h *bbsHeap) push(e rtree.Entry) {
+	h.pushMind(e, rtree.MinDistL1(e))
+}
+
+// pushMind inserts an entry with an explicit priority — used by the
+// fully dynamic search, whose distances are relative to a query point.
+func (h *bbsHeap) pushMind(e rtree.Entry, mind int64) {
+	h.seq++
+	h.a = append(h.a, heapItem{
+		mind:    mind,
+		isPoint: e.IsLeafEntry(),
+		seq:     h.seq,
+		e:       e,
+	})
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *bbsHeap) pop() heapItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a[last] = heapItem{} // release Entry references
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.less(l, m) {
+			m = l
+		}
+		if r < last && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,74 @@
+package core
+
+import "repro/internal/poset"
+
+// This file holds the coordinate transforms shared by the algorithms.
+//
+// sTSS space (precedence-preserving): one coordinate per TO attribute
+// plus the topological ordinal of each PO attribute; dominance is NOT
+// checked in this space (only the visiting order uses it).
+//
+// m-dominance space (Chan et al.): one coordinate per TO attribute plus
+// two per PO attribute, (minpost−1, N−post), both minimised; strict
+// coordinate-wise dominance in this space is exactly m-dominance.
+
+// stssCoords maps a point into the (TO…, ATO…) space of the sTSS index.
+func stssCoords(domains []*poset.Domain, p *Point) []int32 {
+	c := make([]int32, len(p.TO)+len(p.PO))
+	copy(c, p.TO)
+	for d, v := range p.PO {
+		c[len(p.TO)+d] = domains[d].Ord(v)
+	}
+	return c
+}
+
+// mCoords maps a point into the transformed m-dominance space.
+func mCoords(domains []*poset.Domain, p *Point) []int32 {
+	nTO := len(p.TO)
+	c := make([]int32, nTO+2*len(p.PO))
+	copy(c, p.TO)
+	for d, v := range p.PO {
+		i1, i2 := domains[d].MCoords(v)
+		c[nTO+2*d] = i1
+		c[nTO+2*d+1] = i2
+	}
+	return c
+}
+
+// paretoDominates is strict coordinate-wise dominance: a ⪯ b everywhere
+// and a < b somewhere. In the m-space this is m-dominance; pruning an
+// MBB requires it to hold against the box's lower corner, which is safe
+// even in the presence of exact duplicates.
+func paretoDominates(a, b []int32) bool {
+	strict := false
+	for d, av := range a {
+		bv := b[d]
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// pointLevel is the stratum of a point: the maximum uncovered level of
+// its PO values (level monotonicity per dimension makes the maximum
+// monotone too, so points are never dominated from higher strata).
+func pointLevel(domains []*poset.Domain, p *Point) int32 {
+	var lv int32
+	for d, v := range p.PO {
+		if l := domains[d].Level(v); l > lv {
+			lv = l
+		}
+	}
+	return lv
+}
+
+// completelyCovered reports whether all PO values of p are completely
+// covered nodes (uncovered level 0) — the early-output stratum of SDC.
+// Among such points, m-dominance coincides with actual dominance.
+func completelyCovered(domains []*poset.Domain, p *Point) bool {
+	return pointLevel(domains, p) == 0
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/rtree"
+)
+
+// DefaultIOCost is the simulated cost of one page access, matching the
+// paper's evaluation ("after charging 5 msec for each IO", §VI-B).
+const DefaultIOCost = 5 * time.Millisecond
+
+// DefaultPageSize is the simulated disk page size in bytes.
+const DefaultPageSize = 4096
+
+// Options tunes the algorithms. The zero value selects the paper's
+// defaults via withDefaults.
+type Options struct {
+	// PageSize is the simulated page size used to derive R-tree fan-out
+	// and data-file page counts. Default 4096.
+	PageSize int
+	// Capacity overrides the derived R-tree node capacity when > 0
+	// (used by tests reproducing the paper's capacity-3 examples).
+	Capacity int
+	// UseMemTree enables the in-memory R-tree over virtual points for
+	// t-dominance checks (paper §IV-B second optimisation). The paper's
+	// headline experiments run TSS *without* it "for fairness", so it
+	// defaults to off; the ablation benchmarks measure its effect.
+	UseMemTree bool
+	// UseDyadic enables the dyadic-range interval index (paper §IV-B
+	// first optimisation). Default on (cheap, pure win).
+	UseDyadic bool
+	// NoDyadic disables the dyadic index (ablation).
+	NoDyadic bool
+	// StabOnly makes point-level t-dominance checks query only the
+	// interval run containing the candidate value's own postorder
+	// position, which is provably equivalent to checking every interval
+	// (ablation of the paper-faithful ∀-interval check).
+	StabOnly bool
+	// PrecomputedLocal makes dTSS answer queries from precomputed
+	// per-group local skylines instead of the per-group R-trees (paper
+	// §V-B pre-processing optimisation).
+	PrecomputedLocal bool
+	// BufferPages attaches an LRU page buffer of that many pages to the
+	// query's index reads (0 = unbuffered, the paper's headline
+	// configuration). §VI-B points out that buffering shifts TSS from
+	// IO-bound towards CPU-bound, widening its lead over SDC+.
+	BufferPages int
+	// PackedRoots stores the roots of dTSS's per-group trees in
+	// contiguous pages read sequentially at query start, instead of one
+	// page read per group root — the remedy §VI-C proposes for large
+	// PO domains, where dTSS "must visit a large number of root nodes".
+	PackedRoots bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if !o.NoDyadic {
+		o.UseDyadic = true
+	} else {
+		o.UseDyadic = false
+	}
+	return o
+}
+
+// capacityFor derives the R-tree node capacity for an index of the
+// given dimensionality.
+func (o Options) capacityFor(dims int) int {
+	if o.Capacity > 0 {
+		return o.Capacity
+	}
+	return rtree.CapacityForPage(o.PageSize, dims)
+}
+
+// dataPages returns the number of pages the raw data file occupies,
+// assuming 4 bytes per attribute plus a 4-byte id per record. Used to
+// charge the dynamic SDC+ rebuild's external sort.
+func (o Options) dataPages(n, attrs int) int64 {
+	rec := int64(4 * (attrs + 1))
+	bytes := int64(n) * rec
+	pages := bytes / int64(o.PageSize)
+	if bytes%int64(o.PageSize) != 0 {
+		pages++
+	}
+	if pages == 0 && n > 0 {
+		pages = 1
+	}
+	return pages
+}
+
+// Emission records one skyline point being output, with the virtual
+// cost spent up to that moment — the raw material of the paper's
+// progressiveness experiment (Figure 11).
+type Emission struct {
+	ID  int32
+	IOs int64         // query-phase page accesses so far (reads+writes)
+	CPU time.Duration // query-phase CPU so far
+}
+
+// Time converts an emission to virtual time at the given IO cost.
+func (e Emission) Time(ioCost time.Duration) time.Duration {
+	return e.CPU + time.Duration(e.IOs)*ioCost
+}
+
+// Metrics aggregates the evaluation counters of one run. Query-phase
+// and build-phase costs are kept separate: the static experiments charge
+// queries only (indexes are prebuilt), while the dynamic SDC+ baseline
+// folds its per-query rebuild into the query cost (paper §VI-C).
+type Metrics struct {
+	ReadIOs   int64 // query-phase page reads
+	WriteIOs  int64 // query-phase page writes (rebuilds, runs)
+	DomChecks int64 // pairwise dominance-check operations
+
+	NodesOpened  int64 // R-tree nodes expanded
+	NodesPruned  int64 // MBBs discarded by dominance
+	PointsPruned int64 // points discarded by dominance
+
+	CPU time.Duration // measured query-phase CPU
+
+	BuildReadIOs  int64
+	BuildWriteIOs int64
+	BuildCPU      time.Duration
+
+	Emissions []Emission
+}
+
+// TotalTime is the paper's headline metric: measured CPU plus the
+// simulated IO charge.
+func (m *Metrics) TotalTime(ioCost time.Duration) time.Duration {
+	return m.CPU + time.Duration(m.ReadIOs+m.WriteIOs)*ioCost
+}
+
+// IOTime returns only the simulated IO component.
+func (m *Metrics) IOTime(ioCost time.Duration) time.Duration {
+	return time.Duration(m.ReadIOs+m.WriteIOs) * ioCost
+}
+
+// CPUShare returns CPU / total time — the percentage annotated on the
+// markers of the paper's Figure 7.
+func (m *Metrics) CPUShare(ioCost time.Duration) float64 {
+	tot := m.TotalTime(ioCost)
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.CPU) / float64(tot)
+}
+
+// Result is a completed skyline computation: the skyline point ids in
+// emission order plus the run's metrics.
+type Result struct {
+	SkylineIDs []int32
+	Metrics    Metrics
+}
+
+// emitClock stamps emissions with the current virtual cost.
+type emitClock struct {
+	io    *rtree.IOCounter
+	extra *int64 // additional charged IOs not tracked by io (may be nil)
+	start time.Time
+}
+
+func newEmitClock(io *rtree.IOCounter) *emitClock {
+	return &emitClock{io: io, start: time.Now()}
+}
+
+func (c *emitClock) ios() int64 {
+	n := c.io.Reads + c.io.Writes
+	if c.extra != nil {
+		n += *c.extra
+	}
+	return n
+}
+
+func (c *emitClock) emission(id int32) Emission {
+	return Emission{ID: id, IOs: c.ios(), CPU: time.Since(c.start)}
+}
+
+func (c *emitClock) elapsed() time.Duration { return time.Since(c.start) }

@@ -1,0 +1,134 @@
+// Package core implements the skyline algorithms of "Topologically
+// Sorted Skylines for Partially Ordered Domains" (ICDE 2009): the
+// paper's contribution sTSS/dTSS and the baselines it is evaluated
+// against (BBS+, SDC, SDC+ of Chan et al., and the classic totally
+// ordered algorithms BNL, SFS and BBS).
+//
+// Conventions: every attribute is minimised — smaller totally ordered
+// (TO) values are better, and partially ordered (PO) values are better
+// when they are t-preferred (reachable in the domain DAG). A point
+// dominates another when it is at least as good everywhere and strictly
+// better somewhere (Definition 2 with the standard reading that an
+// incomparable PO value blocks dominance, which is the semantics the
+// paper's Table I results require).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/poset"
+)
+
+// Point is a tuple: TO holds the totally ordered attribute values,
+// PO the value ids into the corresponding poset.Domain of each partially
+// ordered attribute.
+type Point struct {
+	ID int32
+	TO []int32
+	PO []int32
+}
+
+// Dataset couples points with the PO domains their PO attributes refer
+// to. Domains[d] interprets Points[i].PO[d].
+type Dataset struct {
+	Pts     []Point
+	Domains []*poset.Domain
+}
+
+// Validate checks structural consistency: uniform dimensionalities and
+// PO values inside their domains.
+func (ds *Dataset) Validate() error {
+	if len(ds.Pts) == 0 {
+		return nil
+	}
+	nTO, nPO := len(ds.Pts[0].TO), len(ds.Pts[0].PO)
+	if nPO != len(ds.Domains) {
+		return fmt.Errorf("core: %d PO attributes but %d domains", nPO, len(ds.Domains))
+	}
+	for i := range ds.Pts {
+		p := &ds.Pts[i]
+		if len(p.TO) != nTO || len(p.PO) != nPO {
+			return fmt.Errorf("core: point %d has inconsistent dimensionality", p.ID)
+		}
+		for d, v := range p.PO {
+			if v < 0 || int(v) >= ds.Domains[d].Size() {
+				return fmt.Errorf("core: point %d PO[%d]=%d outside domain of size %d",
+					p.ID, d, v, ds.Domains[d].Size())
+			}
+		}
+	}
+	return nil
+}
+
+// NumTO returns the number of totally ordered attributes.
+func (ds *Dataset) NumTO() int {
+	if len(ds.Pts) == 0 {
+		return 0
+	}
+	return len(ds.Pts[0].TO)
+}
+
+// NumPO returns the number of partially ordered attributes.
+func (ds *Dataset) NumPO() int { return len(ds.Domains) }
+
+// DominatesUnder reports whether a dominates b when the PO attributes
+// are interpreted by the given domains (which may differ from
+// ds.Domains for dynamic skyline queries): a is at least as good
+// everywhere — equal or t-preferred per PO dimension — and strictly
+// better somewhere.
+func DominatesUnder(domains []*poset.Domain, a, b *Point) bool {
+	strict := false
+	for d, av := range a.TO {
+		bv := b.TO[d]
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strict = true
+		}
+	}
+	for d, av := range a.PO {
+		bv := b.PO[d]
+		if av == bv {
+			continue
+		}
+		if !domains[d].TPrefers(av, bv) {
+			return false
+		}
+		strict = true
+	}
+	return strict
+}
+
+// Dominates reports whether a dominates b under the dataset's own
+// domains.
+func (ds *Dataset) Dominates(a, b *Point) bool {
+	return DominatesUnder(ds.Domains, a, b)
+}
+
+// NaiveSkylineUnder computes the skyline by exhaustive pairwise
+// comparison under the given domains — the O(n²) ground truth that all
+// algorithms are validated against in tests. Exact duplicates of a
+// skyline point are skyline points themselves (neither dominates the
+// other). IDs are returned in input order.
+func NaiveSkylineUnder(domains []*poset.Domain, pts []Point) []int32 {
+	var out []int32
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i != j && DominatesUnder(domains, &pts[j], &pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, pts[i].ID)
+		}
+	}
+	return out
+}
+
+// NaiveSkyline is NaiveSkylineUnder with the dataset's own domains.
+func (ds *Dataset) NaiveSkyline() []int32 {
+	return NaiveSkylineUnder(ds.Domains, ds.Pts)
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/rtree"
+)
+
+// STSS computes the static skyline of ds with the paper's sTSS
+// algorithm (§IV): best-first (BBS-style) traversal of an R-tree built
+// in the precedence-preserving (TO…, ATO…) space, with the exact
+// t-dominance check of Definition 2 — so it never admits false hits,
+// never revokes an output, and emits each skyline point the moment it
+// is examined (optimal progressiveness).
+//
+// Index construction is charged to the build counters; the query phase
+// charges a page read per R-tree node visit.
+func STSS(ds *Dataset, opt Options) *Result {
+	opt = opt.withDefaults()
+	res := &Result{}
+	if len(ds.Pts) == 0 {
+		return res
+	}
+
+	buildStart := time.Now()
+	io := &rtree.IOCounter{}
+	tree := buildSTSSTree(ds, opt, io)
+	if opt.UseDyadic {
+		for _, dm := range ds.Domains {
+			dm.EnableDyadic()
+		}
+	}
+	if opt.BufferPages > 0 {
+		tree.SetBuffer(rtree.NewBuffer(opt.BufferPages))
+	}
+	res.Metrics.BuildWriteIOs = io.Writes
+	res.Metrics.BuildCPU = time.Since(buildStart)
+	io.Writes, io.Reads = 0, 0
+
+	stssTraverse(ds, tree, io, opt, res)
+	return res
+}
+
+// stssTraverse is the sTSS query phase over a prebuilt index; split out
+// so tests can run the algorithm on explicitly laid-out trees (the
+// paper's Figure 3(c) structure).
+func stssTraverse(ds *Dataset, tree *rtree.Tree, io *rtree.IOCounter, opt Options, res *Result) {
+	nTO := ds.NumTO()
+	checker := newChecker(ds.Domains, nTO, opt)
+	clock := newEmitClock(io)
+	var h bbsHeap
+
+	if len(ds.Pts) > 0 {
+		root := tree.Root()
+		for _, e := range root.Entries {
+			h.push(e)
+		}
+	}
+
+	for h.len() > 0 {
+		it := h.pop()
+		if it.isPoint {
+			p := &ds.Pts[it.e.ID]
+			if checker.dominatedPoint(p.TO, p.PO) {
+				res.Metrics.PointsPruned++
+				continue
+			}
+			// Precedence (topological ordinals) plus exactness: p is a
+			// definite skyline point, output immediately.
+			res.SkylineIDs = append(res.SkylineIDs, p.ID)
+			res.Metrics.Emissions = append(res.Metrics.Emissions, clock.emission(p.ID))
+			checker.add(p)
+			continue
+		}
+		if checker.dominatedBox(it.e.Lo[:nTO], it.e.Lo[nTO:], it.e.Hi[nTO:]) {
+			res.Metrics.NodesPruned++
+			continue
+		}
+		node := tree.Open(it.e)
+		res.Metrics.NodesOpened++
+		for _, e := range node.Entries {
+			// Children are screened before insertion (as in BBS) and
+			// re-checked lazily when popped, since the skyline grows in
+			// between.
+			if e.IsLeafEntry() {
+				h.push(e)
+				continue
+			}
+			if checker.dominatedBox(e.Lo[:nTO], e.Lo[nTO:], e.Hi[nTO:]) {
+				res.Metrics.NodesPruned++
+				continue
+			}
+			h.push(e)
+		}
+	}
+
+	res.Metrics.DomChecks = checker.checks()
+	res.Metrics.ReadIOs = io.Reads
+	res.Metrics.WriteIOs = io.Writes
+	res.Metrics.CPU = clock.elapsed()
+}
+
+// buildSTSSTree bulk-loads the sTSS index: an R-tree over the
+// (TO…, topological ordinal…) coordinates of every point. Leaf entry
+// ids are indexes into ds.Pts.
+func buildSTSSTree(ds *Dataset, opt Options, io *rtree.IOCounter) *rtree.Tree {
+	dims := ds.NumTO() + ds.NumPO()
+	pts := make([]rtree.Point, len(ds.Pts))
+	for i := range ds.Pts {
+		pts[i] = rtree.Point{Coords: stssCoords(ds.Domains, &ds.Pts[i]), ID: int32(i)}
+	}
+	return rtree.BulkLoad(dims, pts, opt.capacityFor(dims), io)
+}
+
+// BNL computes the skyline with a block-nested-loops candidate list
+// using the exact dominance oracle (TPrefers per PO dimension). It is
+// neither progressive (output happens only at the end) nor precedence-
+// aware; it serves as a simple correct baseline and as the local-
+// skyline substrate of the dTSS pre-processing optimisation.
+func BNL(ds *Dataset) *Result {
+	res := &Result{}
+	clock := newEmitClock(&rtree.IOCounter{})
+	var cands []*Point
+	var checks int64
+	for i := range ds.Pts {
+		p := &ds.Pts[i]
+		dominated := false
+		keep := cands[:0]
+		for _, c := range cands {
+			if dominated {
+				keep = append(keep, c)
+				continue
+			}
+			checks++
+			if DominatesUnder(ds.Domains, c, p) {
+				dominated = true
+				keep = append(keep, c)
+				continue
+			}
+			checks++
+			if !DominatesUnder(ds.Domains, p, c) {
+				keep = append(keep, c)
+			}
+		}
+		cands = keep
+		if !dominated {
+			cands = append(cands, p)
+		}
+	}
+	for _, c := range cands {
+		res.SkylineIDs = append(res.SkylineIDs, c.ID)
+		res.Metrics.Emissions = append(res.Metrics.Emissions, clock.emission(c.ID))
+	}
+	res.Metrics.DomChecks = checks
+	res.Metrics.CPU = clock.elapsed()
+	return res
+}
+
+// SFS computes the skyline by presorting on a preference function that
+// is monotone under exact dominance — the sum of TO coordinates and
+// topological ordinals — and then scanning with a candidate list
+// (Chomicki et al.). The presort establishes precedence, so accepted
+// points are emitted immediately and never evicted.
+func SFS(ds *Dataset) *Result {
+	res := &Result{}
+	clock := newEmitClock(&rtree.IOCounter{})
+	order := make([]int32, len(ds.Pts))
+	key := make([]int64, len(ds.Pts))
+	for i := range ds.Pts {
+		order[i] = int32(i)
+		var s int64
+		for _, v := range ds.Pts[i].TO {
+			s += int64(v)
+		}
+		for d, v := range ds.Pts[i].PO {
+			s += int64(ds.Domains[d].Ord(v))
+		}
+		key[i] = s
+	}
+	sortByKey(order, key)
+	var checks int64
+	var sky []*Point
+	for _, idx := range order {
+		p := &ds.Pts[idx]
+		dominated := false
+		for _, s := range sky {
+			checks++
+			if DominatesUnder(ds.Domains, s, p) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		sky = append(sky, p)
+		res.SkylineIDs = append(res.SkylineIDs, p.ID)
+		res.Metrics.Emissions = append(res.Metrics.Emissions, clock.emission(p.ID))
+	}
+	res.Metrics.DomChecks = checks
+	res.Metrics.CPU = clock.elapsed()
+	return res
+}
+
+// sortByKey sorts order by ascending key, breaking ties by id for
+// determinism (simple bottom-up merge sort to avoid sort.Slice's
+// interface overhead on large inputs).
+func sortByKey(order []int32, key []int64) {
+	n := len(order)
+	buf := make([]int32, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				a, b := order[i], order[j]
+				if key[a] < key[b] || (key[a] == key[b] && a <= b) {
+					buf[k] = a
+					i++
+				} else {
+					buf[k] = b
+					j++
+				}
+				k++
+			}
+			copy(buf[k:], order[i:mid])
+			k += mid - i
+			copy(buf[k:], order[j:hi])
+			copy(order[lo:hi], buf[lo:hi])
+		}
+	}
+}

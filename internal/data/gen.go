@@ -1,0 +1,199 @@
+// Package data generates the synthetic workloads of the paper's
+// evaluation (§VI-A): Independent and Anti-correlated attribute
+// distributions in the style of the randdataset generator of Börzsönyi
+// et al., subset-containment lattice DAGs with density thinning for the
+// partially ordered domains, and random partial orders for dynamic
+// skyline queries.
+//
+// All generators are deterministic given a *rand.Rand, so experiments
+// are reproducible from a seed.
+package data
+
+import (
+	"math/rand"
+
+	"repro/internal/poset"
+)
+
+// Distribution selects how totally ordered attribute values correlate
+// across dimensions.
+type Distribution int
+
+const (
+	// Independent draws every attribute uniformly at random.
+	Independent Distribution = iota
+	// AntiCorrelated places points near the anti-diagonal hyperplane:
+	// points good in one dimension tend to be bad in the others, which
+	// maximises skyline size. This reproduces the construction of the
+	// randdataset generator (plane offset + pairwise transfers).
+	AntiCorrelated
+)
+
+// String implements fmt.Stringer for experiment reports.
+func (d Distribution) String() string {
+	switch d {
+	case Independent:
+		return "Independent"
+	case AntiCorrelated:
+		return "Anti-correlated"
+	default:
+		return "Unknown"
+	}
+}
+
+// GenTO generates n rows of dims totally ordered attributes over the
+// integer domain [0, domainSize). Smaller values are better, matching
+// the paper's convention.
+func GenTO(rng *rand.Rand, n, dims, domainSize int, dist Distribution) [][]int32 {
+	rows := make([][]int32, n)
+	flat := make([]int32, n*dims)
+	for i := range rows {
+		rows[i] = flat[i*dims : (i+1)*dims : (i+1)*dims]
+		switch dist {
+		case AntiCorrelated:
+			antiRow(rng, rows[i], domainSize)
+		default:
+			for d := range rows[i] {
+				rows[i][d] = int32(rng.Intn(domainSize))
+			}
+		}
+	}
+	return rows
+}
+
+// antiRow fills one anti-correlated row. A point is drawn near the
+// hyperplane Σx_d = dims·v where the plane offset v ~ N(0.5, 0.05) is
+// tightly concentrated (a loose offset would occasionally drop a point
+// near the origin that dominates the whole band, collapsing the
+// skyline). The point is then spread *within* the plane by pairwise
+// transfers, each drawn uniformly over the largest step that keeps both
+// coordinates inside [0,1), so the sum — and hence the anti-diagonal
+// band — is preserved without clamping or rejection.
+func antiRow(rng *rand.Rand, row []int32, domainSize int) {
+	dims := len(row)
+	v := rng.NormFloat64()*0.05 + 0.5
+	for v <= 0 || v >= 1 {
+		v = rng.NormFloat64()*0.05 + 0.5
+	}
+	x := make([]float64, dims)
+	for d := range x {
+		x[d] = v
+	}
+	if dims > 1 {
+		for k := 0; k < 3*dims; k++ {
+			i := rng.Intn(dims)
+			j := rng.Intn(dims - 1)
+			if j >= i {
+				j++
+			}
+			// x[i] += h, x[j] -= h with both staying in [0,1).
+			hMin := -x[i]
+			if x[j]-1 > hMin {
+				hMin = x[j] - 1
+			}
+			hMax := 1 - x[i]
+			if x[j] < hMax {
+				hMax = x[j]
+			}
+			h := hMin + rng.Float64()*(hMax-hMin)
+			x[i] += h
+			x[j] -= h
+		}
+	}
+	for d := range row {
+		c := x[d]
+		if c >= 1 {
+			c = 1 - 1e-9
+		}
+		if c < 0 {
+			c = 0
+		}
+		row[d] = int32(c * float64(domainSize))
+	}
+}
+
+// GenPO generates n rows of dims partially ordered attribute values:
+// value ids drawn uniformly from each domain's value set.
+func GenPO(rng *rand.Rand, n int, domainSizes []int) [][]int32 {
+	dims := len(domainSizes)
+	rows := make([][]int32, n)
+	flat := make([]int32, n*dims)
+	for i := range rows {
+		rows[i] = flat[i*dims : (i+1)*dims : (i+1)*dims]
+		for d := range rows[i] {
+			rows[i][d] = int32(rng.Intn(domainSizes[d]))
+		}
+	}
+	return rows
+}
+
+// Lattice builds the paper's PO-domain DAG: the containment lattice of
+// subsets of a universe of h objects (2^h nodes, height h), thinned by
+// retaining each node — together with its incident edges — with
+// probability d (the paper's density parameter, d = |V|/2^h). Smaller
+// subsets are preferred: an edge S→T exists when T = S ∪ {x} and both
+// ends were retained.
+//
+// The empty set is always retained so the domain has at least one value
+// and, typically, a single best value.
+func Lattice(rng *rand.Rand, h int, d float64) *poset.DAG {
+	total := 1 << uint(h)
+	keep := make([]bool, total)
+	id := make([]int32, total)
+	n := 0
+	for s := 0; s < total; s++ {
+		if s == 0 || rng.Float64() < d {
+			keep[s] = true
+			id[s] = int32(n)
+			n++
+		}
+	}
+	dag := poset.NewDAG(n)
+	for s := 0; s < total; s++ {
+		if !keep[s] {
+			continue
+		}
+		// Supersets with exactly one extra object.
+		for b := 0; b < h; b++ {
+			if s&(1<<uint(b)) != 0 {
+				continue
+			}
+			t := s | 1<<uint(b)
+			if keep[t] {
+				dag.MustEdge(int(id[s]), int(id[t]))
+			}
+		}
+	}
+	return dag
+}
+
+// RandomOrder builds a random partial order over n values for dynamic
+// skyline queries: a random permutation fixes an (implicit) topological
+// order and each forward pair becomes an edge with probability p.
+// Guaranteed acyclic.
+func RandomOrder(rng *rand.Rand, n int, p float64) *poset.DAG {
+	dag := poset.NewDAG(n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				dag.MustEdge(perm[i], perm[j])
+			}
+		}
+	}
+	return dag
+}
+
+// RandomOrderAvgDegree is RandomOrder parameterised by expected outgoing
+// edges per value instead of a raw probability, which stays meaningful
+// as domains grow.
+func RandomOrderAvgDegree(rng *rand.Rand, n int, avgDeg float64) *poset.DAG {
+	if n <= 1 {
+		return poset.NewDAG(n)
+	}
+	p := avgDeg / float64(n-1) * 2
+	if p > 1 {
+		p = 1
+	}
+	return RandomOrder(rng, n, p)
+}

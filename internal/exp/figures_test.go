@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFiguresTiny smoke-runs every figure sweep at the N=100 floor:
+// the full parameter grids execute, both series agree internally
+// (runStaticPair/runDynamicPair panic on disagreement) and the reports
+// render. The realistic-scale numbers live in bench_results_scale02.txt
+// and bench_output.txt.
+func TestAllFiguresTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps")
+	}
+	cases := []struct {
+		name string
+		rows func(float64) []Row
+		want int // rows = sweep points × 2 sub-figures × 2 series
+	}{
+		{"Figure7", Figure7, 5 * 2 * 2},
+		{"Figure8", Figure8, 6 * 2 * 2},
+		{"Figure9", Figure9, 5 * 2 * 2},
+		{"Figure10", Figure10, 5 * 2 * 2},
+		{"Figure12", Figure12, 5 * 2 * 2},
+		{"Figure13", Figure13, 6 * 2 * 2},
+		{"Figure14", Figure14, 10 * 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rows := c.rows(tinyScale)
+			if len(rows) != c.want {
+				t.Fatalf("%s produced %d rows, want %d", c.name, len(rows), c.want)
+			}
+			var buf strings.Builder
+			WriteRows(&buf, rows)
+			if !strings.Contains(buf.String(), "speedup") {
+				t.Error("report missing header")
+			}
+			for _, r := range rows {
+				if r.TotalSec < 0 || r.Skyline < 0 {
+					t.Fatalf("degenerate row %+v", r)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteTableIII(t *testing.T) {
+	var buf strings.Builder
+	WriteTableIII(&buf, 0.5)
+	out := buf.String()
+	for _, want := range []string{"Table III", "DAG height", "5 ms per page", "50000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package poset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrCycle is returned when a DAG operation detects a directed cycle.
+var ErrCycle = errors.New("poset: partial order contains a cycle")
+
+// DAG is a directed acyclic graph over the values 0..N-1 of a partially
+// ordered domain. An edge x→y states that x is preferred to y; value x
+// is preferred to y iff a directed path x→y exists (the DAG need not be
+// a Hasse diagram — transitive edges are allowed, as in the paper's
+// Figure 2 example).
+//
+// The zero value is not usable; construct with NewDAG.
+type DAG struct {
+	n      int
+	labels []string
+	out    [][]int32 // out[x] = values directly worse than x, sorted
+	in     [][]int32 // in[y] = values directly better than y, sorted
+	edges  int
+	sorted bool // out/in adjacency currently sorted & deduped
+}
+
+// NewDAG creates a DAG over n values (initially with no preferences,
+// i.e. all values incomparable).
+func NewDAG(n int) *DAG {
+	if n < 0 {
+		panic("poset: negative domain size")
+	}
+	return &DAG{
+		n:      n,
+		out:    make([][]int32, n),
+		in:     make([][]int32, n),
+		sorted: true,
+	}
+}
+
+// N returns the number of values in the domain.
+func (d *DAG) N() int { return d.n }
+
+// Edges returns the number of distinct preference edges.
+func (d *DAG) Edges() int {
+	d.normalize()
+	return d.edges
+}
+
+// SetLabel attaches a human-readable label to value v (used by String
+// methods and the CLI tools; optional).
+func (d *DAG) SetLabel(v int, label string) {
+	if d.labels == nil {
+		d.labels = make([]string, d.n)
+	}
+	d.labels[v] = label
+}
+
+// Label returns the label of value v, or its decimal id if unlabelled.
+func (d *DAG) Label(v int) string {
+	if d.labels != nil && d.labels[v] != "" {
+		return d.labels[v]
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// LabelIndex returns the value whose label is s, or -1.
+func (d *DAG) LabelIndex(s string) int {
+	for v, l := range d.labels {
+		if l == s {
+			return v
+		}
+	}
+	return -1
+}
+
+// AddEdge records the preference better→worse. Self-loops are rejected;
+// duplicate edges are ignored. Cycles are only detected by Validate or
+// TopologicalOrder (adding edges stays O(1)).
+func (d *DAG) AddEdge(better, worse int) error {
+	if better < 0 || better >= d.n || worse < 0 || worse >= d.n {
+		return fmt.Errorf("poset: edge (%d,%d) out of range [0,%d)", better, worse, d.n)
+	}
+	if better == worse {
+		return fmt.Errorf("poset: self-loop on value %d", better)
+	}
+	d.out[better] = append(d.out[better], int32(worse))
+	d.in[worse] = append(d.in[worse], int32(better))
+	d.sorted = false
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; convenient in tests and
+// example construction where inputs are static.
+func (d *DAG) MustEdge(better, worse int) {
+	if err := d.AddEdge(better, worse); err != nil {
+		panic(err)
+	}
+}
+
+// normalize sorts and dedupes adjacency lists and recounts edges.
+func (d *DAG) normalize() {
+	if d.sorted {
+		return
+	}
+	d.edges = 0
+	for v := 0; v < d.n; v++ {
+		d.out[v] = sortDedup(d.out[v])
+		d.in[v] = sortDedup(d.in[v])
+		d.edges += len(d.out[v])
+	}
+	d.sorted = true
+}
+
+func sortDedup(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Out returns the direct successors (worse values) of v, sorted.
+// The returned slice is shared; callers must not modify it.
+func (d *DAG) Out(v int) []int32 {
+	d.normalize()
+	return d.out[v]
+}
+
+// In returns the direct predecessors (better values) of v, sorted.
+// The returned slice is shared; callers must not modify it.
+func (d *DAG) In(v int) []int32 {
+	d.normalize()
+	return d.in[v]
+}
+
+// Validate checks acyclicity. It is equivalent to calling
+// TopologicalOrder and discarding the order.
+func (d *DAG) Validate() error {
+	_, err := d.TopologicalOrder()
+	return err
+}
+
+// TopologicalOrder returns a deterministic topological sort of the
+// values: Kahn's algorithm breaking ties by smallest value id, so the
+// result is stable across runs. Every DAG edge points from an earlier to
+// a later position. Returns ErrCycle if the graph has a directed cycle.
+func (d *DAG) TopologicalOrder() ([]int32, error) {
+	d.normalize()
+	indeg := make([]int32, d.n)
+	for v := 0; v < d.n; v++ {
+		indeg[v] = int32(len(d.in[v]))
+	}
+	// Min-heap over ready values keyed by id for determinism.
+	ready := &int32Heap{}
+	for v := 0; v < d.n; v++ {
+		if indeg[v] == 0 {
+			ready.push(int32(v))
+		}
+	}
+	order := make([]int32, 0, d.n)
+	for ready.len() > 0 {
+		v := ready.pop()
+		order = append(order, v)
+		for _, w := range d.out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready.push(w)
+			}
+		}
+	}
+	if len(order) != d.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the DAG.
+func (d *DAG) Clone() *DAG {
+	d.normalize()
+	c := NewDAG(d.n)
+	for v := 0; v < d.n; v++ {
+		c.out[v] = append([]int32(nil), d.out[v]...)
+		c.in[v] = append([]int32(nil), d.in[v]...)
+	}
+	c.edges = d.edges
+	if d.labels != nil {
+		c.labels = append([]string(nil), d.labels...)
+	}
+	return c
+}
+
+// int32Heap is a tiny binary min-heap; container/heap's interface costs
+// an allocation per op, and topological sorting is on the dynamic-query
+// critical path, so we keep this hand-rolled.
+type int32Heap struct{ a []int32 }
+
+func (h *int32Heap) len() int { return len(h.a) }
+
+func (h *int32Heap) push(x int32) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *int32Heap) pop() int32 {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.a[l] < h.a[m] {
+			m = l
+		}
+		if r < last && h.a[r] < h.a[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}

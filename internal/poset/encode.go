@@ -1,0 +1,235 @@
+package poset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary serialization of a preprocessed Domain, so the topological
+// sort, spanning tree and propagated interval sets — the expensive part
+// of domain construction — can be computed once and persisted next to
+// an index. The format is versioned, little-endian and self-describing:
+//
+//	magic "TSSD" | version u16 | n u32
+//	edges:        m u32, then m × (better u32, worse u32)
+//	byOrd:        n × u32
+//	treeParent:   n × i32 (-1 for roots)
+//	post,minpost: n × u32 each
+//	levels:       n × u32
+//	sets:         n × (k u16, then k × (lo u32, hi u32))
+//
+// The DAG's labels are not serialized (they are presentation data, not
+// part of the encoding); the dyadic index is rebuilt on demand.
+
+const (
+	domainMagic   = "TSSD"
+	domainVersion = 1
+)
+
+// ErrBadEncoding is returned when UnmarshalDomain rejects its input.
+var ErrBadEncoding = errors.New("poset: malformed domain encoding")
+
+// MarshalBinary serializes the domain.
+func (dm *Domain) MarshalBinary() ([]byte, error) {
+	n := dm.dag.N()
+	var buf []byte
+	buf = append(buf, domainMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, domainVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+
+	edges := 0
+	for v := 0; v < n; v++ {
+		edges += len(dm.dag.Out(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(edges))
+	for v := 0; v < n; v++ {
+		for _, w := range dm.dag.Out(v) {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(w))
+		}
+	}
+	for _, v := range dm.byOrd {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, p := range dm.treeParent {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	for _, p := range dm.post {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	for _, p := range dm.minpost {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	for _, l := range dm.level {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
+	}
+	for v := 0; v < n; v++ {
+		set := dm.sets[v]
+		if len(set) > 0xffff {
+			return nil, fmt.Errorf("poset: interval set of value %d too large to encode", v)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(set)))
+		for _, iv := range set {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(iv.Lo))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(iv.Hi))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalDomain reconstructs a Domain serialized by MarshalBinary,
+// without re-running the topological sort or interval propagation. The
+// decoded derived data is cross-checked for internal consistency
+// (ordinal bijection, interval sanity); deeper semantic validation is
+// the job of VerifyAgainstDAG.
+func UnmarshalDomain(data []byte) (*Domain, error) {
+	r := reader{buf: data}
+	if string(r.take(4)) != domainMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadEncoding)
+	}
+	if v := r.u16(); v != domainVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadEncoding, v)
+	}
+	n := int(r.u32())
+	if n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible domain size %d", ErrBadEncoding, n)
+	}
+	edges := int(r.u32())
+	if edges < 0 {
+		return nil, fmt.Errorf("%w: negative edge count", ErrBadEncoding)
+	}
+	// Reject undersized buffers before allocating anything proportional
+	// to the claimed sizes: a well-formed encoding needs 8 bytes per
+	// edge plus at least 22 bytes per value (five u32 arrays and a u16
+	// set header). Without this check a tiny hostile input claiming a
+	// 16M-value domain costs hundreds of MB and seconds of work.
+	if minLen := r.off + edges*8 + n*22; len(data) < minLen {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold %d values / %d edges",
+			ErrBadEncoding, len(data), n, edges)
+	}
+	dag := NewDAG(n)
+	for i := 0; i < edges; i++ {
+		a, b := int(r.u32()), int(r.u32())
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: truncated edge list", ErrBadEncoding)
+		}
+		if err := dag.AddEdge(a, b); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+	}
+	dm := &Domain{dag: dag}
+	dm.byOrd = r.i32s(n)
+	dm.treeParent = r.i32s(n)
+	dm.post = r.i32s(n)
+	dm.minpost = r.i32s(n)
+	dm.level = r.i32s(n)
+	dm.sets = make([]IntervalSet, n)
+	for v := 0; v < n && r.err == nil; v++ {
+		k := int(r.u16())
+		if r.off+k*8 > len(data) {
+			return nil, fmt.Errorf("%w: truncated interval set", ErrBadEncoding)
+		}
+		set := make(IntervalSet, 0, k)
+		for i := 0; i < k; i++ {
+			lo, hi := int32(r.u32()), int32(r.u32())
+			set = append(set, Interval{lo, hi})
+		}
+		dm.sets[v] = set
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated", ErrBadEncoding)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(r.buf)-r.off)
+	}
+	// Rebuild ord from byOrd and sanity-check the bijection.
+	dm.ord = make([]int32, n)
+	seen := make([]bool, n)
+	for i, v := range dm.byOrd {
+		if v < 0 || int(v) >= n || seen[v] {
+			return nil, fmt.Errorf("%w: ordinal map is not a bijection", ErrBadEncoding)
+		}
+		seen[v] = true
+		dm.ord[v] = int32(i)
+	}
+	// Every preference edge must respect the decoded ordinals.
+	for v := 0; v < n; v++ {
+		for _, w := range dag.Out(v) {
+			if dm.ord[v] >= dm.ord[w] {
+				return nil, fmt.Errorf("%w: ordinals violate edge %d→%d", ErrBadEncoding, v, w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if p := dm.treeParent[v]; p < -1 || int(p) >= n {
+			return nil, fmt.Errorf("%w: tree parent out of range", ErrBadEncoding)
+		}
+		if dm.post[v] < 1 || dm.post[v] > int32(n) || dm.minpost[v] < 1 || dm.minpost[v] > dm.post[v] {
+			return nil, fmt.Errorf("%w: bad postorder labels for value %d", ErrBadEncoding, v)
+		}
+		for i, iv := range dm.sets[v] {
+			if iv.Lo < 1 || iv.Hi > int32(n) || iv.Lo > iv.Hi {
+				return nil, fmt.Errorf("%w: bad interval for value %d", ErrBadEncoding, v)
+			}
+			if i > 0 && iv.Lo <= dm.sets[v][i-1].Hi+1 {
+				return nil, fmt.Errorf("%w: interval set of value %d not normalised", ErrBadEncoding, v)
+			}
+		}
+		if dm.level[v] > dm.maxLv {
+			dm.maxLv = dm.level[v]
+		}
+	}
+	return dm, nil
+}
+
+// VerifyAgainstDAG recomputes the encoding from the domain's own DAG
+// and reports any divergence — a defence against loading stale or
+// corrupted persisted domains whose structural checks still pass.
+func (dm *Domain) VerifyAgainstDAG() error {
+	fresh, err := NewDomain(dm.dag.Clone(), WithTreeParents(dm.treeParent))
+	if err != nil {
+		return err
+	}
+	n := dm.dag.N()
+	for v := 0; v < n; v++ {
+		if fresh.post[v] != dm.post[v] || fresh.minpost[v] != dm.minpost[v] {
+			return fmt.Errorf("poset: postorder mismatch at value %d", v)
+		}
+		if fresh.level[v] != dm.level[v] {
+			return fmt.Errorf("poset: level mismatch at value %d", v)
+		}
+		if !fresh.sets[v].Equal(dm.sets[v]) {
+			return fmt.Errorf("poset: interval set mismatch at value %d", v)
+		}
+	}
+	return nil
+}
+
+// reader is a minimal bounds-checked cursor over the encoded bytes.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.err = ErrBadEncoding
+		return make([]byte, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+
+func (r *reader) i32s(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.u32())
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package poset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDomainRoundTrip: marshal/unmarshal preserves every observable
+// behaviour of the domain, on random DAGs.
+func TestDomainRoundTrip(t *testing.T) {
+	prop := func(seed int64, nRaw, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%24) + 2
+		p := float64(pRaw%80)/100 + 0.05
+		dag := randomDAG(rng, n, p)
+		dm := MustDomain(dag)
+		data, err := dm.MarshalBinary()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		back, err := UnmarshalDomain(data)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if back.Size() != dm.Size() || back.MaxLevel() != dm.MaxLevel() {
+			return false
+		}
+		for x := int32(0); x < int32(n); x++ {
+			if back.Ord(x) != dm.Ord(x) || back.Post(x) != dm.Post(x) ||
+				back.Level(x) != dm.Level(x) || back.TreeParent(x) != dm.TreeParent(x) {
+				return false
+			}
+			if !back.Intervals(x).Equal(dm.Intervals(x)) {
+				return false
+			}
+			for y := int32(0); y < int32(n); y++ {
+				if back.TPrefers(x, y) != dm.TPrefers(x, y) {
+					return false
+				}
+			}
+		}
+		// Range lookups agree (and the dyadic index rebuilds cleanly).
+		back.EnableDyadic()
+		for trial := 0; trial < 10; trial++ {
+			lo := int32(rng.Intn(n))
+			hi := lo + int32(rng.Intn(n-int(lo)))
+			if !back.OrdRangeIntervals(lo, hi).Equal(dm.OrdRangeIntervals(lo, hi)) {
+				return false
+			}
+		}
+		return back.VerifyAgainstDAG() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	dag, parents := figure2DAG()
+	dm := MustDomain(dag, WithTreeParents(parents))
+	good, err := dm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)/2],
+		"trailing":  append(append([]byte{}, good...), 0xff),
+	}
+	// Version flip.
+	bad := append([]byte{}, good...)
+	bad[4] = 0xff
+	cases["bad version"] = bad
+	for name, data := range cases {
+		if _, err := UnmarshalDomain(data); err == nil {
+			t.Errorf("%s: expected rejection", name)
+		}
+	}
+	// Corrupt one interval bound: either the structural decode or the
+	// deep verification must catch it.
+	corrupt := append([]byte{}, good...)
+	corrupt[len(corrupt)-1] ^= 0x40
+	if back, err := UnmarshalDomain(corrupt); err == nil {
+		if back.VerifyAgainstDAG() == nil {
+			t.Error("corrupted interval escaped both checks")
+		}
+	}
+}
+
+func TestRoundTripFigure2(t *testing.T) {
+	dag, parents := figure2DAG()
+	dm := MustDomain(dag, WithTreeParents(parents))
+	data, err := dm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDomain(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's e value keeps both intervals across the round trip.
+	if !back.Intervals(4).Equal(IntervalSet{{3, 5}, {7, 7}}) {
+		t.Errorf("intervals of e after round trip: %v", back.Intervals(4))
+	}
+	if err := back.VerifyAgainstDAG(); err != nil {
+		t.Fatal(err)
+	}
+}

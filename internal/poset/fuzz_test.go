@@ -1,0 +1,104 @@
+package poset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzMergeIntervals: the merge must always produce a normalised set
+// covering exactly the input positions, for arbitrary byte-derived
+// interval collections. Runs its seed corpus under `go test`; explore
+// further with `go test -fuzz=FuzzMergeIntervals ./internal/poset`.
+func FuzzMergeIntervals(f *testing.F) {
+	f.Add([]byte{1, 3, 2, 5, 9, 9})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{255, 1, 7, 7, 3, 4, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ivs []Interval
+		covered := map[int32]bool{}
+		for i := 0; i+1 < len(data); i += 2 {
+			lo := int32(data[i])
+			hi := lo + int32(data[i+1]%16)
+			ivs = append(ivs, Interval{lo, hi})
+			for p := lo; p <= hi; p++ {
+				covered[p] = true
+			}
+		}
+		got := MergeIntervals(ivs)
+		for i := 1; i < len(got); i++ {
+			if got[i].Lo <= got[i-1].Hi+1 {
+				t.Fatalf("not normalised: %v", got)
+			}
+		}
+		var total int64
+		for _, iv := range got {
+			for p := iv.Lo; p <= iv.Hi; p++ {
+				if !covered[p] {
+					t.Fatalf("position %d not in input", p)
+				}
+			}
+			total += int64(iv.Len())
+		}
+		if total != int64(len(covered)) {
+			t.Fatalf("covered %d positions, want %d", total, len(covered))
+		}
+	})
+}
+
+// FuzzUnmarshalDomain: the decoder must never panic and every accepted
+// encoding must pass structural invariants.
+func FuzzUnmarshalDomain(f *testing.F) {
+	dag, parents := figure2DAG()
+	dm := MustDomain(dag, WithTreeParents(parents))
+	good, _ := dm.MarshalBinary()
+	f.Add(good)
+	f.Add([]byte("TSSD"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := UnmarshalDomain(data)
+		if err != nil {
+			return
+		}
+		n := int32(back.Size())
+		for v := int32(0); v < n; v++ {
+			if !back.Intervals(v).Stabs(back.Post(v)) {
+				t.Fatal("accepted domain whose own post is uncovered")
+			}
+			if back.ValueAt(back.Ord(v)) != v {
+				t.Fatal("accepted domain with broken ordinal bijection")
+			}
+		}
+	})
+}
+
+// FuzzDomainConstruction: arbitrary edge lists either fail cleanly
+// (cycle) or produce a domain whose t-preference matches reachability.
+func FuzzDomainConstruction(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 0, 2})
+	f.Add([]byte{1, 0, 0, 1}) // cycle
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 8
+		dag := NewDAG(n)
+		for i := 0; i+1 < len(data) && i < 40; i += 2 {
+			a, b := int(data[i]%n), int(data[i+1]%n)
+			if a != b {
+				dag.MustEdge(a, b)
+			}
+		}
+		dm, err := NewDomain(dag)
+		if err != nil {
+			return // cyclic input: a clean failure is correct
+		}
+		r := NewReachability(dag)
+		rng := rand.New(rand.NewSource(int64(len(data))))
+		for trial := 0; trial < 16; trial++ {
+			x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if x == y {
+				continue
+			}
+			if dm.TPrefers(x, y) != r.Reaches(x, y) {
+				t.Fatalf("TPrefers(%d,%d) diverges from reachability", x, y)
+			}
+		}
+	})
+}

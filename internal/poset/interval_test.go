@@ -1,0 +1,156 @@
+package poset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{1, 9}, Interval{3, 6}, true},
+		{Interval{1, 9}, Interval{1, 9}, true}, // coincide counts as contains
+		{Interval{3, 6}, Interval{1, 9}, false},
+		{Interval{3, 3}, Interval{1, 1}, false}, // disjoint
+		{Interval{1, 5}, Interval{4, 6}, false}, // partial overlap
+		{Interval{2, 2}, Interval{2, 2}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Contains(c.b); got != c.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalStabs(t *testing.T) {
+	iv := Interval{3, 6}
+	for p, want := range map[int32]bool{2: false, 3: true, 5: true, 6: true, 7: false} {
+		if got := iv.Stabs(p); got != want {
+			t.Errorf("%v.Stabs(%d) = %v, want %v", iv, p, got, want)
+		}
+	}
+}
+
+func TestMergeIntervalsBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Interval
+		want IntervalSet
+	}{
+		{"empty", nil, nil},
+		{"single", []Interval{{3, 5}}, IntervalSet{{3, 5}}},
+		{"subsumed", []Interval{{1, 8}, {3, 3}, {3, 5}}, IntervalSet{{1, 8}}},
+		{"adjacent coalesce", []Interval{{1, 2}, {3, 3}, {3, 5}}, IntervalSet{{1, 5}}},
+		{"disjoint kept", []Interval{{7, 7}, {3, 5}}, IntervalSet{{3, 5}, {7, 7}}},
+		{"duplicates", []Interval{{4, 4}, {4, 4}}, IntervalSet{{4, 4}}},
+		{"overlap", []Interval{{1, 4}, {3, 6}}, IntervalSet{{1, 6}}},
+		{"unsorted input", []Interval{{9, 9}, {1, 1}, {5, 6}, {2, 2}}, IntervalSet{{1, 2}, {5, 6}, {9, 9}}},
+	}
+	for _, c := range cases {
+		in := append([]Interval(nil), c.in...)
+		got := MergeIntervals(in)
+		if !got.Equal(c.want) {
+			t.Errorf("%s: MergeIntervals(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestMergeIntervalsProperties checks, on random inputs, that the merged
+// set is sorted, disjoint, non-adjacent, and covers exactly the same
+// integer positions as the input.
+func TestMergeIntervalsProperties(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%20) + 1
+		in := make([]Interval, k)
+		covered := map[int32]bool{}
+		for i := range in {
+			lo := int32(rng.Intn(50))
+			hi := lo + int32(rng.Intn(10))
+			in[i] = Interval{lo, hi}
+			for p := lo; p <= hi; p++ {
+				covered[p] = true
+			}
+		}
+		got := MergeIntervals(append([]Interval(nil), in...))
+		// Sorted, disjoint, non-adjacent.
+		for i := 1; i < len(got); i++ {
+			if got[i].Lo <= got[i-1].Hi+1 {
+				return false
+			}
+		}
+		// Same covered set.
+		var total int64
+		for _, iv := range got {
+			for p := iv.Lo; p <= iv.Hi; p++ {
+				if !covered[p] {
+					return false
+				}
+			}
+			total += int64(iv.Len())
+		}
+		return total == int64(len(covered))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetCoversAndStabs(t *testing.T) {
+	s := IntervalSet{{1, 2}, {5, 8}, {11, 11}}
+	coverCases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Interval{1, 2}, true},
+		{Interval{2, 2}, true},
+		{Interval{5, 8}, true},
+		{Interval{6, 7}, true},
+		{Interval{4, 6}, false},
+		{Interval{1, 5}, false},
+		{Interval{11, 11}, true},
+		{Interval{12, 12}, false},
+		{Interval{0, 1}, false},
+	}
+	for _, c := range coverCases {
+		if got := s.Covers(c.iv); got != c.want {
+			t.Errorf("Covers(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+	for p, want := range map[int32]bool{0: false, 1: true, 3: false, 5: true, 8: true, 9: false, 11: true} {
+		if got := s.Stabs(p); got != want {
+			t.Errorf("Stabs(%d) = %v, want %v", p, got, want)
+		}
+	}
+	if !s.CoversSet(IntervalSet{{1, 1}, {6, 8}}) {
+		t.Error("CoversSet should hold for a covered subset")
+	}
+	if s.CoversSet(IntervalSet{{1, 1}, {9, 9}}) {
+		t.Error("CoversSet should fail when any interval is uncovered")
+	}
+	if s.Positions() != 2+4+1 {
+		t.Errorf("Positions() = %d, want 7", s.Positions())
+	}
+}
+
+func TestIntervalSetString(t *testing.T) {
+	s := IntervalSet{{3, 5}, {7, 7}}
+	if got := s.String(); got != "[3,5] [7,7]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestIntervalSetClone(t *testing.T) {
+	s := IntervalSet{{1, 2}}
+	c := s.Clone()
+	c[0].Hi = 99
+	if s[0].Hi != 2 {
+		t.Error("Clone must not share storage")
+	}
+	if IntervalSet(nil).Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}

@@ -1,0 +1,120 @@
+package rtree
+
+import "sort"
+
+// BulkLoad builds a tree over pts using Sort-Tile-Recursive packing
+// (Leutenegger et al.): points are sorted and sliced into vertical slabs
+// dimension by dimension so that leaves are near-full and spatially
+// coherent, then upper levels are packed the same way over node MBB
+// centers. Page writes (one per node) are charged to io.
+//
+// The input slice is reordered. Point coordinate slices are referenced,
+// not copied.
+func BulkLoad(dims int, pts []Point, maxEntries int, io *IOCounter) *Tree {
+	t := New(dims, maxEntries, io)
+	if len(pts) == 0 {
+		t.chargeWrites(1)
+		return t
+	}
+	entries := make([]Entry, len(pts))
+	for i, p := range pts {
+		if len(p.Coords) != dims {
+			panic("rtree: point dimensionality mismatch")
+		}
+		entries[i] = Entry{Lo: p.Coords, Hi: p.Coords, ID: p.ID}
+	}
+	nodes := packLevel(entries, dims, maxEntries, true)
+	t.nodes = len(nodes)
+	t.height = 1
+	for len(nodes) > 1 {
+		parentEntries := make([]Entry, len(nodes))
+		for i, n := range nodes {
+			lo, hi := mbbOf(n, dims)
+			parentEntries[i] = Entry{Lo: lo, Hi: hi, child: n}
+		}
+		nodes = packLevel(parentEntries, dims, maxEntries, false)
+		t.nodes += len(nodes)
+		t.height++
+	}
+	t.root = nodes[0]
+	t.size = len(pts)
+	t.chargeWrites(int64(t.nodes))
+	return t
+}
+
+func (t *Tree) chargeWrites(n int64) {
+	if t.io != nil {
+		t.io.Writes += n
+	}
+}
+
+// packLevel groups entries into nodes of at most maxEntries using STR
+// tiling across all dimensions.
+func packLevel(entries []Entry, dims, maxEntries int, leaf bool) []*Node {
+	var nodes []*Node
+	var tile func(es []Entry, dim int)
+	tile = func(es []Entry, dim int) {
+		if dim == dims-1 || len(es) <= maxEntries {
+			sortByCenter(es, dim)
+			for i := 0; i < len(es); i += maxEntries {
+				j := i + maxEntries
+				if j > len(es) {
+					j = len(es)
+				}
+				n := &Node{Leaf: leaf, Entries: append([]Entry(nil), es[i:j]...)}
+				nodes = append(nodes, n)
+			}
+			return
+		}
+		sortByCenter(es, dim)
+		pages := (len(es) + maxEntries - 1) / maxEntries
+		slabs := ceilRoot(pages, dims-dim)
+		slabSize := (len(es) + slabs - 1) / slabs
+		for i := 0; i < len(es); i += slabSize {
+			j := i + slabSize
+			if j > len(es) {
+				j = len(es)
+			}
+			tile(es[i:j], dim+1)
+		}
+	}
+	tile(entries, 0)
+	return nodes
+}
+
+func sortByCenter(es []Entry, dim int) {
+	sort.Slice(es, func(i, j int) bool {
+		ci := int64(es[i].Lo[dim]) + int64(es[i].Hi[dim])
+		cj := int64(es[j].Lo[dim]) + int64(es[j].Hi[dim])
+		if ci != cj {
+			return ci < cj
+		}
+		return es[i].ID < es[j].ID
+	})
+}
+
+// ceilRoot returns ceil(p^(1/k)) for small integers.
+func ceilRoot(p, k int) int {
+	if p <= 1 {
+		return 1
+	}
+	if k <= 1 {
+		return p
+	}
+	s := 1
+	for pow(s, k) < p {
+		s++
+	}
+	return s
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+		if r < 0 { // overflow guard; never hit for our sizes
+			return 1 << 62
+		}
+	}
+	return r
+}

@@ -1,0 +1,96 @@
+package rtree
+
+import "fmt"
+
+// LayoutNode describes one node of an explicitly specified R-tree —
+// used to rebuild the exact trees of published worked examples (the
+// paper's Figure 3(c)) and by tests that need full control over node
+// grouping. A node is either internal (Children set) or a leaf (Points
+// set), never both.
+type LayoutNode struct {
+	Children []*LayoutNode
+	Points   []Point
+}
+
+// FromLayout builds a tree with exactly the given structure. MBBs are
+// computed bottom-up; all leaves must sit at the same depth and every
+// node must be non-empty. The node capacity is sized to the widest
+// node, so no restructuring occurs.
+func FromLayout(dims int, root *LayoutNode, io *IOCounter) *Tree {
+	height, err := layoutDepth(root, 1)
+	if err != nil {
+		panic(err)
+	}
+	maxWidth := 0
+	var widest func(n *LayoutNode)
+	widest = func(n *LayoutNode) {
+		w := len(n.Children) + len(n.Points)
+		if w > maxWidth {
+			maxWidth = w
+		}
+		for _, c := range n.Children {
+			widest(c)
+		}
+	}
+	widest(root)
+	if maxWidth < 2 {
+		maxWidth = 2
+	}
+
+	t := New(dims, maxWidth, io)
+	t.height = height
+	t.nodes = 0
+	t.size = 0
+	var build func(ln *LayoutNode) (*Node, []int32, []int32)
+	build = func(ln *LayoutNode) (*Node, []int32, []int32) {
+		t.nodes++
+		if len(ln.Points) > 0 {
+			n := &Node{Leaf: true}
+			for _, p := range ln.Points {
+				if len(p.Coords) != dims {
+					panic("rtree: layout point dimensionality mismatch")
+				}
+				n.Entries = append(n.Entries, Entry{Lo: p.Coords, Hi: p.Coords, ID: p.ID})
+				t.size++
+			}
+			lo, hi := mbbOf(n, dims)
+			return n, lo, hi
+		}
+		n := &Node{}
+		for _, c := range ln.Children {
+			child, lo, hi := build(c)
+			n.Entries = append(n.Entries, Entry{Lo: lo, Hi: hi, child: child})
+		}
+		lo, hi := mbbOf(n, dims)
+		return n, lo, hi
+	}
+	t.root, _, _ = build(root)
+	t.chargeWrites(int64(t.nodes))
+	return t
+}
+
+// layoutDepth validates the layout and returns its uniform height.
+func layoutDepth(n *LayoutNode, depth int) (int, error) {
+	if len(n.Children) > 0 && len(n.Points) > 0 {
+		return 0, fmt.Errorf("rtree: layout node at depth %d has both children and points", depth)
+	}
+	if len(n.Points) > 0 {
+		return depth, nil
+	}
+	if len(n.Children) == 0 {
+		return 0, fmt.Errorf("rtree: empty layout node at depth %d", depth)
+	}
+	want := 0
+	for _, c := range n.Children {
+		d, err := layoutDepth(c, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if want == 0 {
+			want = d
+		} else if d != want {
+			return 0, fmt.Errorf("rtree: layout leaves at different depths (%d vs %d)", want, d)
+		}
+	}
+	return want, nil
+}

@@ -1,0 +1,346 @@
+// Package tss is a library for skyline queries over data with partially
+// ordered attribute domains, implementing "Topologically Sorted Skylines
+// for Partially Ordered Domains" (Sacharidis, Papadopoulos, Papadias;
+// ICDE 2009).
+//
+// A skyline query returns the tuples not dominated by any other tuple:
+// at least as good everywhere and strictly better somewhere. Totally
+// ordered (TO) attributes are int64 columns where smaller is better;
+// partially ordered (PO) attributes take values from a finite domain
+// whose preferences form a DAG (an Order): value x is preferred to y
+// when a directed path x→y exists, and values without a path are
+// incomparable — neither can rule the other out of the skyline.
+//
+// The library's core algorithm, sTSS, maps every PO domain onto a
+// topological sort (for precedence: dominators are always examined
+// first) and an exact interval encoding (for exactness: dominance checks
+// never produce false hits), which makes it optimally progressive:
+// every skyline tuple is emitted the moment it is examined. Dynamic
+// skyline queries — where each query brings its own preference DAGs —
+// are served by a prepared Dynamic database that never rebuilds its
+// indexes between queries.
+//
+// Quick start:
+//
+//	airline := tss.NewOrder("a", "b", "c", "d")
+//	airline.Prefer("a", "b")
+//	airline.Prefer("a", "c")
+//	airline.Prefer("b", "d")
+//	airline.Prefer("c", "d")
+//
+//	table := tss.NewTable([]string{"price", "stops"}, airline)
+//	table.MustAdd([]int64{1800, 0}, "a")
+//	table.MustAdd([]int64{1200, 1}, "b")
+//	// ...
+//	for _, row := range table.Skyline() {
+//	    fmt.Println(table.Row(row))
+//	}
+package tss
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+// Order is a partially ordered attribute domain under construction: a
+// set of labelled values plus preference edges. Orders are mutable
+// until first use by a Table or Query, at which point they are compiled
+// and frozen.
+type Order struct {
+	labels []string
+	index  map[string]int
+	edges  [][2]int
+	dom    *poset.Domain // compiled form; nil until frozen
+}
+
+// NewOrder creates a domain with the given distinct value labels and no
+// preferences (all values incomparable).
+func NewOrder(labels ...string) *Order {
+	o := &Order{index: make(map[string]int, len(labels))}
+	for _, l := range labels {
+		if _, dup := o.index[l]; dup {
+			panic(fmt.Sprintf("tss: duplicate value label %q", l))
+		}
+		o.index[l] = len(o.labels)
+		o.labels = append(o.labels, l)
+	}
+	return o
+}
+
+// Prefer records that value better is preferred to value worse.
+// Preferences are transitive: a→b and b→c imply a is preferred to c.
+// Panics on unknown labels or after the order has been compiled.
+func (o *Order) Prefer(better, worse string) *Order {
+	if o.dom != nil {
+		panic("tss: Order is frozen (already used by a Table or Query)")
+	}
+	bi, ok := o.index[better]
+	if !ok {
+		panic(fmt.Sprintf("tss: unknown value %q", better))
+	}
+	wi, ok := o.index[worse]
+	if !ok {
+		panic(fmt.Sprintf("tss: unknown value %q", worse))
+	}
+	o.edges = append(o.edges, [2]int{bi, wi})
+	return o
+}
+
+// Values returns the value labels in declaration order.
+func (o *Order) Values() []string { return append([]string(nil), o.labels...) }
+
+// compile freezes the order into a poset.Domain.
+func (o *Order) compile() (*poset.Domain, error) {
+	if o.dom != nil {
+		return o.dom, nil
+	}
+	dag := poset.NewDAG(len(o.labels))
+	for i, l := range o.labels {
+		dag.SetLabel(i, l)
+	}
+	for _, e := range o.edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("tss: self-preference on %q", o.labels[e[0]])
+		}
+		if err := dag.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	dom, err := poset.NewDomain(dag)
+	if err != nil {
+		if errors.Is(err, poset.ErrCycle) {
+			return nil, fmt.Errorf("tss: preferences contain a cycle")
+		}
+		return nil, err
+	}
+	o.dom = dom
+	return dom, nil
+}
+
+// Preferred reports whether value better is (transitively) preferred to
+// worse under this order. Compiles the order on first use.
+func (o *Order) Preferred(better, worse string) bool {
+	dom, err := o.compile()
+	if err != nil {
+		panic(err)
+	}
+	bi, ok := o.index[better]
+	if !ok {
+		return false
+	}
+	wi, ok := o.index[worse]
+	if !ok {
+		return false
+	}
+	return dom.TPrefers(int32(bi), int32(wi))
+}
+
+// Method selects a skyline algorithm.
+type Method int
+
+const (
+	// MethodSTSS is the paper's contribution: exact, optimally
+	// progressive best-first search (the default).
+	MethodSTSS Method = iota
+	// MethodBBSPlus is the non-progressive m-dominance baseline.
+	MethodBBSPlus
+	// MethodSDC is the two-strata baseline.
+	MethodSDC
+	// MethodSDCPlus is the strongest baseline (stratum per uncovered
+	// level).
+	MethodSDCPlus
+	// MethodBNL is block-nested-loops with the exact dominance oracle.
+	MethodBNL
+	// MethodSFS is sort-filter-skyline with the exact dominance oracle.
+	MethodSFS
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodSTSS:
+		return "sTSS"
+	case MethodBBSPlus:
+		return "BBS+"
+	case MethodSDC:
+		return "SDC"
+	case MethodSDCPlus:
+		return "SDC+"
+	case MethodBNL:
+		return "BNL"
+	case MethodSFS:
+		return "SFS"
+	default:
+		return "unknown"
+	}
+}
+
+// Table is an in-memory relation with totally ordered and partially
+// ordered columns, ready for skyline queries. Rows are identified by
+// their insertion index.
+type Table struct {
+	toNames []string
+	orders  []*Order
+	ds      *core.Dataset
+}
+
+// NewTable creates a table with the given TO column names followed by
+// one PO column per Order. Orders are compiled (and frozen) here.
+func NewTable(toNames []string, orders ...*Order) *Table {
+	t := &Table{toNames: toNames, orders: orders, ds: &core.Dataset{}}
+	for _, o := range orders {
+		dom, err := o.compile()
+		if err != nil {
+			panic(err)
+		}
+		t.ds.Domains = append(t.ds.Domains, dom)
+	}
+	return t
+}
+
+// Add appends a row: to holds the TO column values (smaller = better),
+// po the PO column value labels, one per Order.
+func (t *Table) Add(to []int64, po ...string) error {
+	if len(to) != len(t.toNames) {
+		return fmt.Errorf("tss: %d TO values, table has %d TO columns", len(to), len(t.toNames))
+	}
+	if len(po) != len(t.orders) {
+		return fmt.Errorf("tss: %d PO values, table has %d PO columns", len(po), len(t.orders))
+	}
+	p := core.Point{ID: int32(len(t.ds.Pts))}
+	p.TO = make([]int32, len(to))
+	for d, v := range to {
+		if v < 0 || v > 1<<30 {
+			return fmt.Errorf("tss: TO value %d out of supported range [0, 2^30]", v)
+		}
+		p.TO[d] = int32(v)
+	}
+	if len(po) > 0 {
+		p.PO = make([]int32, len(po))
+		for d, label := range po {
+			vi, ok := t.orders[d].index[label]
+			if !ok {
+				return fmt.Errorf("tss: unknown value %q for PO column %d", label, d)
+			}
+			p.PO[d] = int32(vi)
+		}
+	}
+	t.ds.Pts = append(t.ds.Pts, p)
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (t *Table) MustAdd(to []int64, po ...string) {
+	if err := t.Add(to, po...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.ds.Pts) }
+
+// Row renders row i as a human-readable string.
+func (t *Table) Row(i int) string {
+	p := &t.ds.Pts[i]
+	s := fmt.Sprintf("row %d:", i)
+	for d, name := range t.toNames {
+		s += fmt.Sprintf(" %s=%d", name, p.TO[d])
+	}
+	for d := range t.orders {
+		s += fmt.Sprintf(" po%d=%s", d, t.orders[d].labels[p.PO[d]])
+	}
+	return s
+}
+
+// Skyline returns the skyline row indexes using sTSS, in emission
+// (discovery) order.
+func (t *Table) Skyline() []int {
+	return t.SkylineResult(MethodSTSS).Rows
+}
+
+// EachSkyline streams skyline rows to fn as they are certified, in
+// discovery order; fn returning false stops the enumeration. Because
+// sTSS is optimally progressive, stopping after k rows costs only the
+// traversal needed for those k rows — use this for top-k-style
+// consumption over large tables.
+func (t *Table) EachSkyline(fn func(row int) bool) {
+	cur := core.NewSTSSCursor(t.ds, core.Options{UseMemTree: true})
+	for {
+		id, ok := cur.Next()
+		if !ok {
+			return
+		}
+		if !fn(int(id)) {
+			return
+		}
+	}
+}
+
+// SkylineResult runs the chosen algorithm and returns the skyline with
+// its run statistics.
+func (t *Table) SkylineResult(m Method) *SkylineResult {
+	var res *core.Result
+	switch m {
+	case MethodBBSPlus:
+		res = core.BBSPlus(t.ds, core.Options{})
+	case MethodSDC:
+		res = core.SDC(t.ds, core.Options{})
+	case MethodSDCPlus:
+		res = core.SDCPlus(t.ds, core.Options{})
+	case MethodBNL:
+		res = core.BNL(t.ds)
+	case MethodSFS:
+		res = core.SFS(t.ds)
+	default:
+		res = core.STSS(t.ds, core.Options{UseMemTree: true})
+	}
+	return wrapResult(res)
+}
+
+// SkylineResult is the outcome of a skyline computation.
+type SkylineResult struct {
+	// Rows holds skyline row indexes in emission order.
+	Rows []int
+	// EmissionSeconds[i] is the virtual time (CPU + 5 ms per page IO)
+	// at which Rows[i] was output — the progressiveness profile. An
+	// optimally progressive method (sTSS) emits throughout the run; a
+	// non-progressive one (BBS+) stamps everything at the end.
+	EmissionSeconds []float64
+	// Stats summarises the run's simulated cost.
+	Stats Stats
+}
+
+// Stats summarises a run: simulated page IOs, dominance checks and
+// measured CPU time. TotalSeconds charges each IO at the paper's 5 ms.
+type Stats struct {
+	PageReads  int64
+	PageWrites int64
+	DomChecks  int64
+	CPUSeconds float64
+}
+
+// TotalSeconds is CPU plus the simulated IO charge (5 ms per page).
+func (s Stats) TotalSeconds() float64 {
+	return s.CPUSeconds + float64(s.PageReads+s.PageWrites)*core.DefaultIOCost.Seconds()
+}
+
+func wrapResult(res *core.Result) *SkylineResult {
+	out := &SkylineResult{
+		Stats: Stats{
+			PageReads:  res.Metrics.ReadIOs,
+			PageWrites: res.Metrics.WriteIOs,
+			DomChecks:  res.Metrics.DomChecks,
+			CPUSeconds: res.Metrics.CPU.Seconds(),
+		},
+	}
+	for _, id := range res.SkylineIDs {
+		out.Rows = append(out.Rows, int(id))
+	}
+	for _, e := range res.Metrics.Emissions {
+		out.EmissionSeconds = append(out.EmissionSeconds, e.Time(core.DefaultIOCost).Seconds())
+	}
+	return out
+}
