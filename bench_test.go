@@ -9,6 +9,7 @@ package tss
 // full-size sweeps.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -155,6 +156,40 @@ func BenchmarkAblations(b *testing.B) {
 		rows := exp.Ablations(benchScale * 5)
 		for _, r := range rows {
 			b.ReportMetric(r.TotalSec, r.Series+"_s")
+		}
+	}
+}
+
+// BenchmarkParallel compares sequential sTSS against the partition-and-
+// merge executor (P ∈ {2, 4, 8} shards) on n=100K datasets of each TO
+// distribution — the engine's headline speedup measurement. On hosts
+// with ≥4 cores the parallel variants win wall-clock; BENCH_parallel.json
+// records a run.
+func BenchmarkParallel(b *testing.B) {
+	stss := core.MustLookup("stss")
+	for _, dist := range []data.Distribution{data.Correlated, data.Independent, data.AntiCorrelated} {
+		cfg := exp.StaticDefaults(0.1) // N = 100K
+		cfg.Dist = dist
+		ds := exp.BuildDataset(cfg)
+		b.Run(dist.String()+"/seq", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := stss.Run(ds, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(res.SkylineIDs)), "skyline")
+			}
+		})
+		for _, p := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/par%d", dist, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := core.Parallel(stss).Run(ds, core.Options{Parallelism: p})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(len(res.SkylineIDs)), "skyline")
+				}
+			})
 		}
 	}
 }

@@ -30,17 +30,21 @@ func main() {
 	nPO := flag.Int("po", 2, "partially ordered attributes")
 	h := flag.Int("height", 8, "lattice DAG height")
 	d := flag.Float64("density", 0.8, "lattice DAG density")
-	dist := flag.String("dist", "indep", "distribution: indep or anti")
+	dist := flag.String("dist", "indep", "distribution: indep, anti or corr")
 	seed := flag.Int64("seed", 1, "random seed")
 	domain := flag.Int("domain", 10_000, "TO domain size")
 	out := flag.String("out", ".", "output directory")
 	flag.Parse()
 
 	distribution := data.Independent
-	if *dist == "anti" {
+	switch *dist {
+	case "indep":
+	case "anti":
 		distribution = data.AntiCorrelated
-	} else if *dist != "indep" {
-		fatalf("unknown distribution %q (want indep or anti)", *dist)
+	case "corr":
+		distribution = data.Correlated
+	default:
+		fatalf("unknown distribution %q (want indep, anti or corr)", *dist)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatalf("mkdir: %v", err)

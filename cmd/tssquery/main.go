@@ -4,6 +4,11 @@
 //
 //	tssquery -data work/data.csv -dags work/dag_0.txt,work/dag_1.txt -method stss
 //	tssquery -data work/data.csv -dags work/dag_0.txt -method sdc+ -limit 20
+//	tssquery -data work/data.csv -dags work/dag_0.txt -method stss -parallel 4
+//
+// The -method flag accepts any algorithm in the registry (see -help for
+// the current list); -parallel N runs it behind the partition-and-merge
+// executor with N shards (-1 = one per CPU).
 //
 // The CSV header names the columns: to_* columns are totally ordered
 // (smaller is better), po_* columns hold integer value ids into the
@@ -28,7 +33,10 @@ import (
 func main() {
 	dataPath := flag.String("data", "", "CSV data file")
 	dagList := flag.String("dags", "", "comma-separated DAG files, one per PO column")
-	method := flag.String("method", "stss", "stss, bbs+, sdc, sdc+, bnl, sfs, salsa or less")
+	method := flag.String("method", "stss",
+		"skyline algorithm: "+strings.Join(core.AlgorithmNames(), ", "))
+	parallel := flag.Int("parallel", 0,
+		"run the partition-and-merge executor with N shards (0 = sequential, -1 = one per CPU)")
 	queryDAGs := flag.String("querydags", "", "dynamic query: comma-separated DAG files replacing the data's partial orders (dTSS)")
 	ideal := flag.String("ideal", "", "fully dynamic query: comma-separated ideal TO values (requires -querydags)")
 	limit := flag.Int("limit", 10, "skyline rows to print (0 = all)")
@@ -51,12 +59,15 @@ func main() {
 
 	var res *core.Result
 	if *queryDAGs != "" {
+		if *parallel != 0 {
+			fatalf("-parallel applies to static queries only (dTSS runs sequentially)")
+		}
 		res, err = runDynamic(ds, *queryDAGs, *ideal)
 		if err != nil {
 			fatalf("%v", err)
 		}
 	} else {
-		res, err = runStatic(ds, *method)
+		res, err = runStatic(ds, *method, *parallel)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -100,28 +111,22 @@ func loadDomains(dagList string) ([]*poset.Domain, error) {
 	return domains, nil
 }
 
-// runStatic answers a static skyline query with the chosen method.
-func runStatic(ds *core.Dataset, method string) (*core.Result, error) {
-	switch method {
-	case "stss":
-		return core.STSS(ds, core.Options{UseMemTree: true}), nil
-	case "bbs+":
-		return core.BBSPlus(ds, core.Options{}), nil
-	case "sdc":
-		return core.SDC(ds, core.Options{}), nil
-	case "sdc+":
-		return core.SDCPlus(ds, core.Options{}), nil
-	case "bnl":
-		return core.BNL(ds), nil
-	case "sfs":
-		return core.SFS(ds), nil
-	case "salsa":
-		return core.SaLSa(ds)
-	case "less":
-		return core.LESS(ds, 16)
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
+// runStatic answers a static skyline query with the chosen registered
+// algorithm, optionally behind the partition-and-merge executor.
+func runStatic(ds *core.Dataset, method string, parallel int) (*core.Result, error) {
+	algo, ok := core.Lookup(method)
+	if !ok {
+		return nil, fmt.Errorf("unknown method %q (have: %s)",
+			method, strings.Join(core.AlgorithmNames(), ", "))
 	}
+	opt := core.Options{UseMemTree: true}
+	if parallel != 0 {
+		if parallel > 0 {
+			opt.Parallelism = parallel
+		}
+		algo = core.Parallel(algo)
+	}
+	return algo.Run(ds, opt)
 }
 
 // runDynamic answers a dynamic (or fully dynamic, when idealCSV is set)

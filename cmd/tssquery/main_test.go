@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/poset"
 )
 
@@ -85,6 +86,45 @@ func TestReadDataAndSkyline(t *testing.T) {
 	}
 	if len(got) != 5 {
 		t.Errorf("skyline size %d, want 5", len(got))
+	}
+}
+
+// TestRunStaticAllRegistered: -method works for every registered name
+// with no per-algorithm switch — the registry is the single dispatch
+// point — and -parallel N returns the same skyline set.
+func TestRunStaticAllRegistered(t *testing.T) {
+	ds, err := readData(writeFile(t, t.TempDir(), "data.csv",
+		"to_0,to_1\n3,1\n1,3\n2,2\n4,4\n2,2\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32]bool{}
+	for _, id := range ds.NaiveSkyline() {
+		want[id] = true
+	}
+	for _, name := range core.AlgorithmNames() {
+		for _, parallel := range []int{0, 3} {
+			res, err := runStatic(ds, name, parallel)
+			if err != nil {
+				t.Errorf("%s parallel=%d: %v", name, parallel, err)
+				continue
+			}
+			got := map[int32]bool{}
+			for _, id := range res.SkylineIDs {
+				got[id] = true
+			}
+			if len(got) != len(want) {
+				t.Errorf("%s parallel=%d: skyline %v", name, parallel, res.SkylineIDs)
+			}
+			for id := range want {
+				if !got[id] {
+					t.Errorf("%s parallel=%d: missing row %d", name, parallel, id)
+				}
+			}
+		}
+	}
+	if _, err := runStatic(ds, "nope", 0); err == nil {
+		t.Error("unknown method must error")
 	}
 }
 

@@ -51,7 +51,21 @@ type Options struct {
 	// page read per group root — the remedy §VI-C proposes for large
 	// PO domains, where dTSS "must visit a large number of root nodes".
 	PackedRoots bool
+	// Parallelism is the shard count of the partition-and-merge
+	// executor (Parallel). 0 selects runtime.GOMAXPROCS(0); sequential
+	// algorithms ignore it.
+	Parallelism int
+	// LESSWindow is the size of LESS's elimination-filter window — the
+	// small set of low-entropy points pass one screens the stream
+	// against. 0 selects DefaultLESSWindow.
+	LESSWindow int
 }
+
+// DefaultLESSWindow is the default elimination-filter window of LESS.
+// Godfrey et al. observe the filter saturates at a handful of points;
+// 16 keeps pass one cheap while still eliminating the bulk of the
+// dominated stream.
+const DefaultLESSWindow = 16
 
 func (o Options) withDefaults() Options {
 	if o.PageSize == 0 {
@@ -61,6 +75,9 @@ func (o Options) withDefaults() Options {
 		o.UseDyadic = true
 	} else {
 		o.UseDyadic = false
+	}
+	if o.LESSWindow == 0 {
+		o.LESSWindow = DefaultLESSWindow
 	}
 	return o
 }
@@ -124,6 +141,13 @@ type Metrics struct {
 	BuildCPU      time.Duration
 
 	Emissions []Emission
+
+	// Shards holds the per-shard metrics of a partition-and-merge run
+	// (nil for sequential runs). The top-level counters are the
+	// aggregates across shards plus the merge pass; the top-level CPU is
+	// the executor's wall-clock time, while each shard's CPU is the time
+	// its own worker spent.
+	Shards []Metrics
 }
 
 // TotalTime is the paper's headline metric: measured CPU plus the

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/poset"
+)
+
+// Parallel wraps any registered algorithm in a partition-and-merge
+// executor: the dataset is split into P contiguous shards
+// (P = opt.Parallelism, defaulting to runtime.GOMAXPROCS(0)), the inner
+// algorithm computes each shard's local skyline on a worker pool, and a
+// final t-dominance elimination pass merges the local skylines into the
+// global one.
+//
+// Correctness rests on two standard facts about dominance (which the
+// exact t-dominance relation shares, being a strict partial order):
+// a globally non-dominated point is non-dominated within its own shard,
+// so the global skyline is a subset of the union of local skylines; and
+// dominance is transitive, so any dominator of a merge candidate is
+// itself dominated only by points that also dominate the candidate —
+// hence checking candidates against the candidate union alone suffices.
+//
+// The executor is blocking (results surface only after the merge), so
+// its Capabilities drop the inner algorithm's progressiveness. Metrics
+// are aggregated across shards — counters summed, per-shard detail kept
+// in Metrics.Shards — and the top-level CPU is the executor's
+// wall-clock time, the number parallel speedups are measured on.
+func Parallel(inner Algorithm) Algorithm {
+	return &parallelAlgorithm{inner: inner}
+}
+
+type parallelAlgorithm struct {
+	inner Algorithm
+}
+
+func (p *parallelAlgorithm) Name() string {
+	return "parallel(" + p.inner.Name() + ")"
+}
+
+func (p *parallelAlgorithm) Capabilities() Capabilities {
+	caps := p.inner.Capabilities()
+	caps.Progressive = false
+	return caps
+}
+
+func (p *parallelAlgorithm) Run(ds *Dataset, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	// Started before any executor setup (id map, dyadic pre-build) so
+	// the reported wall-clock covers everything the executor adds.
+	start := time.Now()
+	shards := opt.Parallelism
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(ds.Pts) {
+		shards = len(ds.Pts)
+	}
+	// The merge resolves local skyline ids back to points, which is only
+	// well-defined when ids are unique. Enforced before the single-shard
+	// early return so acceptance does not depend on how Parallelism
+	// resolves against the host's CPU count.
+	byID := make(map[int32]*Point, len(ds.Pts))
+	for i := range ds.Pts {
+		pt := &ds.Pts[i]
+		if _, dup := byID[pt.ID]; dup {
+			return nil, fmt.Errorf("core: parallel executor requires unique point IDs (duplicate %d)", pt.ID)
+		}
+		byID[pt.ID] = pt
+	}
+	if shards <= 1 {
+		res, err := p.inner.Run(ds, opt)
+		if err != nil {
+			return nil, err
+		}
+		// Keep the executor's metrics contract even with one shard, so
+		// a P sweep compares like with like: per-shard detail retained,
+		// wall-clock CPU spanning the inner build, blocking emission
+		// stamps.
+		shard := res.Metrics
+		shard.Emissions = nil
+		res.Metrics.Shards = []Metrics{shard}
+		res.Metrics.CPU = time.Since(start)
+		ios := res.Metrics.ReadIOs + res.Metrics.WriteIOs
+		res.Metrics.Emissions = res.Metrics.Emissions[:0]
+		for _, id := range res.SkylineIDs {
+			res.Metrics.Emissions = append(res.Metrics.Emissions,
+				Emission{ID: id, IOs: ios, CPU: res.Metrics.CPU})
+		}
+		return res, nil
+	}
+
+	// An inner algorithm that consults the dyadic index would lazily
+	// build it on first use; doing that here, before the workers start,
+	// keeps the domains strictly read-only inside the pool. Algorithms
+	// that never touch the index skip the build cost.
+	if opt.UseDyadic && p.inner.Capabilities().UsesDyadic {
+		for _, dm := range ds.Domains {
+			dm.EnableDyadic()
+		}
+	}
+
+	shardOpt := opt
+	shardOpt.Parallelism = 1
+	locals := make([]*Result, shards)
+	errs := make([]error, shards)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shards {
+		workers = shards
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				lo := s * len(ds.Pts) / shards
+				hi := (s + 1) * len(ds.Pts) / shards
+				shard := &Dataset{Pts: ds.Pts[lo:hi], Domains: ds.Domains}
+				locals[s], errs[s] = p.inner.Run(shard, shardOpt)
+			}
+		}()
+	}
+	for s := 0; s < shards; s++ {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Gather merge candidates in shard order (deterministic for a fixed
+	// shard count) and aggregate the per-shard metrics.
+	res := &Result{}
+	var cands []mergeCand
+	for s, lr := range locals {
+		for _, id := range lr.SkylineIDs {
+			cands = append(cands, mergeCand{p: byID[id], shard: s})
+		}
+		m := lr.Metrics
+		m.Emissions = nil // local stamps are meaningless after the merge
+		res.Metrics.Shards = append(res.Metrics.Shards, m)
+		res.Metrics.ReadIOs += m.ReadIOs
+		res.Metrics.WriteIOs += m.WriteIOs
+		res.Metrics.DomChecks += m.DomChecks
+		res.Metrics.NodesOpened += m.NodesOpened
+		res.Metrics.NodesPruned += m.NodesPruned
+		res.Metrics.PointsPruned += m.PointsPruned
+		res.Metrics.BuildReadIOs += m.BuildReadIOs
+		res.Metrics.BuildWriteIOs += m.BuildWriteIOs
+		res.Metrics.BuildCPU += m.BuildCPU
+	}
+
+	// The merge pass is independent of the shard count — give it every
+	// core even when Parallelism < GOMAXPROCS.
+	res.Metrics.DomChecks += mergeEliminate(ds.Domains, cands, runtime.GOMAXPROCS(0), func(p *Point) {
+		res.SkylineIDs = append(res.SkylineIDs, p.ID)
+	})
+
+	// Blocking executor: every survivor is certified at merge end.
+	res.Metrics.CPU = time.Since(start)
+	ios := res.Metrics.ReadIOs + res.Metrics.WriteIOs
+	for _, id := range res.SkylineIDs {
+		res.Metrics.Emissions = append(res.Metrics.Emissions,
+			Emission{ID: id, IOs: ios, CPU: res.Metrics.CPU})
+	}
+	return res, nil
+}
+
+// mergeCand is one merge candidate: a local skyline point tagged with
+// its shard of origin.
+type mergeCand struct {
+	p     *Point
+	shard int
+}
+
+// mergeEliminate runs the final elimination pass over the local-skyline
+// union: candidate i survives unless a candidate from another shard
+// dominates it (same-shard pairs are skipped — a shard's local skyline
+// is already mutually non-dominated). The pass is itself data-parallel:
+// workers own strided candidate index sets and only write their own
+// slots, and candidate order is preserved among survivors, calling emit
+// for each in order. Exact duplicates never dominate each other, so all
+// copies of a duplicated skyline point survive, matching
+// NaiveSkylineUnder. Returns the number of dominance checks performed.
+func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, emit func(*Point)) int64 {
+	n := len(cands)
+	if n == 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	dominated := make([]bool, n)
+	checks := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var c int64
+			for i := w; i < n; i += workers {
+				for j := 0; j < n; j++ {
+					if cands[j].shard == cands[i].shard {
+						continue
+					}
+					c++
+					if DominatesUnder(domains, cands[j].p, cands[i].p) {
+						dominated[i] = true
+						break
+					}
+				}
+			}
+			checks[w] = c
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range checks {
+		total += c
+	}
+	for i, mc := range cands {
+		if !dominated[i] {
+			emit(mc.p)
+		}
+	}
+	return total
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestRegistryContents: all eight algorithms of the seed are invocable
+// through the registry, lookups are case-insensitive, and the listing
+// is sorted and stable.
+func TestRegistryContents(t *testing.T) {
+	want := []string{"bbs+", "bnl", "less", "salsa", "sdc", "sdc+", "sfs", "stss"}
+	names := AlgorithmNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("AlgorithmNames not sorted: %v", names)
+	}
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, n := range want {
+		if !got[n] {
+			t.Errorf("algorithm %q not registered (have %v)", n, names)
+		}
+	}
+	if _, ok := Lookup("sTSS"); !ok {
+		t.Error("lookup must be case-insensitive")
+	}
+	if _, ok := Lookup("no-such-algorithm"); ok {
+		t.Error("lookup of unknown name must fail")
+	}
+}
+
+// TestRegistryRun: every registered algorithm computes the flights
+// example correctly through the uniform Run signature — PO-capable ones
+// on the PO dataset, TO-only ones via their error.
+func TestRegistryRun(t *testing.T) {
+	ds := flightsDataset(airlineOrder1())
+	want := ds.NaiveSkyline()
+	for _, algo := range Algorithms() {
+		res, err := algo.Run(ds, Options{})
+		if algo.Capabilities().POCapable {
+			if err != nil {
+				t.Errorf("%s: %v", algo.Name(), err)
+				continue
+			}
+			if !sameIDSet(res.SkylineIDs, want) {
+				t.Errorf("%s = %v, want %v", algo.Name(), res.SkylineIDs, want)
+			}
+		} else if err == nil {
+			t.Errorf("%s must reject PO attributes through Run", algo.Name())
+		}
+	}
+}
+
+// TestRegisterDuplicatePanics: double registration is a programming
+// error.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register must panic")
+		}
+	}()
+	Register(NewAlgorithm("stss", Capabilities{}, nil))
+}

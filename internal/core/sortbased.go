@@ -34,8 +34,9 @@ func requireTO(ds *Dataset, algo string) error {
 // scan stops as soon as the next point's sort key provably exceeds what
 // the current *stop point* — the skyline point with the smallest
 // maximum coordinate — dominates. Points after the stop are never
-// examined; Metrics.PointsPruned counts them.
-func SaLSa(ds *Dataset) (*Result, error) {
+// examined; Metrics.PointsPruned counts them. opt is accepted for the
+// shared Algorithm signature; SaLSa has no tunables.
+func SaLSa(ds *Dataset, opt Options) (*Result, error) {
 	if err := requireTO(ds, "SaLSa"); err != nil {
 		return nil, err
 	}
@@ -127,13 +128,15 @@ func maxCoord(to []int32) int64 {
 // low-entropy (small-sum) points, dropping dominated tuples before they
 // are ever sorted; the survivors are sorted by sum and scanned as in
 // SFS. Metrics.PointsPruned counts the points the filter eliminated
-// before sorting.
-func LESS(ds *Dataset, window int) (*Result, error) {
+// before sorting. The filter window size comes from opt.LESSWindow
+// (DefaultLESSWindow when zero).
+func LESS(ds *Dataset, opt Options) (*Result, error) {
 	if err := requireTO(ds, "LESS"); err != nil {
 		return nil, err
 	}
+	window := opt.withDefaults().LESSWindow
 	if window < 1 {
-		window = 8
+		window = DefaultLESSWindow
 	}
 	res := &Result{}
 	clock := newEmitClock(&rtree.IOCounter{})

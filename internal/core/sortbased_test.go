@@ -15,7 +15,7 @@ func TestSortBasedMatchNaive(t *testing.T) {
 		dims := int(dimsRaw%3) + 1
 		ds := randomDataset(rng, n, dims, 0)
 		want := ds.NaiveSkyline()
-		sal, err := SaLSa(ds)
+		sal, err := SaLSa(ds, Options{})
 		if err != nil {
 			t.Log(err)
 			return false
@@ -24,7 +24,7 @@ func TestSortBasedMatchNaive(t *testing.T) {
 			t.Logf("seed=%d: SaLSa = %v, want %v", seed, sal.SkylineIDs, want)
 			return false
 		}
-		less, err := LESS(ds, int(winRaw%16))
+		less, err := LESS(ds, Options{LESSWindow: int(winRaw % 16)})
 		if err != nil {
 			t.Log(err)
 			return false
@@ -51,7 +51,7 @@ func TestSaLSaEarlyStop(t *testing.T) {
 			10 + int32(rng.Intn(100)), 10 + int32(rng.Intn(100)),
 		}})
 	}
-	res, err := SaLSa(ds)
+	res, err := SaLSa(ds, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestSaLSaStopIsStrict(t *testing.T) {
 		},
 	}
 	want := ds.NaiveSkyline()
-	res, err := SaLSa(ds)
+	res, err := SaLSa(ds, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestLESSFilterEliminates(t *testing.T) {
 	for i := 1; i <= 500; i++ {
 		ds.Pts = append(ds.Pts, Point{ID: int32(i), TO: []int32{int32(i), int32(i)}})
 	}
-	res, err := LESS(ds, 4)
+	res, err := LESS(ds, Options{LESSWindow: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,20 +107,20 @@ func TestLESSFilterEliminates(t *testing.T) {
 
 func TestSortBasedRejectPO(t *testing.T) {
 	ds := flightsDataset(airlineOrder1())
-	if _, err := SaLSa(ds); err == nil {
+	if _, err := SaLSa(ds, Options{}); err == nil {
 		t.Error("SaLSa must reject PO attributes")
 	}
-	if _, err := LESS(ds, 8); err == nil {
+	if _, err := LESS(ds, Options{LESSWindow: 8}); err == nil {
 		t.Error("LESS must reject PO attributes")
 	}
 }
 
 func TestSortBasedEmpty(t *testing.T) {
 	empty := &Dataset{}
-	if res, err := SaLSa(empty); err != nil || len(res.SkylineIDs) != 0 {
+	if res, err := SaLSa(empty, Options{}); err != nil || len(res.SkylineIDs) != 0 {
 		t.Error("SaLSa on empty dataset broken")
 	}
-	if res, err := LESS(empty, 0); err != nil || len(res.SkylineIDs) != 0 {
+	if res, err := LESS(empty, Options{}); err != nil || len(res.SkylineIDs) != 0 {
 		t.Error("LESS on empty dataset broken")
 	}
 }
@@ -133,11 +133,11 @@ func TestSortBasedAgainstFlightsTO(t *testing.T) {
 		ds.Pts = append(ds.Pts, Point{ID: p.ID, TO: p.TO})
 	}
 	want := []int32{1, 3, 6, 7, 9}
-	sal, _ := SaLSa(ds)
+	sal, _ := SaLSa(ds, Options{})
 	if !sameIDSet(sal.SkylineIDs, want) {
 		t.Errorf("SaLSa = %v, want %v", sal.SkylineIDs, want)
 	}
-	less, _ := LESS(ds, 2)
+	less, _ := LESS(ds, Options{LESSWindow: 2})
 	if !sameIDSet(less.SkylineIDs, want) {
 		t.Errorf("LESS = %v, want %v", less.SkylineIDs, want)
 	}

@@ -27,6 +27,10 @@ const (
 	// maximises skyline size. This reproduces the construction of the
 	// randdataset generator (plane offset + pairwise transfers).
 	AntiCorrelated
+	// Correlated places points near the diagonal: points good in one
+	// dimension tend to be good in the others, which minimises skyline
+	// size (randdataset's correlated workload).
+	Correlated
 )
 
 // String implements fmt.Stringer for experiment reports.
@@ -36,6 +40,8 @@ func (d Distribution) String() string {
 		return "Independent"
 	case AntiCorrelated:
 		return "Anti-correlated"
+	case Correlated:
+		return "Correlated"
 	default:
 		return "Unknown"
 	}
@@ -52,6 +58,8 @@ func GenTO(rng *rand.Rand, n, dims, domainSize int, dist Distribution) [][]int32
 		switch dist {
 		case AntiCorrelated:
 			antiRow(rng, rows[i], domainSize)
+		case Correlated:
+			corrRow(rng, rows[i], domainSize)
 		default:
 			for d := range rows[i] {
 				rows[i][d] = int32(rng.Intn(domainSize))
@@ -102,6 +110,23 @@ func antiRow(rng *rand.Rand, row []int32, domainSize int) {
 	}
 	for d := range row {
 		c := x[d]
+		if c >= 1 {
+			c = 1 - 1e-9
+		}
+		if c < 0 {
+			c = 0
+		}
+		row[d] = int32(c * float64(domainSize))
+	}
+}
+
+// corrRow fills one correlated row: a uniform plane offset v places the
+// point on the diagonal, and each coordinate deviates from v by tight
+// Gaussian noise, clamped into [0,1).
+func corrRow(rng *rand.Rand, row []int32, domainSize int) {
+	v := rng.Float64()
+	for d := range row {
+		c := v + rng.NormFloat64()*0.05
 		if c >= 1 {
 			c = 1 - 1e-9
 		}

@@ -94,6 +94,37 @@ func TestAntiCorrelatedSkylineLarger(t *testing.T) {
 	}
 }
 
+func TestGenTOCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := GenTO(rng, 5000, 2, 10000, Correlated)
+	// Pearson correlation between the two dimensions must be clearly
+	// positive, and values stay in the domain.
+	var sx, sy, sxx, syy, sxy float64
+	for _, r := range rows {
+		x, y := float64(r[0]), float64(r[1])
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	n := float64(len(rows))
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	corr := cov / math.Sqrt(vx*vy)
+	if corr < 0.8 {
+		t.Errorf("correlated corr = %.3f, want > 0.8", corr)
+	}
+	for _, r := range rows {
+		for _, v := range r {
+			if v < 0 || v >= 10000 {
+				t.Fatalf("value %d out of domain", v)
+			}
+		}
+	}
+}
+
 func TestGenPO(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	rows := GenPO(rng, 1000, []int{7, 3})
@@ -217,7 +248,8 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestDistributionString(t *testing.T) {
-	if Independent.String() != "Independent" || AntiCorrelated.String() != "Anti-correlated" {
+	if Independent.String() != "Independent" || AntiCorrelated.String() != "Anti-correlated" ||
+		Correlated.String() != "Correlated" {
 		t.Error("Distribution.String broken")
 	}
 	if Distribution(99).String() != "Unknown" {

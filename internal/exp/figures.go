@@ -399,25 +399,67 @@ func Ablations(scale float64) []Row {
 	return rows
 }
 
-// VerifyAgreement cross-checks every implemented algorithm on a modest
-// configuration — the harness-level integration test.
+// VerifyAgreement cross-checks every registered algorithm — sequential
+// and behind the partition-and-merge executor — on a modest
+// configuration; the harness-level integration test. PO-capable
+// algorithms run on the mixed TO/PO dataset; every algorithm (the
+// sort-based TO baselines included) runs on its TO projection.
 func VerifyAgreement(scale float64) error {
 	cfg := StaticDefaults(scale / 10)
 	cfg.Dist = data.AntiCorrelated
 	ds := BuildDataset(cfg)
-	want := core.STSS(ds, core.Options{}).SkylineIDs
-	for name, res := range map[string]*core.Result{
-		"BNL":  core.BNL(ds),
-		"SFS":  core.SFS(ds),
-		"BBS+": core.BBSPlus(ds, core.Options{}),
-		"SDC":  core.SDC(ds, core.Options{}),
-		"SDC+": core.SDCPlus(ds, core.Options{}),
-		"mem":  core.STSS(ds, core.Options{UseMemTree: true}),
-	} {
-		if !sameSet(res.SkylineIDs, want) {
-			return fmt.Errorf("exp: %s disagrees with sTSS (%d vs %d points)",
-				name, len(res.SkylineIDs), len(want))
+	toDS := &core.Dataset{}
+	for _, p := range ds.Pts {
+		toDS.Pts = append(toDS.Pts, core.Point{ID: p.ID, TO: p.TO})
+	}
+	// Oracle: the O(n²) naive skyline while tractable; above that, sTSS
+	// (itself property-tested against the naive oracle in core's tests).
+	var want, toWant []int32
+	oracle := "naive skyline"
+	if len(ds.Pts) <= 20_000 {
+		want = ds.NaiveSkyline()
+		toWant = toDS.NaiveSkyline()
+	} else {
+		oracle = "sTSS oracle"
+		want = core.STSS(ds, core.Options{}).SkylineIDs
+		toWant = core.STSS(toDS, core.Options{}).SkylineIDs
+	}
+	for _, algo := range core.Algorithms() {
+		if algo.Capabilities().POCapable {
+			res, err := algo.Run(ds, core.Options{})
+			if err != nil {
+				return fmt.Errorf("exp: %s: %w", algo.Name(), err)
+			}
+			if !sameSet(res.SkylineIDs, want) {
+				return fmt.Errorf("exp: %s disagrees with the %s (%d vs %d points)",
+					algo.Name(), oracle, len(res.SkylineIDs), len(want))
+			}
+			pres, err := core.Parallel(algo).Run(ds, core.Options{Parallelism: 4})
+			if err != nil {
+				return fmt.Errorf("exp: parallel(%s): %w", algo.Name(), err)
+			}
+			if !sameSet(pres.SkylineIDs, want) {
+				return fmt.Errorf("exp: parallel(%s) disagrees with the %s (%d vs %d points)",
+					algo.Name(), oracle, len(pres.SkylineIDs), len(want))
+			}
 		}
+		res, err := algo.Run(toDS, core.Options{})
+		if err != nil {
+			return fmt.Errorf("exp: %s on TO projection: %w", algo.Name(), err)
+		}
+		if !sameSet(res.SkylineIDs, toWant) {
+			return fmt.Errorf("exp: %s disagrees with the %s on the TO projection", algo.Name(), oracle)
+		}
+		pres, err := core.Parallel(algo).Run(toDS, core.Options{Parallelism: 4})
+		if err != nil {
+			return fmt.Errorf("exp: parallel(%s) on TO projection: %w", algo.Name(), err)
+		}
+		if !sameSet(pres.SkylineIDs, toWant) {
+			return fmt.Errorf("exp: parallel(%s) disagrees with the %s on the TO projection", algo.Name(), oracle)
+		}
+	}
+	if res := core.STSS(ds, core.Options{UseMemTree: true}); !sameSet(res.SkylineIDs, want) {
+		return fmt.Errorf("exp: sTSS with memtree disagrees with the %s", oracle)
 	}
 	db := core.NewDynamicDB(ds, core.Options{})
 	for q := 0; q < 2; q++ {
@@ -434,28 +476,50 @@ func VerifyAgreement(scale float64) error {
 			return fmt.Errorf("exp: dynamic methods disagree on query %d", q)
 		}
 	}
-	// Totally ordered cross-check: the sort-based baselines against the
-	// generic algorithms on the TO projection.
-	toDS := &core.Dataset{}
-	for _, p := range ds.Pts {
-		toDS.Pts = append(toDS.Pts, core.Point{ID: p.ID, TO: p.TO})
-	}
-	toWant := core.STSS(toDS, core.Options{}).SkylineIDs
-	sal, err := core.SaLSa(toDS)
-	if err != nil {
-		return err
-	}
-	if !sameSet(sal.SkylineIDs, toWant) {
-		return fmt.Errorf("exp: SaLSa disagrees on the TO projection")
-	}
-	less, err := core.LESS(toDS, 16)
-	if err != nil {
-		return err
-	}
-	if !sameSet(less.SkylineIDs, toWant) {
-		return fmt.Errorf("exp: LESS disagrees on the TO projection")
-	}
 	return nil
+}
+
+// FigureParallel sweeps the partition-and-merge executor: sequential
+// sTSS against parallel(sTSS) for P ∈ {2, 4, 8} shards on each TO
+// distribution, at the static default configuration. It is not a paper
+// figure — it measures the engine the reproduction adds on top.
+func FigureParallel(scale float64) []Row {
+	var rows []Row
+	stss := core.MustLookup("stss")
+	for _, dist := range []data.Distribution{data.Correlated, data.Independent, data.AntiCorrelated} {
+		fig := "parallel-" + dist.String()
+		cfg := StaticDefaults(scale)
+		cfg.Dist = dist
+		ds := BuildDataset(cfg)
+		seq, err := stss.Run(ds, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		// End-to-end accounting on both sides: sequential sTSS keeps
+		// index construction in the Build* counters, while the parallel
+		// executor's wall-clock CPU already spans its shards' builds —
+		// fold the build costs in so the rows compare like with like.
+		seqM := seq.Metrics
+		seqM.CPU += seqM.BuildCPU
+		seqM.ReadIOs += seqM.BuildReadIOs
+		seqM.WriteIOs += seqM.BuildWriteIOs
+		rows = append(rows, rowFrom(fig, "P=1", "default", cfg, &seqM, len(seq.SkylineIDs)))
+		for _, p := range []int{2, 4, 8} {
+			res, err := core.Parallel(stss).Run(ds, core.Options{Parallelism: p})
+			if err != nil {
+				panic(err)
+			}
+			if !sameSet(res.SkylineIDs, seq.SkylineIDs) {
+				panic(fmt.Sprintf("exp: parallel(stss) P=%d disagrees with sequential on %s", p, fig))
+			}
+			parM := res.Metrics
+			parM.ReadIOs += parM.BuildReadIOs
+			parM.WriteIOs += parM.BuildWriteIOs
+			rows = append(rows, rowFrom(fig, fmt.Sprintf("P=%d", p), "default", cfg,
+				&parM, len(res.SkylineIDs)))
+		}
+	}
+	return rows
 }
 
 // HeadlineShapes checks the paper's two headline claims at a given

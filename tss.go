@@ -40,6 +40,7 @@ package tss
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/poset"
@@ -279,25 +280,106 @@ func (t *Table) EachSkyline(fn func(row int) bool) {
 	}
 }
 
+// name maps a Method constant to its algorithm-registry name.
+func (m Method) name() string {
+	switch m {
+	case MethodBBSPlus:
+		return "bbs+"
+	case MethodSDC:
+		return "sdc"
+	case MethodSDCPlus:
+		return "sdc+"
+	case MethodBNL:
+		return "bnl"
+	case MethodSFS:
+		return "sfs"
+	default:
+		return "stss"
+	}
+}
+
 // SkylineResult runs the chosen algorithm and returns the skyline with
 // its run statistics.
 func (t *Table) SkylineResult(m Method) *SkylineResult {
-	var res *core.Result
-	switch m {
-	case MethodBBSPlus:
-		res = core.BBSPlus(t.ds, core.Options{})
-	case MethodSDC:
-		res = core.SDC(t.ds, core.Options{})
-	case MethodSDCPlus:
-		res = core.SDCPlus(t.ds, core.Options{})
-	case MethodBNL:
-		res = core.BNL(t.ds)
-	case MethodSFS:
-		res = core.SFS(t.ds)
-	default:
-		res = core.STSS(t.ds, core.Options{UseMemTree: true})
+	res, err := t.SkylineWith(m.name())
+	if err != nil {
+		panic(err) // Method constants name PO-capable algorithms; Run cannot fail
 	}
-	return wrapResult(res)
+	return res
+}
+
+// AlgorithmInfo describes one entry of the skyline-algorithm registry.
+type AlgorithmInfo struct {
+	// Name is the registry key, usable with Table.SkylineWith and the
+	// tssquery -method flag.
+	Name string
+	// POCapable algorithms handle partially ordered columns; the others
+	// (the classic sort-based baselines) require TO-only tables.
+	POCapable bool
+	// Progressive algorithms emit skyline rows while the run is still
+	// in flight.
+	Progressive bool
+	// PaperRef cites where the algorithm is described.
+	PaperRef string
+}
+
+// Algorithms lists every registered skyline algorithm, sorted by name.
+func Algorithms() []AlgorithmInfo {
+	var out []AlgorithmInfo
+	for _, a := range core.Algorithms() {
+		caps := a.Capabilities()
+		out = append(out, AlgorithmInfo{
+			Name:        a.Name(),
+			POCapable:   caps.POCapable,
+			Progressive: caps.Progressive,
+			PaperRef:    caps.PaperRef,
+		})
+	}
+	return out
+}
+
+// lookupAlgo resolves a registry name, listing the known names on
+// failure.
+func lookupAlgo(name string) (core.Algorithm, error) {
+	a, ok := core.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("tss: unknown algorithm %q (have: %s)",
+			name, strings.Join(core.AlgorithmNames(), ", "))
+	}
+	return a, nil
+}
+
+// SkylineWith runs the named registered algorithm (see Algorithms) and
+// returns the skyline with its run statistics. TO-only algorithms
+// return an error when the table has PO columns.
+func (t *Table) SkylineWith(algo string) (*SkylineResult, error) {
+	a, err := lookupAlgo(algo)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Run(t.ds, core.Options{UseMemTree: true})
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// SkylineParallel runs the named algorithm behind the partition-and-
+// merge executor: the table is split into parallelism shards (0 = one
+// per CPU), local skylines are computed concurrently and merged with a
+// final t-dominance elimination pass. The result set always equals the
+// sequential one; on multi-core hosts and large tables the wall-clock
+// time drops.
+func (t *Table) SkylineParallel(algo string, parallelism int) (*SkylineResult, error) {
+	a, err := lookupAlgo(algo)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Parallel(a).Run(t.ds, core.Options{UseMemTree: true, Parallelism: parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
 }
 
 // SkylineResult is the outcome of a skyline computation.

@@ -253,3 +253,69 @@ func TestMethodString(t *testing.T) {
 		}
 	}
 }
+
+// TestSkylineWith: every registered algorithm is reachable by name from
+// the public API; PO-capable ones agree on the flights example, TO-only
+// ones surface their rejection as an error.
+func TestSkylineWith(t *testing.T) {
+	table := flightsTable(order1())
+	want := sortedRows(table.Skyline())
+	algos := Algorithms()
+	if len(algos) < 8 {
+		t.Fatalf("Algorithms() lists %d entries, want >= 8", len(algos))
+	}
+	for _, info := range algos {
+		res, err := table.SkylineWith(info.Name)
+		if !info.POCapable {
+			if err == nil {
+				t.Errorf("%s: expected PO rejection", info.Name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", info.Name, err)
+			continue
+		}
+		if got := sortedRows(res.Rows); !equalRows(got, want) {
+			t.Errorf("%s = %v, want %v", info.Name, got, want)
+		}
+	}
+	if _, err := table.SkylineWith("nope"); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}
+
+// TestSkylineParallel: the partition-and-merge executor matches the
+// sequential result through the public API.
+func TestSkylineParallel(t *testing.T) {
+	table := flightsTable(order1())
+	want := sortedRows(table.Skyline())
+	for _, p := range []int{0, 1, 2, 4} {
+		res, err := table.SkylineParallel("stss", p)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if got := sortedRows(res.Rows); !equalRows(got, want) {
+			t.Errorf("parallelism %d: %v, want %v", p, got, want)
+		}
+	}
+	if _, err := table.SkylineParallel("nope", 2); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	if _, err := table.SkylineParallel("salsa", 2); err == nil {
+		t.Error("parallel(salsa) on PO table must error")
+	}
+}
+
+// TestMethodsViaRegistry: the legacy Method enum is served by the
+// registry and still returns correct results.
+func TestMethodsViaRegistry(t *testing.T) {
+	table := flightsTable(order1())
+	want := sortedRows(table.Skyline())
+	for _, m := range []Method{MethodSTSS, MethodBBSPlus, MethodSDC, MethodSDCPlus, MethodBNL, MethodSFS} {
+		res := table.SkylineResult(m)
+		if got := sortedRows(res.Rows); !equalRows(got, want) {
+			t.Errorf("%v = %v, want %v", m, got, want)
+		}
+	}
+}
