@@ -56,7 +56,7 @@ func main() {
 	for i := range dags {
 		dags[i] = data.Lattice(rng, *h, *d)
 		sizes[i] = dags[i].N()
-		if err := writeDAG(filepath.Join(*out, fmt.Sprintf("dag_%d.txt", i)), dags[i]); err != nil {
+		if err := data.WriteDAGFile(filepath.Join(*out, fmt.Sprintf("dag_%d.txt", i)), dags[i]); err != nil {
 			fatalf("write dag %d: %v", i, err)
 		}
 	}
@@ -100,25 +100,6 @@ func main() {
 	for i, s := range sizes {
 		fmt.Printf("  dag_%d.txt: %d values, %d edges\n", i, s, dags[i].Edges())
 	}
-}
-
-func writeDAG(path string, dag *poset.DAG) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := fmt.Fprintln(f, dag.N()); err != nil {
-		return err
-	}
-	for v := 0; v < dag.N(); v++ {
-		for _, w := range dag.Out(v) {
-			if _, err := fmt.Fprintln(f, v, w); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 func fatalf(format string, args ...any) {

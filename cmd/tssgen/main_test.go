@@ -18,7 +18,7 @@ func TestWriteDAGRoundTrip(t *testing.T) {
 	dag := data.Lattice(rng, 5, 0.9)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "dag.txt")
-	if err := writeDAG(path, dag); err != nil {
+	if err := data.WriteDAGFile(path, dag); err != nil {
 		t.Fatal(err)
 	}
 	// Parse it back by hand and compare edge counts.

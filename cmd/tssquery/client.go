@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/serve"
+)
+
+// Thin-client mode (-serve URL): instead of computing locally, talk to
+// a running tssserve. With -data, the local workload is first uploaded
+// as a table (replacing any table of the same name); then the query —
+// static (-method/-parallel) or dynamic (-querydags/-ideal) — is issued
+// over HTTP and the response printed in the local mode's format.
+
+type clientConfig struct {
+	baseURL, table    string
+	dataPath, dagList string
+	method            string
+	parallel          int
+	queryDAGs, ideal  string
+	limit             int
+}
+
+func runClient(cfg clientConfig) error {
+	if cfg.table == "" {
+		cfg.table = "default"
+	}
+	// Match local mode: dTSS runs sequentially, so -parallel would be
+	// silently dropped by the server on a dynamic query.
+	if cfg.queryDAGs != "" && cfg.parallel != 0 {
+		return fmt.Errorf("-parallel applies to static queries only (dTSS runs sequentially)")
+	}
+	base := strings.TrimRight(cfg.baseURL, "/")
+	c := &client{base: base, http: http.DefaultClient}
+
+	if cfg.dataPath != "" {
+		if err := c.upload(cfg); err != nil {
+			return err
+		}
+	}
+	if cfg.queryDAGs != "" {
+		return c.dynamicQuery(cfg)
+	}
+	return c.staticQuery(cfg)
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+// upload replaces the server table with the local CSV workload.
+func (c *client) upload(cfg clientConfig) error {
+	var dagPaths []string
+	if cfg.dagList != "" {
+		dagPaths = strings.Split(cfg.dagList, ",")
+	}
+	domains, err := data.ReadDomains(dagPaths)
+	if err != nil {
+		return err
+	}
+	ds, err := data.ReadCSVDataset(cfg.dataPath, domains)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", cfg.dataPath, err)
+	}
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	spec := serve.SpecFromDataset(cfg.table, ds)
+
+	// Replace: drop any previous table of this name, then create.
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/tables/"+url.PathEscape(cfg.table), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("reach server: %w", err)
+	}
+	resp.Body.Close()
+	// 404 just means no previous table; anything else non-2xx would
+	// make the create below fail confusingly, so report it here.
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("drop previous table: HTTP %d", resp.StatusCode)
+	}
+	var info serve.TableInfo
+	if err := c.postJSON("/tables", spec, &info); err != nil {
+		return fmt.Errorf("create table: %w", err)
+	}
+	fmt.Printf("uploaded table %q: %d rows, %d groups\n", info.Name, info.Rows, info.Groups)
+	return nil
+}
+
+// staticQuery issues GET /tables/{t}/skyline.
+func (c *client) staticQuery(cfg clientConfig) error {
+	q := url.Values{}
+	q.Set("algo", cfg.method)
+	if cfg.parallel != 0 {
+		q.Set("parallel", strconv.Itoa(cfg.parallel))
+	}
+	if cfg.limit > 0 {
+		q.Set("limit", strconv.Itoa(cfg.limit))
+	}
+	var out serve.QueryResponse
+	if err := c.getJSON("/tables/"+url.PathEscape(cfg.table)+"/skyline?"+q.Encode(), &out); err != nil {
+		return err
+	}
+	printResponse(&out, cfg.limit)
+	return nil
+}
+
+// dynamicQuery issues POST /tables/{t}/query with the DAG files' edges.
+func (c *client) dynamicQuery(cfg clientConfig) error {
+	var req serve.QueryRequest
+	for _, path := range strings.Split(cfg.queryDAGs, ",") {
+		dag, err := data.ReadDAGFile(path)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		var qo serve.QueryOrder
+		for v := 0; v < dag.N(); v++ {
+			for _, u := range dag.Out(v) {
+				qo.Edges = append(qo.Edges, [2]string{strconv.Itoa(v), strconv.Itoa(int(u))})
+			}
+		}
+		req.Orders = append(req.Orders, qo)
+	}
+	if cfg.ideal != "" {
+		for _, part := range strings.Split(cfg.ideal, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -ideal value %q: %w", part, err)
+			}
+			req.Ideal = append(req.Ideal, v)
+		}
+	}
+	if cfg.limit > 0 {
+		req.Limit = cfg.limit
+	}
+	var out serve.QueryResponse
+	if err := c.postJSON("/tables/"+url.PathEscape(cfg.table)+"/query", req, &out); err != nil {
+		return err
+	}
+	printResponse(&out, cfg.limit)
+	return nil
+}
+
+// printResponse mirrors the local mode's report format.
+func printResponse(out *serve.QueryResponse, limit int) {
+	fmt.Printf("rows=%d skyline=%d version=%d", out.Rows, out.Count, out.Version)
+	if out.CacheHit {
+		fmt.Printf(" (cache hit)")
+	}
+	fmt.Println()
+	m := &out.Metrics
+	fmt.Printf("reads=%d writes=%d checks=%d cpu=%.6fs total=%.3fs (5ms/IO)\n",
+		m.ReadIOs, m.WriteIOs, m.DomChecks, m.CPUSeconds, m.TotalSeconds)
+	n := len(out.Skyline)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for _, row := range out.Skyline[:n] {
+		fmt.Printf("  row %d: TO=%v PO=%v\n", row.Row, row.TO, row.PO)
+	}
+	if n < out.Count {
+		fmt.Printf("  ... %d more\n", out.Count-n)
+	}
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("reach server: %w", err)
+	}
+	return decodeResponse(resp, out)
+}
+
+func (c *client) postJSON(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("reach server: %w", err)
+	}
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestThinClientEndToEnd drives the -serve client path against an
+// in-process tssserve: upload a CSV workload, run a static query, a
+// parallel one, and a dynamic per-request-DAG query.
+func TestThinClientEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	dagPath := filepath.Join(dir, "dag_0.txt")
+	queryDAG := filepath.Join(dir, "qdag.txt")
+	if err := os.WriteFile(dataPath, []byte("to_0,po_0\n10,0\n20,1\n5,2\n7,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dagPath, []byte("3\n0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(queryDAG, []byte("3\n2 0\n2 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(serve.New(4).Handler())
+	defer ts.Close()
+
+	base := clientConfig{
+		baseURL: ts.URL, table: "t",
+		dataPath: dataPath, dagList: dagPath,
+		method: "stss", limit: 10,
+	}
+	if err := runClient(base); err != nil {
+		t.Fatalf("static: %v", err)
+	}
+	// The table exists now; query again without re-uploading.
+	par := base
+	par.dataPath, par.dagList = "", ""
+	par.parallel = 2
+	if err := runClient(par); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	dyn := par
+	dyn.parallel = 0
+	dyn.queryDAGs = queryDAG
+	if err := runClient(dyn); err != nil {
+		t.Fatalf("dynamic: %v", err)
+	}
+	// Fully dynamic with an ideal point.
+	ideal := dyn
+	ideal.ideal = "8"
+	if err := runClient(ideal); err != nil {
+		t.Fatalf("ideal: %v", err)
+	}
+	// Errors surface: unknown table.
+	missing := par
+	missing.table = "nope"
+	if err := runClient(missing); err == nil {
+		t.Fatal("missing table must fail")
+	}
+	// Unreachable server.
+	down := par
+	down.baseURL = "http://127.0.0.1:1"
+	if err := runClient(down); err == nil {
+		t.Fatal("unreachable server must fail")
+	}
+}
+
+// TestThinClientRejectsParallelDynamic mirrors local mode's refusal.
+func TestThinClientRejectsParallelDynamic(t *testing.T) {
+	err := runClient(clientConfig{
+		baseURL: "http://127.0.0.1:1", queryDAGs: "q.txt", parallel: 4,
+	})
+	if err == nil || !strings.Contains(err.Error(), "static queries only") {
+		t.Fatalf("err = %v, want static-queries-only refusal", err)
+	}
+}

@@ -16,17 +16,14 @@
 package main
 
 import (
-	"bufio"
-	"encoding/csv"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/poset"
 )
 
@@ -40,7 +37,21 @@ func main() {
 	queryDAGs := flag.String("querydags", "", "dynamic query: comma-separated DAG files replacing the data's partial orders (dTSS)")
 	ideal := flag.String("ideal", "", "fully dynamic query: comma-separated ideal TO values (requires -querydags)")
 	limit := flag.Int("limit", 10, "skyline rows to print (0 = all)")
+	serveURL := flag.String("serve", "", "tssserve base URL: act as a thin client against a running server instead of computing locally")
+	tableName := flag.String("table", "", "server table name (thin-client mode; defaults to \"default\")")
 	flag.Parse()
+
+	if *serveURL != "" {
+		if err := runClient(clientConfig{
+			baseURL: *serveURL, table: *tableName,
+			dataPath: *dataPath, dagList: *dagList,
+			method: *method, parallel: *parallel,
+			queryDAGs: *queryDAGs, ideal: *ideal, limit: *limit,
+		}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	if *dataPath == "" {
 		fatalf("missing -data")
 	}
@@ -49,7 +60,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	ds, err := readData(*dataPath, domains)
+	ds, err := data.ReadCSVDataset(*dataPath, domains)
 	if err != nil {
 		fatalf("read %s: %v", *dataPath, err)
 	}
@@ -96,19 +107,7 @@ func loadDomains(dagList string) ([]*poset.Domain, error) {
 	if dagList == "" {
 		return nil, nil
 	}
-	var domains []*poset.Domain
-	for _, path := range strings.Split(dagList, ",") {
-		dag, err := readDAG(path)
-		if err != nil {
-			return nil, fmt.Errorf("read %s: %w", path, err)
-		}
-		dom, err := poset.NewDomain(dag)
-		if err != nil {
-			return nil, fmt.Errorf("domain %s: %w", path, err)
-		}
-		domains = append(domains, dom)
-	}
-	return domains, nil
+	return data.ReadDomains(strings.Split(dagList, ","))
 }
 
 // runStatic answers a static skyline query with the chosen registered
@@ -149,94 +148,6 @@ func runDynamic(ds *core.Dataset, queryDAGs, idealCSV string) (*core.Result, err
 		q = append(q, int32(v))
 	}
 	return db.QueryTSSFull(q, qDomains, core.Options{UseMemTree: true})
-}
-
-func readDAG(path string) (*poset.DAG, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("empty DAG file")
-	}
-	n, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
-	if err != nil {
-		return nil, fmt.Errorf("bad node count: %v", err)
-	}
-	dag := poset.NewDAG(n)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		var u, v int
-		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
-			return nil, fmt.Errorf("bad edge %q: %v", line, err)
-		}
-		if err := dag.AddEdge(u, v); err != nil {
-			return nil, err
-		}
-	}
-	return dag, sc.Err()
-}
-
-func readData(path string, domains []*poset.Domain) (*core.Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	r := csv.NewReader(bufio.NewReader(f))
-	header, err := r.Read()
-	if err != nil {
-		return nil, err
-	}
-	var toCols, poCols []int
-	for i, name := range header {
-		switch {
-		case strings.HasPrefix(name, "to_"):
-			toCols = append(toCols, i)
-		case strings.HasPrefix(name, "po_"):
-			poCols = append(poCols, i)
-		default:
-			return nil, fmt.Errorf("column %q is neither to_* nor po_*", name)
-		}
-	}
-	if len(poCols) != len(domains) {
-		return nil, fmt.Errorf("%d po_* columns but %d DAG files", len(poCols), len(domains))
-	}
-	ds := &core.Dataset{Domains: domains}
-	id := int32(0)
-	for {
-		rec, err := r.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		p := core.Point{ID: id}
-		for _, c := range toCols {
-			v, err := strconv.Atoi(rec[c])
-			if err != nil {
-				return nil, fmt.Errorf("row %d: %v", id, err)
-			}
-			p.TO = append(p.TO, int32(v))
-		}
-		for _, c := range poCols {
-			v, err := strconv.Atoi(rec[c])
-			if err != nil {
-				return nil, fmt.Errorf("row %d: %v", id, err)
-			}
-			p.PO = append(p.PO, int32(v))
-		}
-		ds.Pts = append(ds.Pts, p)
-		id++
-	}
-	return ds, nil
 }
 
 func fatalf(format string, args ...any) {

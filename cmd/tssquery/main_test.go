@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/poset"
 )
 
@@ -21,7 +22,7 @@ func writeFile(t *testing.T, dir, name, content string) string {
 func TestReadDAG(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFile(t, dir, "dag.txt", "4\n0 1\n0 2\n# comment\n1 3\n2 3\n")
-	dag, err := readDAG(path)
+	dag, err := data.ReadDAGFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func TestReadDAGErrors(t *testing.T) {
 		"oob.txt":      "2\n0 5\n",
 	} {
 		path := writeFile(t, dir, name, content)
-		if _, err := readDAG(path); err == nil {
+		if _, err := data.ReadDAGFile(path); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
-	if _, err := readDAG(filepath.Join(dir, "missing.txt")); err == nil {
+	if _, err := data.ReadDAGFile(filepath.Join(dir, "missing.txt")); err == nil {
 		t.Error("missing file: expected error")
 	}
 }
@@ -54,7 +55,7 @@ func TestReadDAGErrors(t *testing.T) {
 func TestReadDataAndSkyline(t *testing.T) {
 	dir := t.TempDir()
 	dagPath := writeFile(t, dir, "dag.txt", "4\n0 1\n0 2\n1 3\n2 3\n")
-	dag, err := readDAG(dagPath)
+	dag, err := data.ReadDAGFile(dagPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestReadDataAndSkyline(t *testing.T) {
 		"1800,0,0\n2000,0,0\n1800,0,1\n1200,1,1\n1400,1,0\n" +
 		"1000,1,1\n1000,1,3\n1800,1,2\n500,2,3\n1200,2,2\n"
 	dataPath := writeFile(t, dir, "data.csv", csv)
-	ds, err := readData(dataPath, []*poset.Domain{dom})
+	ds, err := data.ReadCSVDataset(dataPath, []*poset.Domain{dom})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestReadDataAndSkyline(t *testing.T) {
 // with no per-algorithm switch — the registry is the single dispatch
 // point — and -parallel N returns the same skyline set.
 func TestRunStaticAllRegistered(t *testing.T) {
-	ds, err := readData(writeFile(t, t.TempDir(), "data.csv",
+	ds, err := data.ReadCSVDataset(writeFile(t, t.TempDir(), "data.csv",
 		"to_0,to_1\n3,1\n1,3\n2,2\n4,4\n2,2\n"), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -142,13 +143,13 @@ func TestReadDataErrors(t *testing.T) {
 		if name == "badnum.csv" {
 			domains = nil
 		}
-		if _, err := readData(path, domains); err == nil {
+		if _, err := data.ReadCSVDataset(path, domains); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
 	// Mismatched DAG count.
 	path := writeFile(t, dir, "mismatch.csv", "to_0,po_0\n1,0\n")
-	if _, err := readData(path, nil); err == nil {
+	if _, err := data.ReadCSVDataset(path, nil); err == nil {
 		t.Error("po column without DAG: expected error")
 	}
 }

@@ -1,0 +1,99 @@
+// Command tssserve is the HTTP/JSON skyline query server: an in-memory
+// catalog of named tables served to concurrent clients with
+// copy-on-write snapshot isolation. Static skylines dispatch through
+// the algorithm registry (?algo=, ?parallel=); dynamic queries bring
+// per-request preference DAGs and are answered by the prepared dTSS
+// database and its result cache; batched mutations atomically swap in
+// a new snapshot without blocking readers.
+//
+//	tssserve -addr :8080 -table flights=./work -cache 128
+//
+// Preload tables from tssgen output directories with repeated -table
+// name=dir flags, or create them over HTTP (POST /tables). Endpoints:
+//
+//	GET    /healthz                     liveness
+//	GET    /statsz                      catalog + traffic statistics
+//	GET    /tables                      list tables
+//	POST   /tables                      create a table
+//	GET    /tables/{name}               table info
+//	DELETE /tables/{name}               drop a table
+//	GET    /tables/{name}/skyline       static skyline (?algo=, ?parallel=, ?limit=)
+//	POST   /tables/{name}/rows:batch    batched mutation
+//	POST   /tables/{name}/query         dynamic query (per-request DAGs)
+//
+// tssquery -serve <url> is the matching thin client. SIGINT/SIGTERM
+// drain in-flight requests before exit (graceful shutdown).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// tableFlags collects repeated -table name=dir values.
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var tables tableFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", serve.DefaultCacheCapacity, "per-table dynamic result cache capacity")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	flag.Var(&tables, "table", "preload a table from a tssgen output dir, as name=dir (repeatable)")
+	flag.Parse()
+
+	s := serve.New(*cache)
+	for _, spec := range tables {
+		name, dir, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatalf("bad -table %q (want name=dir)", spec)
+		}
+		info, err := s.LoadCSVDir(name, dir)
+		if err != nil {
+			fatalf("load table %q: %v", name, err)
+		}
+		fmt.Printf("loaded table %q: %d rows, %d groups\n", info.Name, info.Rows, info.Groups)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("tssserve listening on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

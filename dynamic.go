@@ -14,8 +14,9 @@ import (
 // (topological sort, spanning tree, interval propagation) happens per
 // query — no index is rebuilt and no coordinate is recomputed.
 type Dynamic struct {
-	table *Table
-	db    *core.DynamicDB
+	table    *Table
+	db       *core.DynamicDB
+	cacheCap int
 }
 
 // PrepareDynamic freezes the table's current rows into a dynamic-query
@@ -25,14 +26,41 @@ func (t *Table) PrepareDynamic() *Dynamic {
 	return &Dynamic{table: t, db: core.NewDynamicDB(t.ds, core.Options{})}
 }
 
+// Table returns the table this database was prepared from.
+func (d *Dynamic) Table() *Table { return d.table }
+
+// Reprepare rebuilds the dynamic-query database from the table's
+// current rows, carrying over the cache configuration (with a fresh,
+// empty cache — cached skylines are stale once rows changed). This is
+// the re-prepare hook behind batched mutations: clone the table, apply
+// the batch, Reprepare, atomically publish the pair; in-flight queries
+// keep using the old database, which is never mutated.
+func (d *Dynamic) Reprepare(t *Table) *Dynamic {
+	if t == nil {
+		t = d.table
+	}
+	nd := t.PrepareDynamic()
+	if d.cacheCap > 0 {
+		nd.EnableCache(d.cacheCap)
+	}
+	return nd
+}
+
 // Groups returns the number of distinct PO value combinations.
 func (d *Dynamic) Groups() int { return d.db.NumGroups() }
 
 // EnableCache memoises up to capacity past query results, keyed by the
 // canonical form of the query's preference orders: repeating a query
 // (however its Orders were re-built) is served without touching any
-// index (§V-B).
-func (d *Dynamic) EnableCache(capacity int) { d.db.EnableCache(capacity) }
+// index (§V-B). Enable before sharing the Dynamic across goroutines;
+// queries through an enabled cache are concurrency-safe.
+func (d *Dynamic) EnableCache(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	d.cacheCap = capacity
+	d.db.EnableCache(capacity)
+}
 
 // CacheStats returns (hits, misses) since EnableCache.
 func (d *Dynamic) CacheStats() (hits, misses int64) { return d.db.CacheStats() }

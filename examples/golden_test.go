@@ -1,0 +1,74 @@
+// Package examples holds golden-output tests for the example programs:
+// each is built and run via `go run` and its output compared against a
+// checked-in golden file. Measured quantities that legitimately vary
+// between runs — wall-clock-derived decimals and emission sparklines —
+// are normalised away before comparison; the simulated cost model
+// (page IOs, dominance checks) and all skyline contents are
+// deterministic and compared exactly.
+//
+// Regenerate after an intentional output change with
+//
+//	go test ./examples -run Golden -update
+package examples
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+var programs = []string{"quickstart", "hotels", "preferences", "progressive", "topk"}
+
+var (
+	// Decimal numbers embed measured CPU seconds (e.g. "0.125s",
+	// "12.3x faster", decile tables); integers (IO counts, skyline
+	// sizes, row values) are deterministic and preserved.
+	floatRE = regexp.MustCompile(`\d+\.\d+`)
+	// Emission sparklines bucket by virtual time, whose CPU component
+	// jitters; keep only their length class.
+	sparkRE = regexp.MustCompile(`[.#]{20,}`)
+)
+
+func normalize(out []byte) []byte {
+	out = floatRE.ReplaceAll(out, []byte("#.###"))
+	out = sparkRE.ReplaceAll(out, []byte("<sparkline>"))
+	return out
+}
+
+func TestExamplesGolden(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	for _, name := range programs {
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(goBin, "run", "repro/examples/"+name)
+			cmd.Dir = ".." // module root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run %s: %v\n%s", name, err, out)
+			}
+			got := normalize(out)
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s output diverged from %s\n--- got ---\n%s\n--- want ---\n%s",
+					name, golden, got, want)
+			}
+		})
+	}
+}

@@ -210,15 +210,18 @@ func (db *DynamicDB) QueryTSS(domains []*poset.Domain, opt Options) (resOut *Res
 // entry against the global skyline structure. The group root's MBB is
 // tested first, so wholly dominated groups cost exactly one page read
 // (the root visit the paper's §VI-C discussion refers to).
+//
+// The tree is traversed through a per-query rtree.Reader so that
+// concurrent queries against the same DynamicDB never touch shared
+// mutable state — the property the serving layer's snapshots rely on.
 func (db *DynamicDB) searchGroup(g *dynGroup, domains []*poset.Domain, checker tChecker, clock *emitClock, io *rtree.IOCounter, buf *rtree.Buffer, packedRoots bool, res *Result) {
 	ds := db.ds
-	g.tree.SetIO(io)
-	g.tree.SetBuffer(buf)
+	rd := g.tree.NewReader(io, buf)
 	var root *rtree.Node
 	if packedRoots {
-		root = g.tree.RootNoIO() // charged sequentially up front
+		root = rd.RootNoIO() // charged sequentially up front
 	} else {
-		root = g.tree.Root()
+		root = rd.Root()
 	}
 	if len(root.Entries) == 0 {
 		return
@@ -251,7 +254,7 @@ func (db *DynamicDB) searchGroup(g *dynGroup, domains []*poset.Domain, checker t
 			res.Metrics.NodesPruned++
 			continue
 		}
-		node := g.tree.Open(it.e)
+		node := rd.Open(it.e)
 		res.Metrics.NodesOpened++
 		for _, e := range node.Entries {
 			if !e.IsLeafEntry() && checker.dominatedPoint(e.Lo, g.vals) {

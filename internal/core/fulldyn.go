@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/poset"
@@ -109,13 +110,12 @@ func (db *DynamicDB) QueryTSSFull(q []int32, domains []*poset.Domain, opt Option
 	order := db.groupOrder(domains)
 	for _, gi := range order {
 		g := &db.groups[gi]
-		g.tree.SetIO(io)
-		g.tree.SetBuffer(buf)
+		rd := g.tree.NewReader(io, buf)
 		var root *rtree.Node
 		if opt.PackedRoots {
-			root = g.tree.RootNoIO()
+			root = rd.RootNoIO()
 		} else {
-			root = g.tree.Root()
+			root = rd.Root()
 		}
 		if len(root.Entries) == 0 {
 			continue
@@ -152,7 +152,7 @@ func (db *DynamicDB) QueryTSSFull(q []int32, domains []*poset.Domain, opt Option
 				res.Metrics.NodesPruned++
 				continue
 			}
-			node := g.tree.Open(it.e)
+			node := rd.Open(it.e)
 			res.Metrics.NodesOpened++
 			for _, e := range node.Entries {
 				h.pushMind(e, sumInt32(boxMinDist(e.Lo, e.Hi, q)))
@@ -222,8 +222,11 @@ func rootMBB(root *rtree.Node, dims int) (lo, hi []int32) {
 // --- query result cache ------------------------------------------------------
 
 // queryCache memoises dynamic skyline results keyed by the canonical
-// signature of the query's partial orders, with FIFO eviction.
+// signature of the query's partial orders, with FIFO eviction. All
+// accesses go through the mutex: QueryTSS may be called from many
+// goroutines sharing one DynamicDB (the serving layer's snapshots).
 type queryCache struct {
+	mu       sync.Mutex
 	capacity int
 	results  map[string][]int32
 	fifo     []string
@@ -235,6 +238,10 @@ type queryCache struct {
 // "caching of past results can help reduce the processing cost of
 // dynamic queries"). A cache hit serves the stored skyline with zero
 // page IOs; its metrics reflect only the signature computation.
+//
+// Call before the database is shared across goroutines: enabling the
+// cache swaps an unguarded pointer, while the cache itself is safe for
+// concurrent queries once installed.
 func (db *DynamicDB) EnableCache(capacity int) {
 	if capacity < 1 {
 		capacity = 1
@@ -248,6 +255,8 @@ func (db *DynamicDB) CacheStats() (hits, misses int64) {
 	if db.cache == nil {
 		return 0, 0
 	}
+	db.cache.mu.Lock()
+	defer db.cache.mu.Unlock()
 	return db.cache.hits, db.cache.misses
 }
 
@@ -275,6 +284,8 @@ func querySignature(domains []*poset.Domain) string {
 }
 
 func (c *queryCache) get(sig string) ([]int32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	ids, ok := c.results[sig]
 	if ok {
 		c.hits++
@@ -285,6 +296,8 @@ func (c *queryCache) get(sig string) ([]int32, bool) {
 }
 
 func (c *queryCache) put(sig string, ids []int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.results[sig]; exists {
 		return
 	}
@@ -306,7 +319,7 @@ func (db *DynamicDB) lookupCache(domains []*poset.Domain) (*Result, string) {
 	start := time.Now()
 	sig := querySignature(domains)
 	if ids, ok := db.cache.get(sig); ok {
-		res := &Result{SkylineIDs: append([]int32(nil), ids...)}
+		res := &Result{SkylineIDs: append([]int32(nil), ids...), FromCache: true}
 		res.Metrics.CPU = time.Since(start)
 		return res, sig
 	}

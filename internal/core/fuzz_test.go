@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/poset"
+)
+
+// fuzzReader decodes a fuzz input byte stream; exhausted input reads
+// as zeros, so every byte slice is a valid (if degenerate) workload.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// datasetFromBytes derives a small mixed TO/PO dataset from raw bytes:
+// 1–2 TO attributes, 0–2 PO attributes with domains of 2–6 values and
+// byte-driven forward-edge DAGs (edges always run low → high index, so
+// any byte stream yields an acyclic preference order), and up to 24
+// points with heavy value collisions (duplicates and ties are the
+// interesting cases).
+func datasetFromBytes(data []byte) *Dataset {
+	r := &fuzzReader{data: data}
+	nTO := 1 + int(r.byte())%2
+	nPO := int(r.byte()) % 3
+
+	ds := &Dataset{}
+	for d := 0; d < nPO; d++ {
+		size := 2 + int(r.byte())%5
+		dag := poset.NewDAG(size)
+		edges := int(r.byte()) % 8
+		for e := 0; e < edges; e++ {
+			a := int(r.byte()) % size
+			b := int(r.byte()) % size
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			dag.MustEdge(a, b)
+		}
+		dom, err := poset.NewDomain(dag)
+		if err != nil {
+			panic(err) // forward edges only: cycles are impossible
+		}
+		ds.Domains = append(ds.Domains, dom)
+	}
+
+	n := 1 + int(r.byte())%24
+	for i := 0; i < n; i++ {
+		p := Point{ID: int32(i)}
+		for d := 0; d < nTO; d++ {
+			p.TO = append(p.TO, int32(r.byte())%8)
+		}
+		for d := 0; d < nPO; d++ {
+			p.PO = append(p.PO, int32(r.byte())%int32(ds.Domains[d].Size()))
+		}
+		ds.Pts = append(ds.Pts, p)
+	}
+	return ds
+}
+
+func sortedIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func idsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSkylineAgreement is the differential fuzz harness: every
+// registered algorithm — sequential and behind the partition-and-merge
+// executor at P ∈ {1, 4} — must return exactly the naive O(n²)
+// oracle's skyline on any byte-derived workload, and TO-only
+// algorithms must reject PO datasets with an error rather than a wrong
+// answer. Runs its seed corpus (testdata/fuzz/…) under plain `go
+// test`; explore further with
+//
+//	go test -run='^$' -fuzz=FuzzSkylineAgreement ./internal/core
+func FuzzSkylineAgreement(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 4, 6, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 1, 3, 3, 0, 1, 0, 2, 1, 2, 12, 5, 0, 5, 1, 5, 2, 5, 0, 1, 1, 2, 2, 0})
+	f.Add([]byte{1, 0, 9, 3, 3, 3, 3, 3, 3, 3, 3, 3}) // TO-only, duplicate-heavy
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds := datasetFromBytes(data)
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("generated invalid dataset: %v", err)
+		}
+		want := sortedIDs(ds.NaiveSkyline())
+
+		for _, a := range Algorithms() {
+			runs := []struct {
+				name string
+				run  func() (*Result, error)
+			}{
+				{"seq", func() (*Result, error) {
+					return a.Run(ds, Options{UseMemTree: true})
+				}},
+				{"P=1", func() (*Result, error) {
+					return Parallel(a).Run(ds, Options{UseMemTree: true, Parallelism: 1})
+				}},
+				{"P=4", func() (*Result, error) {
+					return Parallel(a).Run(ds, Options{UseMemTree: true, Parallelism: 4})
+				}},
+			}
+			for _, rn := range runs {
+				res, err := rn.run()
+				if !a.Capabilities().POCapable && ds.NumPO() > 0 {
+					if err == nil {
+						t.Fatalf("%s/%s: TO-only algorithm accepted a PO dataset", a.Name(), rn.name)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s/%s: %v", a.Name(), rn.name, err)
+				}
+				got := sortedIDs(res.SkylineIDs)
+				if !idsEqual(got, want) {
+					t.Fatalf("%s/%s: skyline %v, oracle %v (n=%d, TO=%d, PO=%d)",
+						a.Name(), rn.name, got, want, len(ds.Pts), ds.NumTO(), ds.NumPO())
+				}
+			}
+		}
+	})
+}

@@ -171,11 +171,47 @@ func (m *Metrics) CPUShare(ioCost time.Duration) float64 {
 	return float64(m.CPU) / float64(tot)
 }
 
+// MetricsExport is the flat, JSON-ready view of a run's Metrics that
+// the serving layer attaches to query responses: plain counters plus
+// derived seconds at a fixed IO cost, no nested durations.
+type MetricsExport struct {
+	ReadIOs      int64   `json:"readIOs"`
+	WriteIOs     int64   `json:"writeIOs"`
+	DomChecks    int64   `json:"domChecks"`
+	NodesOpened  int64   `json:"nodesOpened,omitempty"`
+	NodesPruned  int64   `json:"nodesPruned,omitempty"`
+	PointsPruned int64   `json:"pointsPruned,omitempty"`
+	CPUSeconds   float64 `json:"cpuSeconds"`
+	TotalSeconds float64 `json:"totalSeconds"`
+	Emissions    int     `json:"emissions,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
+}
+
+// Export flattens the metrics for transport, charging IOs at ioCost
+// (pass DefaultIOCost for the paper's 5 ms model).
+func (m *Metrics) Export(ioCost time.Duration) MetricsExport {
+	return MetricsExport{
+		ReadIOs:      m.ReadIOs,
+		WriteIOs:     m.WriteIOs,
+		DomChecks:    m.DomChecks,
+		NodesOpened:  m.NodesOpened,
+		NodesPruned:  m.NodesPruned,
+		PointsPruned: m.PointsPruned,
+		CPUSeconds:   m.CPU.Seconds(),
+		TotalSeconds: m.TotalTime(ioCost).Seconds(),
+		Emissions:    len(m.Emissions),
+		Shards:       len(m.Shards),
+	}
+}
+
 // Result is a completed skyline computation: the skyline point ids in
-// emission order plus the run's metrics.
+// emission order plus the run's metrics. FromCache marks a dynamic
+// query answered from the past-result cache (§V-B) without touching
+// any index.
 type Result struct {
 	SkylineIDs []int32
 	Metrics    Metrics
+	FromCache  bool
 }
 
 // emitClock stamps emissions with the current virtual cost.

@@ -1,0 +1,159 @@
+package data
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+// This file is the workload interchange format shared by the CLIs and
+// the server: a CSV data file whose header names the columns (to_*
+// totally ordered, po_* partially ordered, PO values as integer ids)
+// plus one DAG edge-list file per PO attribute ("N" on the first line,
+// then one "better worse" edge per line, '#' comments allowed).
+// tssgen writes it, tssquery and tssserve read it.
+
+// ReadDAGFile parses a DAG edge-list file.
+func ReadDAGFile(path string) (*poset.DAG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty DAG file")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil {
+		return nil, fmt.Errorf("bad node count: %v", err)
+	}
+	dag := poset.NewDAG(n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("bad edge %q: %v", line, err)
+		}
+		if err := dag.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return dag, sc.Err()
+}
+
+// WriteDAGFile writes a DAG in the edge-list format ReadDAGFile parses.
+func WriteDAGFile(path string, dag *poset.DAG) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintln(w, dag.N()); err != nil {
+		return err
+	}
+	for v := 0; v < dag.N(); v++ {
+		for _, u := range dag.Out(v) {
+			if _, err := fmt.Fprintln(w, v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// ReadCSVDataset parses a CSV data file against the given PO domains
+// (one per po_* column, in column order).
+func ReadCSVDataset(path string, domains []*poset.Domain) (*core.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, domains)
+}
+
+// ReadCSV parses the CSV workload format from r: the header names the
+// columns (to_* / po_*), every subsequent record is one row. The number
+// of po_* columns must match len(domains).
+func ReadCSV(r io.Reader, domains []*poset.Domain) (*core.Dataset, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	header, err := cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	var toCols, poCols []int
+	for i, name := range header {
+		switch {
+		case strings.HasPrefix(name, "to_"):
+			toCols = append(toCols, i)
+		case strings.HasPrefix(name, "po_"):
+			poCols = append(poCols, i)
+		default:
+			return nil, fmt.Errorf("column %q is neither to_* nor po_*", name)
+		}
+	}
+	if len(poCols) != len(domains) {
+		return nil, fmt.Errorf("%d po_* columns but %d DAG files", len(poCols), len(domains))
+	}
+	ds := &core.Dataset{Domains: domains}
+	id := int32(0)
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		p := core.Point{ID: id}
+		for _, c := range toCols {
+			v, err := strconv.Atoi(rec[c])
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %v", id, err)
+			}
+			p.TO = append(p.TO, int32(v))
+		}
+		for _, c := range poCols {
+			v, err := strconv.Atoi(rec[c])
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %v", id, err)
+			}
+			p.PO = append(p.PO, int32(v))
+		}
+		ds.Pts = append(ds.Pts, p)
+		id++
+	}
+	return ds, nil
+}
+
+// ReadDomains reads and preprocesses a list of DAG files into query
+// domains, one per PO column.
+func ReadDomains(paths []string) ([]*poset.Domain, error) {
+	var domains []*poset.Domain
+	for _, path := range paths {
+		dag, err := ReadDAGFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, err)
+		}
+		dom, err := poset.NewDomain(dag)
+		if err != nil {
+			return nil, fmt.Errorf("domain %s: %w", path, err)
+		}
+		domains = append(domains, dom)
+	}
+	return domains, nil
+}

@@ -1,0 +1,94 @@
+package data
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/poset"
+)
+
+func TestDAGFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dag := Lattice(rng, 5, 0.8)
+	path := filepath.Join(t.TempDir(), "dag.txt")
+	if err := WriteDAGFile(path, dag); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDAGFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != dag.N() || back.Edges() != dag.Edges() {
+		t.Fatalf("round trip: N %d→%d, edges %d→%d", dag.N(), back.N(), dag.Edges(), back.Edges())
+	}
+	for v := 0; v < dag.N(); v++ {
+		a, b := dag.Out(v), back.Out(v)
+		if len(a) != len(b) {
+			t.Fatalf("node %d out-degree %d→%d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d edge %d: %d→%d", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	dag := poset.NewDAG(3)
+	dag.MustEdge(0, 1)
+	dom := poset.MustDomain(dag)
+
+	ds, err := ReadCSV(strings.NewReader("to_0,po_0\n7,0\n3,2\n"), []*poset.Domain{dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Pts) != 2 || ds.Pts[0].TO[0] != 7 || ds.Pts[1].PO[0] != 2 {
+		t.Fatalf("parsed %+v", ds.Pts)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, input := range map[string]string{
+		"bad column":   "x_0\n1\n",
+		"bad to value": "to_0\nseven\n",
+		"bad po value": "to_0,po_0\n1,zero\n",
+		"domain count": "to_0,po_0,po_1\n1,0,0\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(input), []*poset.Domain{dom}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadDomains(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte("2\n0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	domains, err := ReadDomains([]string{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 1 || domains[0].Size() != 2 {
+		t.Fatalf("domains: %+v", domains)
+	}
+	if !domains[0].TPrefers(0, 1) {
+		t.Error("edge 0→1 lost")
+	}
+	if _, err := ReadDomains([]string{filepath.Join(dir, "missing.txt")}); err == nil {
+		t.Error("missing file must fail")
+	}
+	cyclic := filepath.Join(dir, "cyclic.txt")
+	if err := os.WriteFile(cyclic, []byte("2\n0 1\n1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDomains([]string{cyclic}); err == nil {
+		t.Error("cyclic DAG must fail domain construction")
+	}
+}

@@ -120,3 +120,22 @@ func WriteProgress(w io.Writer, rows []ProgressRow) {
 		fmt.Fprintln(w)
 	}
 }
+
+// WriteServeRows renders the serving experiment: dynamic-query
+// throughput vs result-cache capacity under a skewed DAG workload.
+func WriteServeRows(w io.Writer, rows []ServeRow) {
+	fmt.Fprintln(w, "Serve — dynamic queries/sec vs result-cache capacity")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "capacity\tdistinct\tqueries\thits\thit%\tqps\tavg(ms)\tvirtual(ms)")
+	for _, r := range rows {
+		capLabel := fmt.Sprint(r.Capacity)
+		if r.Capacity == 0 {
+			capLabel = "off"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f%%\t%.0f\t%.3f\t%.3f\n",
+			capLabel, r.Distinct, r.Queries, r.Hits, r.HitRate*100,
+			r.QPS, r.AvgMs, r.VirtualMs)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+// ServeRow is one measurement of the serving experiment: a skewed
+// stream of dynamic queries (distinct preference DAGs drawn Zipf-like,
+// the shape a population of users with popular taste profiles
+// produces) answered by one prepared DynamicDB at a given result-cache
+// capacity.
+type ServeRow struct {
+	Capacity  int     // result-cache capacity (0 = cache disabled)
+	Distinct  int     // distinct DAG sets in the workload pool
+	Queries   int     // queries issued
+	Hits      int64   // cache hits
+	HitRate   float64 // hits / queries
+	QPS       float64 // wall-clock queries per second
+	AvgMs     float64 // wall-clock mean latency per query
+	VirtualMs float64 // mean simulated latency (CPU + 5 ms per IO)
+}
+
+// FigureServe measures what the tssserve scenario turns on: throughput
+// of per-request preference-DAG queries against one prepared dynamic
+// database as the result-cache capacity grows. It is not a paper
+// figure — it quantifies §V-B's "caching of past results" remark under
+// a serving workload.
+func FigureServe(scale float64) []ServeRow {
+	const (
+		distinct = 16
+		queries  = 96
+	)
+	cfg := DynamicDefaults(scale)
+	ds := BuildDataset(cfg)
+
+	// The query pool: distinct random preference-DAG sets over the
+	// dataset's value universe.
+	pool := make([][]*poset.Domain, distinct)
+	for q := range pool {
+		pool[q] = QueryDomains(cfg, ds, q)
+	}
+	// Skewed arrival sequence: a Zipf draw makes a few DAG sets popular
+	// — the regime where a small cache already absorbs most traffic.
+	rng := rand.New(rand.NewSource(cfg.Seed*31 + 17))
+	zipf := rand.NewZipf(rng, 1.3, 1, distinct-1)
+	seq := make([]int, queries)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+
+	var rows []ServeRow
+	for _, capacity := range []int{0, 1, 2, 4, 8, 16} {
+		db := core.NewDynamicDB(ds, core.Options{})
+		if capacity > 0 {
+			db.EnableCache(capacity)
+		}
+		var virtual time.Duration
+		start := time.Now()
+		for _, qi := range seq {
+			res, err := db.QueryTSS(pool[qi], core.Options{UseMemTree: true})
+			if err != nil {
+				panic(err)
+			}
+			virtual += res.Metrics.TotalTime(cfg.IOCost)
+		}
+		wall := time.Since(start)
+		hits, _ := db.CacheStats()
+		rows = append(rows, ServeRow{
+			Capacity:  capacity,
+			Distinct:  distinct,
+			Queries:   queries,
+			Hits:      hits,
+			HitRate:   float64(hits) / float64(queries),
+			QPS:       float64(queries) / wall.Seconds(),
+			AvgMs:     wall.Seconds() / float64(queries) * 1000,
+			VirtualMs: virtual.Seconds() / float64(queries) * 1000,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigureServeTiny smoke-runs the serving sweep at the N=100 floor
+// and checks the cache's qualitative effect: with the skewed workload,
+// a large-enough cache must observe hits, and hit counts must be
+// monotone non-decreasing in capacity (a bigger FIFO cache never hits
+// less on the same deterministic sequence... it can, with FIFO, but
+// the endpoints 0 and max are ordered: disabled = 0 hits, max ≥ any).
+func TestFigureServeTiny(t *testing.T) {
+	rows := FigureServe(tinyScale)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Capacity != 0 || rows[0].Hits != 0 {
+		t.Fatalf("disabled cache row: %+v", rows[0])
+	}
+	last := rows[len(rows)-1]
+	if last.Capacity < last.Distinct-1 && last.Capacity < 16 {
+		t.Fatalf("unexpected sweep tail: %+v", last)
+	}
+	if last.Hits == 0 {
+		t.Fatalf("capacity-%d cache saw no hits on a skewed stream: %+v", last.Capacity, last)
+	}
+	for _, r := range rows {
+		if r.Queries != rows[0].Queries || r.Distinct != rows[0].Distinct {
+			t.Fatalf("inconsistent workload across rows: %+v", rows)
+		}
+		if r.HitRate < 0 || r.HitRate > 1 || r.QPS <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.Hits > int64(r.Queries) {
+			t.Fatalf("more hits than queries: %+v", r)
+		}
+	}
+	// The full-pool cache must beat the tiny cache on hits.
+	if last.Hits < rows[1].Hits {
+		t.Fatalf("hits shrank with capacity: cap1=%d cap16=%d", rows[1].Hits, last.Hits)
+	}
+
+	var buf strings.Builder
+	WriteServeRows(&buf, rows)
+	for _, want := range []string{"capacity", "off", "qps"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

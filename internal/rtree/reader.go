@@ -1,0 +1,60 @@
+package rtree
+
+// Reader is a read-only traversal handle over a tree: node visits are
+// charged to the reader's own counter and buffer instead of the tree's
+// mutable fields, so any number of concurrent queries can share one
+// immutable tree. The handle exposes the same navigation surface the
+// skyline traversals use (Root / RootNoIO / Open); structural accessors
+// stay on the tree itself.
+//
+// SetIO/SetBuffer remain for single-owner uses (algorithms that build a
+// private tree per run); long-lived shared trees — dTSS's per-group
+// trees behind a server snapshot — must be traversed through readers.
+type Reader struct {
+	t   *Tree
+	io  *IOCounter
+	buf *Buffer
+}
+
+// NewReader creates a traversal handle charging node visits to io
+// (nil disables accounting) through the optional LRU buffer buf.
+func (t *Tree) NewReader(io *IOCounter, buf *Buffer) *Reader {
+	return &Reader{t: t, io: io, buf: buf}
+}
+
+// Tree returns the underlying tree (for structural accessors such as
+// RootBytes or Len).
+func (r *Reader) Tree() *Tree { return r.t }
+
+// Root returns the root node, charging one page read (buffer
+// permitting) to the reader's counter.
+func (r *Reader) Root() *Node {
+	r.chargeRead(r.t.root)
+	return r.t.root
+}
+
+// RootNoIO returns the root without charging a page read — the
+// packed-roots layout accounts root storage separately.
+func (r *Reader) RootNoIO() *Node { return r.t.root }
+
+// Open dereferences an internal entry's child node, charging one page
+// read (buffer permitting) to the reader's counter.
+func (r *Reader) Open(e Entry) *Node {
+	if e.child == nil {
+		panic("rtree: Open on a leaf entry")
+	}
+	r.chargeRead(e.child)
+	return e.child
+}
+
+// chargeRead accounts one node visit against the reader's counter,
+// honouring the reader's buffer.
+func (r *Reader) chargeRead(n *Node) {
+	if r.io == nil {
+		return
+	}
+	if r.buf != nil && r.buf.touch(n) {
+		return
+	}
+	r.io.Reads++
+}

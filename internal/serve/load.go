@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/poset"
+)
+
+// SpecFromCSVDir builds a TableSpec from a tssgen output directory:
+// <dir>/data.csv plus one <dir>/dag_<d>.txt per po_* column. PO value
+// labels are the integer ids of the DAG files ("0", "1", …), matching
+// the CSV's own encoding, so the same workloads drive the CLIs and the
+// server interchangeably.
+func SpecFromCSVDir(name, dir string) (TableSpec, error) {
+	var dagPaths []string
+	for d := 0; ; d++ {
+		p := filepath.Join(dir, fmt.Sprintf("dag_%d.txt", d))
+		if _, err := os.Stat(p); err != nil {
+			break
+		}
+		dagPaths = append(dagPaths, p)
+	}
+	domains, err := data.ReadDomains(dagPaths)
+	if err != nil {
+		return TableSpec{}, err
+	}
+	ds, err := data.ReadCSVDataset(filepath.Join(dir, "data.csv"), domains)
+	if err != nil {
+		return TableSpec{}, fmt.Errorf("read %s: %w", filepath.Join(dir, "data.csv"), err)
+	}
+	if err := ds.Validate(); err != nil {
+		return TableSpec{}, err
+	}
+	return SpecFromDataset(name, ds), nil
+}
+
+// SpecFromDataset converts a core dataset into the wire form: to_*/po_*
+// column names and integer-id PO labels, the same encoding the CSV
+// files use. The thin client (tssquery -serve -data) uses it to upload
+// local workloads.
+func SpecFromDataset(name string, ds *core.Dataset) TableSpec {
+	spec := TableSpec{Name: name}
+	for d := 0; d < ds.NumTO(); d++ {
+		spec.TOColumns = append(spec.TOColumns, fmt.Sprintf("to_%d", d))
+	}
+	for d, dom := range ds.Domains {
+		spec.Orders = append(spec.Orders, OrderSpecFromDAG(fmt.Sprintf("po_%d", d), dom.DAG()))
+	}
+	for i := range ds.Pts {
+		p := &ds.Pts[i]
+		row := RowSpec{TO: make([]int64, len(p.TO))}
+		for d, v := range p.TO {
+			row.TO[d] = int64(v)
+		}
+		for _, v := range p.PO {
+			row.PO = append(row.PO, strconv.Itoa(int(v)))
+		}
+		spec.Rows = append(spec.Rows, row)
+	}
+	return spec
+}
+
+// OrderSpecFromDAG renders a DAG as an OrderSpec with integer-id labels
+// — the wire form of tssgen's DAG files.
+func OrderSpecFromDAG(name string, dag *poset.DAG) OrderSpec {
+	spec := OrderSpec{Name: name}
+	for v := 0; v < dag.N(); v++ {
+		spec.Values = append(spec.Values, strconv.Itoa(v))
+	}
+	for v := 0; v < dag.N(); v++ {
+		for _, u := range dag.Out(v) {
+			spec.Edges = append(spec.Edges, [2]string{strconv.Itoa(v), strconv.Itoa(int(u))})
+		}
+	}
+	return spec
+}
+
+// LoadCSVDir creates a catalog table from a tssgen output directory.
+func (s *Server) LoadCSVDir(name, dir string) (TableInfo, error) {
+	spec, err := SpecFromCSVDir(name, dir)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	return s.CreateTable(spec)
+}

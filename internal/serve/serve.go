@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tss "repro"
+	"repro/internal/core"
+)
+
+// DefaultCacheCapacity sizes a table's dynamic-query result cache when
+// neither the server nor the table spec overrides it.
+const DefaultCacheCapacity = 64
+
+// Server is the in-memory catalog of named skyline tables plus the
+// HTTP handlers that serve them. The zero value is not usable;
+// construct with New.
+type Server struct {
+	mu     sync.RWMutex
+	tables map[string]*tableEntry
+
+	cacheCap int
+	started  time.Time
+	queries  atomic.Int64
+}
+
+// New creates an empty catalog. cacheCap sizes each new table's
+// dynamic result cache (0 selects DefaultCacheCapacity).
+func New(cacheCap int) *Server {
+	if cacheCap <= 0 {
+		cacheCap = DefaultCacheCapacity
+	}
+	return &Server{
+		tables:   make(map[string]*tableEntry),
+		cacheCap: cacheCap,
+		started:  time.Now(),
+	}
+}
+
+// CreateTable validates the spec, builds the initial snapshot and adds
+// the table to the catalog. Fails if the name is taken — checked both
+// before the (potentially expensive) snapshot build and again when
+// publishing, so duplicate creates fail fast without burning an index
+// build and concurrent same-name creates still serialize correctly.
+func (s *Server) CreateTable(spec TableSpec) (TableInfo, error) {
+	s.mu.RLock()
+	_, dup := s.tables[spec.Name]
+	s.mu.RUnlock()
+	if dup {
+		return TableInfo{}, errTableExists
+	}
+	e, err := newTableEntry(spec, s.cacheCap)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[spec.Name]; dup {
+		return TableInfo{}, errTableExists
+	}
+	s.tables[spec.Name] = e
+	return e.info(), nil
+}
+
+// DropTable removes a table from the catalog. In-flight queries on its
+// last snapshot finish normally.
+func (s *Server) DropTable(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return false
+	}
+	delete(s.tables, name)
+	return true
+}
+
+// Table looks a catalog entry up.
+func (s *Server) table(name string) (*tableEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.tables[name]
+	return e, ok
+}
+
+// Tables lists catalog entries sorted by name.
+func (s *Server) Tables() []TableInfo {
+	s.mu.RLock()
+	entries := make([]*tableEntry, 0, len(s.tables))
+	for _, e := range s.tables {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	infos := make([]TableInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = e.info()
+	}
+	return infos
+}
+
+// Stats renders the /statsz body.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Tables:        s.Tables(),
+		TotalQueries:  s.queries.Load(),
+		Algorithms:    core.AlgorithmNames(),
+	}
+}
+
+var errTableExists = errors.New("table already exists")
+
+// Handler returns the HTTP API:
+//
+//	GET    /healthz                     liveness
+//	GET    /statsz                      catalog + traffic statistics
+//	GET    /tables                      list tables
+//	POST   /tables                      create a table (TableSpec)
+//	GET    /tables/{name}               table info
+//	DELETE /tables/{name}               drop a table
+//	GET    /tables/{name}/skyline       static skyline (?algo=, ?parallel=, ?limit=)
+//	POST   /tables/{name}/rows:batch    batched mutation (BatchRequest)
+//	POST   /tables/{name}/query         dynamic query (QueryRequest)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /tables", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Tables())
+	})
+	mux.HandleFunc("POST /tables", s.handleCreate)
+	mux.HandleFunc("GET /tables/{name}", s.withTable(func(w http.ResponseWriter, r *http.Request, e *tableEntry) {
+		writeJSON(w, http.StatusOK, e.info())
+	}))
+	mux.HandleFunc("DELETE /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.DropTable(r.PathValue("name")) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", r.PathValue("name")))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"dropped": r.PathValue("name")})
+	})
+	mux.HandleFunc("GET /tables/{name}/skyline", s.withTable(s.handleSkyline))
+	mux.HandleFunc("POST /tables/{name}/rows:batch", s.withTable(s.handleBatch))
+	mux.HandleFunc("POST /tables/{name}/query", s.withTable(s.handleQuery))
+	return mux
+}
+
+// withTable resolves the {name} path value to a catalog entry.
+func (s *Server) withTable(fn func(http.ResponseWriter, *http.Request, *tableEntry)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		e, ok := s.table(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+			return
+		}
+		fn(w, r, e)
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec TableSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad table spec: %w", err))
+		return
+	}
+	info, err := s.CreateTable(spec)
+	if errors.Is(err, errTableExists) {
+		writeError(w, http.StatusConflict, fmt.Errorf("table %q already exists", spec.Name))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleSkyline answers a static skyline query on the current snapshot
+// through the algorithm registry: ?algo= names any registered
+// algorithm (default stss), ?parallel=N runs it behind the
+// partition-and-merge executor, ?limit=K truncates the response rows.
+func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request, e *tableEntry) {
+	// Query decoding turns '+' into ' '; algorithm names ("sdc+",
+	// "bbs+") contain '+' and never spaces, so map it back — ?algo=sdc+
+	// works unescaped from curl.
+	algo := strings.ReplaceAll(r.URL.Query().Get("algo"), " ", "+")
+	if algo == "" {
+		algo = "stss"
+	}
+	parallel, err := intParam(r, "parallel", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := intParam(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	snap := e.current()
+	var res *tss.SkylineResult
+	if parallel != 0 {
+		p := parallel
+		if p < 0 {
+			p = 0 // facade: 0 = one shard per CPU
+		}
+		res, err = snap.table.SkylineParallel(algo, p)
+	} else {
+		res, err = snap.table.SkylineWith(algo)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.countQuery(e)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Table:   e.name,
+		Version: snap.version,
+		Rows:    snap.table.Len(),
+		Count:   len(res.Rows),
+		Skyline: skylineRows(snap, res.Rows, limit),
+		Metrics: res.Metrics,
+		Algo:    algo,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *tableEntry) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch: %w", err))
+		return
+	}
+	resp, err := e.applyBatch(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQuery answers a dynamic skyline query: the request brings its
+// own preference DAGs (and optionally an ideal point), served through
+// the snapshot's prepared dynamic database and its result cache.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEntry) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
+		return
+	}
+	snap := e.current()
+	orders, err := e.queryOrders(req.Orders)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res *tss.SkylineResult
+	switch {
+	case req.Baseline && req.Ideal != nil:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("baseline does not support ideal-point queries"))
+		return
+	case req.Baseline:
+		res, err = snap.dyn.QueryBaseline(orders...)
+	case req.Ideal != nil:
+		res, err = snap.dyn.QueryAt(req.Ideal, orders...)
+	default:
+		res, err = snap.dyn.Query(orders...)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.countQuery(e)
+	// The result cache serves only the plain dTSS path — baseline and
+	// ideal-point queries bypass it and don't move the counters.
+	if !req.Baseline && req.Ideal == nil {
+		if res.CacheHit {
+			e.cacheHits.Add(1)
+		} else {
+			e.cacheMisses.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Table:    e.name,
+		Version:  snap.version,
+		Rows:     snap.table.Len(),
+		Count:    len(res.Rows),
+		Skyline:  skylineRows(snap, res.Rows, req.Limit),
+		Metrics:  res.Metrics,
+		CacheHit: res.CacheHit,
+	})
+}
+
+func (s *Server) countQuery(e *tableEntry) {
+	s.queries.Add(1)
+	e.queries.Add(1)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: %w", name, v, err)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

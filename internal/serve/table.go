@@ -1,0 +1,228 @@
+// Package serve is the HTTP/JSON skyline query server behind
+// cmd/tssserve: an in-memory catalog of named tables, each published as
+// an immutable copy-on-write snapshot (a sealed tss.Table plus its
+// prepared dynamic-query database), so any number of concurrent readers
+// query lock-free while batched mutations build the next snapshot aside
+// and atomically swap it in.
+//
+// Consistency model: a query is answered entirely by one snapshot — the
+// one current when the request reached the table — and the response
+// carries that snapshot's version. Row indexes are snapshot-scoped.
+// Mutations are serialized per table and never touch a published
+// snapshot; in-flight queries keep reading the version they started on.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	tss "repro"
+)
+
+// snapshot is one immutable published state of a table. The table is
+// sealed (all lazily built per-domain indexes precompiled) and the
+// dynamic database prepared with its result cache, so serving a
+// snapshot never writes shared memory.
+type snapshot struct {
+	version int64
+	table   *tss.Table
+	dyn     *tss.Dynamic
+}
+
+// tableEntry is a catalog slot: the current snapshot behind an atomic
+// pointer (readers), a mutation lock (writers), and traffic counters.
+type tableEntry struct {
+	name       string
+	toCols     []string
+	orderSpecs []OrderSpec
+	orders     []*tss.Order // compiled base orders, shared by all snapshots
+
+	writeMu sync.Mutex // serializes mutations; readers never take it
+	snap    atomic.Pointer[snapshot]
+
+	queries   atomic.Int64
+	mutations atomic.Int64
+	// Cache counters, accumulated per served query (on the response's
+	// CacheHit flag) rather than read from the snapshots' own caches:
+	// snapshots retire while queries are still in flight on them, so
+	// folding their internal stats at swap time would race and lose
+	// counts. These stay exact and cumulative across swaps.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// buildOrders compiles OrderSpecs into tss Orders, converting the
+// facade's construction panics (duplicate labels, unknown edge labels,
+// preference cycles) into errors a handler can return as 400s.
+func buildOrders(specs []OrderSpec) (orders []*tss.Order, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			orders, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	for _, spec := range specs {
+		o := tss.NewOrder(spec.Values...)
+		for _, e := range spec.Edges {
+			o.Prefer(e[0], e[1])
+		}
+		orders = append(orders, o)
+	}
+	return orders, nil
+}
+
+// newTableEntry validates a spec, builds the initial snapshot and
+// returns the ready entry. cacheCap sizes the dynamic result cache.
+func newTableEntry(spec TableSpec, cacheCap int) (*tableEntry, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("table name is required")
+	}
+	// The dynamic database indexes each PO group's rows by their TO
+	// coordinates, so a served table needs at least one TO column.
+	if len(spec.TOColumns) == 0 {
+		return nil, fmt.Errorf("table %q needs at least one totally ordered column", spec.Name)
+	}
+	orders, err := buildOrders(spec.Orders)
+	if err != nil {
+		return nil, err
+	}
+	if spec.CacheCapacity > 0 {
+		cacheCap = spec.CacheCapacity
+	}
+	e := &tableEntry{
+		name:       spec.Name,
+		toCols:     append([]string(nil), spec.TOColumns...),
+		orderSpecs: append([]OrderSpec(nil), spec.Orders...),
+		orders:     orders,
+	}
+	table, err := e.freshTable()
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range spec.Rows {
+		if err := table.Add(r.TO, r.PO...); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	e.publish(0, table, cacheCap)
+	return e, nil
+}
+
+// freshTable builds an empty table over the entry's schema, converting
+// compile panics (preference cycles) into errors.
+func (e *tableEntry) freshTable() (t *tss.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	return tss.NewTable(e.toCols, e.orders...), nil
+}
+
+// publish seals table, prepares its dynamic database and swaps the new
+// snapshot in. Callers hold writeMu (or own the entry exclusively).
+func (e *tableEntry) publish(version int64, table *tss.Table, cacheCap int) {
+	table.Seal()
+	dyn := table.PrepareDynamic()
+	dyn.EnableCache(cacheCap)
+	e.snap.Store(&snapshot{version: version, table: table, dyn: dyn})
+}
+
+// current returns the snapshot serving reads right now.
+func (e *tableEntry) current() *snapshot { return e.snap.Load() }
+
+// applyBatch atomically applies a batched mutation: removals (by
+// current-snapshot row index) first, then appends, then the re-prepare
+// hook rebuilds the dynamic database and the snapshot pointer swaps.
+// Reads issued while this runs are served by the old snapshot.
+func (e *tableEntry) applyBatch(req BatchRequest) (BatchResponse, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.current()
+
+	// A no-op batch must not rebuild the dynamic database or discard
+	// the warm result cache.
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		return BatchResponse{Table: e.name, Version: cur.version, Rows: cur.table.Len()}, nil
+	}
+
+	var next *tss.Table
+	removed := 0
+	if len(req.Remove) == 0 {
+		next = cur.table.Clone()
+	} else {
+		drop := make(map[int]bool, len(req.Remove))
+		for _, i := range req.Remove {
+			if i < 0 || i >= cur.table.Len() {
+				return BatchResponse{}, fmt.Errorf("remove index %d out of range [0, %d)", i, cur.table.Len())
+			}
+			drop[i] = true
+		}
+		removed = len(drop)
+		next = cur.table.Filter(func(i int) bool { return !drop[i] })
+	}
+	for i, r := range req.Add {
+		if err := next.Add(r.TO, r.PO...); err != nil {
+			return BatchResponse{}, fmt.Errorf("add row %d: %w", i, err)
+		}
+	}
+
+	next.Seal()
+	dyn := cur.dyn.Reprepare(next)
+	e.snap.Store(&snapshot{version: cur.version + 1, table: next, dyn: dyn})
+	e.mutations.Add(1)
+	return BatchResponse{
+		Table:   e.name,
+		Version: cur.version + 1,
+		Rows:    next.Len(),
+		Added:   len(req.Add),
+		Removed: removed,
+	}, nil
+}
+
+// info renders the entry for /tables and /statsz.
+func (e *tableEntry) info() TableInfo {
+	s := e.current()
+	return TableInfo{
+		Name:      e.name,
+		Version:   s.version,
+		Rows:      s.table.Len(),
+		Groups:    s.dyn.Groups(),
+		TOColumns: append([]string(nil), e.toCols...),
+		Orders:    append([]OrderSpec(nil), e.orderSpecs...),
+		Stats: TableStats{
+			Queries:     e.queries.Load(),
+			Mutations:   e.mutations.Load(),
+			CacheHits:   e.cacheHits.Load(),
+			CacheMisses: e.cacheMisses.Load(),
+		},
+	}
+}
+
+// queryOrders builds per-request preference Orders over the table's
+// value labels, converting label/cycle panics into errors.
+func (e *tableEntry) queryOrders(reqOrders []QueryOrder) ([]*tss.Order, error) {
+	if len(reqOrders) != len(e.orderSpecs) {
+		return nil, fmt.Errorf("query has %d orders, table has %d PO columns",
+			len(reqOrders), len(e.orderSpecs))
+	}
+	specs := make([]OrderSpec, len(reqOrders))
+	for d, q := range reqOrders {
+		specs[d] = OrderSpec{Values: e.orderSpecs[d].Values, Edges: q.Edges}
+	}
+	return buildOrders(specs)
+}
+
+// skylineRows renders result row indexes with their values from the
+// snapshot that produced them.
+func skylineRows(s *snapshot, rows []int, limit int) []SkylineRow {
+	if limit > 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	out := make([]SkylineRow, len(rows))
+	for i, r := range rows {
+		to, po := s.table.RowValues(r)
+		out[i] = SkylineRow{Row: r, TO: to, PO: po}
+	}
+	return out
+}

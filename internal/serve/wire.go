@@ -1,0 +1,129 @@
+package serve
+
+import "repro/internal/core"
+
+// Wire types of the tssserve HTTP/JSON API. Every request and response
+// body is one of these; field names are the contract documented in the
+// README's tssserve section.
+
+// OrderSpec describes one partially ordered column: its value labels
+// plus the preference edges ([better, worse] label pairs, transitive).
+type OrderSpec struct {
+	Name   string      `json:"name,omitempty"`
+	Values []string    `json:"values"`
+	Edges  [][2]string `json:"edges,omitempty"`
+}
+
+// RowSpec is one row: TO column values (smaller = better) and one PO
+// value label per order.
+type RowSpec struct {
+	TO []int64  `json:"to"`
+	PO []string `json:"po,omitempty"`
+}
+
+// TableSpec creates a table (POST /tables).
+type TableSpec struct {
+	Name      string      `json:"name"`
+	TOColumns []string    `json:"toColumns"`
+	Orders    []OrderSpec `json:"orders,omitempty"`
+	Rows      []RowSpec   `json:"rows,omitempty"`
+	// CacheCapacity sizes the table's dynamic-query result cache
+	// (0 = the server default).
+	CacheCapacity int `json:"cacheCapacity,omitempty"`
+}
+
+// TableInfo describes a table (GET /tables/{name}, /tables, /statsz).
+type TableInfo struct {
+	Name      string      `json:"name"`
+	Version   int64       `json:"version"`
+	Rows      int         `json:"rows"`
+	Groups    int         `json:"groups"`
+	TOColumns []string    `json:"toColumns"`
+	Orders    []OrderSpec `json:"orders,omitempty"`
+	Stats     TableStats  `json:"stats"`
+}
+
+// TableStats carries a table's served-traffic counters. Cache counters
+// count served dynamic queries by their cache outcome, so they are
+// exact and cumulative across snapshot swaps (a batch mutation
+// rebuilds the prepared database with a fresh cache, but these
+// counters never reset).
+type TableStats struct {
+	Queries     int64 `json:"queries"`
+	Mutations   int64 `json:"mutations"`
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+}
+
+// BatchRequest mutates rows (POST /tables/{name}/rows:batch). Remove
+// lists row indexes of the *current* snapshot; removals are applied
+// first, then Add appends, and surviving rows are renumbered — row
+// indexes are snapshot-scoped, so clients correlate them through the
+// returned version.
+type BatchRequest struct {
+	Add    []RowSpec `json:"add,omitempty"`
+	Remove []int     `json:"remove,omitempty"`
+}
+
+// BatchResponse reports the snapshot the batch produced.
+type BatchResponse struct {
+	Table   string `json:"table"`
+	Version int64  `json:"version"`
+	Rows    int    `json:"rows"`
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+}
+
+// QueryOrder is a per-request preference DAG over one PO column's value
+// labels (exactly the labels the table was created with).
+type QueryOrder struct {
+	Edges [][2]string `json:"edges"`
+}
+
+// QueryRequest is a dynamic skyline query (POST /tables/{name}/query):
+// one preference DAG per PO column, an optional ideal point (one value
+// per TO column) turning it into a fully dynamic query, and an optional
+// baseline switch answering through the rebuild-everything SDC+
+// adaptation instead of dTSS.
+type QueryRequest struct {
+	Orders   []QueryOrder `json:"orders"`
+	Ideal    []int64      `json:"ideal,omitempty"`
+	Baseline bool         `json:"baseline,omitempty"`
+	// Limit truncates the rows serialized into the response (0 = all);
+	// Count always reports the full skyline size.
+	Limit int `json:"limit,omitempty"`
+}
+
+// SkylineRow is one skyline member with its snapshot-scoped row index
+// and raw values.
+type SkylineRow struct {
+	Row int      `json:"row"`
+	TO  []int64  `json:"to"`
+	PO  []string `json:"po,omitempty"`
+}
+
+// QueryResponse answers skyline and query requests. Version identifies
+// the snapshot that served the request; every row index refers to it.
+type QueryResponse struct {
+	Table    string             `json:"table"`
+	Version  int64              `json:"version"`
+	Rows     int                `json:"rows"`
+	Count    int                `json:"count"`
+	Skyline  []SkylineRow       `json:"skyline"`
+	Metrics  core.MetricsExport `json:"metrics"`
+	CacheHit bool               `json:"cacheHit,omitempty"`
+	Algo     string             `json:"algo,omitempty"`
+}
+
+// StatsResponse is the /statsz body.
+type StatsResponse struct {
+	UptimeSeconds float64     `json:"uptimeSeconds"`
+	Tables        []TableInfo `json:"tables"`
+	TotalQueries  int64       `json:"totalQueries"`
+	Algorithms    []string    `json:"algorithms"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -243,6 +243,79 @@ func (t *Table) MustAdd(to []int64, po ...string) {
 // Len returns the number of rows.
 func (t *Table) Len() int { return len(t.ds.Pts) }
 
+// TONames returns the totally ordered column names in declaration
+// order.
+func (t *Table) TONames() []string { return append([]string(nil), t.toNames...) }
+
+// Orders returns the table's partially ordered column domains. The
+// returned Orders are the table's own (compiled and frozen): inspect
+// them with Values/Preferred, but further Prefer calls panic.
+func (t *Table) Orders() []*Order { return append([]*Order(nil), t.orders...) }
+
+// RowValues returns row i's raw values: the TO column values and the PO
+// column value labels. The slices are fresh copies.
+func (t *Table) RowValues(i int) (to []int64, po []string) {
+	p := &t.ds.Pts[i]
+	to = make([]int64, len(p.TO))
+	for d, v := range p.TO {
+		to[d] = int64(v)
+	}
+	po = make([]string, len(p.PO))
+	for d, v := range p.PO {
+		po[d] = t.orders[d].labels[v]
+	}
+	return to, po
+}
+
+// Clone returns a copy-on-write snapshot of the table: the new table
+// shares the compiled (frozen, immutable) orders and the existing rows'
+// storage, but appending to either table never affects the other. This
+// is the snapshot hook the serving layer's batched mutations build on —
+// clone, append, publish — while readers keep querying the original.
+func (t *Table) Clone() *Table {
+	pts := make([]core.Point, len(t.ds.Pts))
+	copy(pts, t.ds.Pts)
+	return &Table{
+		toNames: t.toNames,
+		orders:  t.orders,
+		ds:      &core.Dataset{Pts: pts, Domains: t.ds.Domains},
+	}
+}
+
+// Filter returns a copy-on-write snapshot containing only the rows the
+// keep predicate admits, renumbered to consecutive row indexes in
+// their original order. Like Clone, the result shares the compiled
+// orders and the surviving rows' value storage.
+func (t *Table) Filter(keep func(row int) bool) *Table {
+	nt := &Table{
+		toNames: t.toNames,
+		orders:  t.orders,
+		ds:      &core.Dataset{Domains: t.ds.Domains},
+	}
+	for i := range t.ds.Pts {
+		if !keep(i) {
+			continue
+		}
+		p := t.ds.Pts[i]
+		p.ID = int32(len(nt.ds.Pts))
+		nt.ds.Pts = append(nt.ds.Pts, p)
+	}
+	return nt
+}
+
+// Seal precompiles every per-domain auxiliary index (the dyadic range
+// index) that skyline runs would otherwise build lazily on first use.
+// A sealed table can serve any number of concurrent Skyline* calls
+// without mutating shared state; call it once before sharing a table
+// across goroutines. Sealing is idempotent and does not freeze rows —
+// but rows must not be added while queries are in flight.
+func (t *Table) Seal() *Table {
+	for _, dom := range t.ds.Domains {
+		dom.EnableDyadic()
+	}
+	return t
+}
+
 // Row renders row i as a human-readable string.
 func (t *Table) Row(i int) string {
 	p := &t.ds.Pts[i]
@@ -393,6 +466,12 @@ type SkylineResult struct {
 	EmissionSeconds []float64
 	// Stats summarises the run's simulated cost.
 	Stats Stats
+	// Metrics is the full JSON-ready counter export of the run (a
+	// superset of Stats), as attached to server query responses.
+	Metrics core.MetricsExport
+	// CacheHit marks a dynamic query answered from the past-result
+	// cache (see Dynamic.EnableCache) without touching any index.
+	CacheHit bool
 }
 
 // Stats summarises a run: simulated page IOs, dominance checks and
@@ -417,6 +496,8 @@ func wrapResult(res *core.Result) *SkylineResult {
 			DomChecks:  res.Metrics.DomChecks,
 			CPUSeconds: res.Metrics.CPU.Seconds(),
 		},
+		Metrics:  res.Metrics.Export(core.DefaultIOCost),
+		CacheHit: res.FromCache,
 	}
 	for _, id := range res.SkylineIDs {
 		out.Rows = append(out.Rows, int(id))
