@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7..14, ablation, parallel, serve, table3, verify or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7..14, ablation, parallel, serve, store, table3, verify or all")
 	scale := flag.Float64("scale", 0.02, "fraction of the paper's data cardinality (1.0 = full)")
 	flag.Parse()
 
@@ -64,6 +64,8 @@ func run(w io.Writer, fig string, scale float64) error {
 			exp.WriteRows(w, exp.FigureParallel(scale))
 		case "serve":
 			exp.WriteServeRows(w, exp.FigureServe(scale))
+		case "store":
+			exp.WriteStoreRows(w, exp.FigureStore(scale))
 		case "table3":
 			exp.WriteTableIII(w, scale)
 		case "verify":
@@ -77,7 +79,7 @@ func run(w io.Writer, fig string, scale float64) error {
 		return nil
 	}
 	if fig == "all" {
-		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "parallel", "serve"} {
+		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "parallel", "serve", "store"} {
 			fmt.Fprintf(os.Stderr, "running figure %s (scale %.3g)...\n", name, scale)
 			if err := runOne(name); err != nil {
 				return err

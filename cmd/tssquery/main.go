@@ -10,6 +10,16 @@
 // the current list); -parallel N runs it behind the partition-and-merge
 // executor with N shards (-1 = one per CPU).
 //
+// Workloads round-trip through the durable storage engine (the same
+// format tssserve's -data-dir uses):
+//
+//	tssquery -data work/data.csv -dags work/dag_0.txt -store ./tss-data -table w -save
+//	tssquery -store ./tss-data -table w -method stss
+//
+// tables:save persists the CSV workload as a columnar snapshot;
+// loading queries the stored table (snapshot + WAL replay) without the
+// original CSV.
+//
 // The CSV header names the columns: to_* columns are totally ordered
 // (smaller is better), po_* columns hold integer value ids into the
 // corresponding DAG file (first line N, then "better worse" edges).
@@ -25,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/poset"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,7 +49,9 @@ func main() {
 	ideal := flag.String("ideal", "", "fully dynamic query: comma-separated ideal TO values (requires -querydags)")
 	limit := flag.Int("limit", 10, "skyline rows to print (0 = all)")
 	serveURL := flag.String("serve", "", "tssserve base URL: act as a thin client against a running server instead of computing locally")
-	tableName := flag.String("table", "", "server table name (thin-client mode; defaults to \"default\")")
+	tableName := flag.String("table", "", "server or store table name (defaults to \"default\")")
+	storeDir := flag.String("store", "", "durable store directory: with -save persist the -data workload there, without -data load the table from it")
+	save := flag.Bool("save", false, "tables:save — persist the -data workload into -store and exit")
 	flag.Parse()
 
 	if *serveURL != "" {
@@ -52,23 +65,65 @@ func main() {
 		}
 		return
 	}
-	if *dataPath == "" {
-		fatalf("missing -data")
+	if *dataPath == "" && *storeDir == "" {
+		fatalf("missing -data (or -store to load a persisted table)")
 	}
 
-	domains, err := loadDomains(*dagList)
-	if err != nil {
-		fatalf("%v", err)
+	var ds *core.Dataset
+	if *dataPath != "" {
+		domains, err := loadDomains(*dagList)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ds, err = data.ReadCSVDataset(*dataPath, domains)
+		if err != nil {
+			fatalf("read %s: %v", *dataPath, err)
+		}
+		if err := ds.Validate(); err != nil {
+			fatalf("validate: %v", err)
+		}
 	}
-	ds, err := data.ReadCSVDataset(*dataPath, domains)
-	if err != nil {
-		fatalf("read %s: %v", *dataPath, err)
-	}
-	if err := ds.Validate(); err != nil {
-		fatalf("validate: %v", err)
+
+	if *storeDir != "" {
+		table := *tableName
+		if table == "" {
+			table = "default"
+		}
+		st, err := store.OpenDisk(*storeDir, store.DiskOptions{})
+		if err != nil {
+			fatalf("open store %q: %v", *storeDir, err)
+		}
+		defer st.Close()
+		if *save {
+			if ds == nil {
+				fatalf("-save needs -data")
+			}
+			snap, err := data.DatasetSnapshot(ds, 0)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := st.SaveSnapshot(table, snap); err != nil {
+				fatalf("save table %q: %v", table, err)
+			}
+			fmt.Printf("saved table %q: %d rows, %d TO / %d PO columns\n",
+				table, snap.Rows.N(), len(snap.Schema.TOColumns), len(snap.Schema.Orders))
+			return
+		}
+		if ds == nil {
+			snap, err := st.Load(table)
+			if err != nil {
+				fatalf("load table %q: %v", table, err)
+			}
+			ds, err = data.DatasetFromSnapshot(snap)
+			if err != nil {
+				fatalf("table %q: %v", table, err)
+			}
+			fmt.Printf("loaded table %q: version %d, %d rows\n", table, snap.Version, len(ds.Pts))
+		}
 	}
 
 	var res *core.Result
+	var err error
 	if *queryDAGs != "" {
 		if *parallel != 0 {
 			fatalf("-parallel applies to static queries only (dTSS runs sequentially)")

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/poset"
+	"repro/internal/store"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -152,4 +155,83 @@ func TestReadDataErrors(t *testing.T) {
 	if _, err := data.ReadCSVDataset(path, nil); err == nil {
 		t.Error("po column without DAG: expected error")
 	}
+}
+
+// TestStoreSaveLoadRoundTrip: tables:save into a store directory, load
+// back, and the dataset — domains included — answers identically.
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dagPath := writeFile(t, dir, "dag.txt", "4\n0 1\n0 2\n1 3\n2 3\n")
+	csv := "to_0,to_1,po_0\n" +
+		"1800,0,0\n2000,0,0\n1800,0,1\n1200,1,1\n1400,1,0\n" +
+		"1000,1,1\n1000,1,3\n1800,1,2\n500,2,3\n1200,2,2\n"
+	dataPath := writeFile(t, dir, "data.csv", csv)
+	domains, err := data.ReadDomains([]string{dagPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.ReadCSVDataset(dataPath, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	storeDir := filepath.Join(dir, "store")
+	st, err := store.OpenDisk(storeDir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := data.DatasetSnapshot(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot("w", snap); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := store.OpenDisk(storeDir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snap2, err := st2.Load("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := data.DatasetFromSnapshot(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Pts) != len(ds.Pts) {
+		t.Fatalf("rows %d, want %d", len(ds2.Pts), len(ds.Pts))
+	}
+	want := fmt.Sprint(ds.NaiveSkyline())
+	if got := fmt.Sprint(ds2.NaiveSkyline()); got != want {
+		t.Fatalf("skyline after round trip %s, want %s", got, want)
+	}
+	// Static and dynamic query paths agree too.
+	resA, err := runStatic(ds, "stss", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := runStatic(ds2, "stss", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(resA.SkylineIDs) != fmt.Sprint(resB.SkylineIDs) {
+		t.Fatalf("stss after round trip %v, want %v", resB.SkylineIDs, resA.SkylineIDs)
+	}
+	resC, err := runDynamic(ds2, dagPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sortIDs(resC.SkylineIDs)) != fmt.Sprint(sortIDs(resA.SkylineIDs)) {
+		t.Fatalf("dTSS after round trip %v, want %v", resC.SkylineIDs, resA.SkylineIDs)
+	}
+}
+
+func sortIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -1,12 +1,20 @@
-// Command tssserve is the HTTP/JSON skyline query server: an in-memory
-// catalog of named tables served to concurrent clients with
-// copy-on-write snapshot isolation. Static skylines dispatch through
-// the algorithm registry (?algo=, ?parallel=); dynamic queries bring
-// per-request preference DAGs and are answered by the prepared dTSS
-// database and its result cache; batched mutations atomically swap in
-// a new snapshot without blocking readers.
+// Command tssserve is the HTTP/JSON skyline query server: a catalog of
+// named tables served to concurrent clients with copy-on-write
+// snapshot isolation. Static skylines dispatch through the algorithm
+// registry (?algo=, ?parallel=); dynamic queries bring per-request
+// preference DAGs and are answered by the prepared dTSS database and
+// its result cache; batched mutations derive the next snapshot
+// incrementally and atomically swap it in without blocking readers.
 //
 //	tssserve -addr :8080 -table flights=./work -cache 128
+//	tssserve -addr :8080 -data-dir ./tss-data -checkpoint-every 4194304
+//
+// With -data-dir the catalog is durable: every batch is appended to a
+// CRC-checked write-ahead log *before* its snapshot is published, logs
+// are checkpointed into columnar snapshots once they pass
+// -checkpoint-every bytes, and on startup every persisted table is
+// recovered to its last acknowledged version (snapshot + WAL replay).
+// -no-fsync trades power-failure durability for append latency.
 //
 // Preload tables from tssgen output directories with repeated -table
 // name=dir flags, or create them over HTTP (POST /tables). Endpoints:
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // tableFlags collects repeated -table name=dir values.
@@ -54,10 +63,32 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", serve.DefaultCacheCapacity, "per-table dynamic result cache capacity")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+	checkpointEvery := flag.Int64("checkpoint-every", serve.DefaultCheckpointEvery,
+		"WAL bytes after which a batch checkpoints its table into a fresh snapshot")
+	noFsync := flag.Bool("no-fsync", false,
+		"skip fsync on WAL appends and snapshot writes (faster; unsafe across power failures)")
 	flag.Var(&tables, "table", "preload a table from a tssgen output dir, as name=dir (repeatable)")
 	flag.Parse()
 
-	s := serve.New(*cache)
+	cfg := serve.Config{CacheCapacity: *cache, CheckpointEvery: *checkpointEvery}
+	if *dataDir != "" {
+		st, err := store.OpenDisk(*dataDir, store.DiskOptions{NoFsync: *noFsync})
+		if err != nil {
+			fatalf("open data dir %q: %v", *dataDir, err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	s := serve.NewWithConfig(cfg)
+	recovered, err := s.Recover()
+	if err != nil {
+		fatalf("recover: %v", err)
+	}
+	for _, info := range recovered {
+		fmt.Printf("recovered table %q: version %d, %d rows, %d groups\n",
+			info.Name, info.Version, info.Rows, info.Groups)
+	}
 	for _, spec := range tables {
 		name, dir, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -65,6 +96,12 @@ func main() {
 		}
 		info, err := s.LoadCSVDir(name, dir)
 		if err != nil {
+			// A recovered table of the same name wins over the preload:
+			// its durable state is strictly newer than the seed files.
+			if errors.Is(err, serve.ErrTableExists) {
+				fmt.Printf("table %q already recovered from the data dir; skipping preload\n", name)
+				continue
+			}
 			fatalf("load table %q: %v", name, err)
 		}
 		fmt.Printf("loaded table %q: %d rows, %d groups\n", info.Name, info.Rows, info.Groups)

@@ -46,6 +46,34 @@ func (d *Dynamic) Reprepare(t *Table) *Dynamic {
 	return nd
 }
 
+// ApplyDelta derives a prepared Dynamic for next — a table produced by
+// Table.ApplyBatch on this database's table — by incremental index
+// maintenance: only the point groups the batch touched have their
+// R-trees (copy-on-write) and local skylines updated, in
+// O(batch·log N) plus one O(N) row-mapping pass, instead of the full
+// re-partition, re-sort and bulk-load Reprepare performs. The receiver
+// keeps serving queries untouched; the cache configuration carries
+// over with a fresh cache (cached skylines are stale once rows
+// changed).
+//
+// On any inconsistency between delta and the prepared state — or when
+// accumulated churn calls for compaction — ApplyDelta transparently
+// falls back to a full Reprepare, so the result is always equivalent.
+func (d *Dynamic) ApplyDelta(next *Table, delta *BatchDelta) *Dynamic {
+	if next == nil || delta == nil {
+		return d.Reprepare(next)
+	}
+	db, err := d.db.ApplyBatch(next.ds, &core.Delta{OldToNew: delta.OldToNew, Added: delta.Added})
+	if err != nil {
+		return d.Reprepare(next)
+	}
+	nd := &Dynamic{table: next, db: db}
+	if d.cacheCap > 0 {
+		nd.EnableCache(d.cacheCap)
+	}
+	return nd
+}
+
 // Groups returns the number of distinct PO value combinations.
 func (d *Dynamic) Groups() int { return d.db.NumGroups() }
 

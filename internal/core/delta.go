@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rtree"
+)
+
+// Delta describes a batched row mutation in the terms incremental index
+// maintenance needs: how old row indexes map to new ones, and how many
+// rows were appended. The new dataset is the old one with the removed
+// rows dropped, survivors renumbered to consecutive indexes in their
+// original order, and the added rows at the tail.
+type Delta struct {
+	// OldToNew maps every old row index to its new index, -1 for
+	// removed rows. Its length must equal the old row count.
+	OldToNew []int32
+	// Added is the number of rows appended at the tail of the new
+	// dataset (new indexes newN-Added … newN-1).
+	Added int
+}
+
+// compactionSlack bounds stable-id space bloat: once deletions have
+// left more holes than live rows (plus slack), ApplyBatch rebuilds from
+// scratch to reclaim the indirection arrays — amortised O(1) per
+// mutated row.
+const compactionSlack = 64
+
+// ApplyBatch derives a DynamicDB serving newDS from db by incremental,
+// copy-on-write index maintenance instead of a full rebuild: affected
+// group trees are updated with O(log n) COW insert/delete per mutated
+// row (untouched nodes — and entirely untouched groups — are shared
+// with db), per-group local skylines are recomputed only for groups the
+// batch touched, and the stable-id maps are refreshed in one O(N) pass.
+// db itself is never modified, so queries in flight on it are
+// unaffected — this is the snapshot-swap primitive of the serving
+// layer.
+//
+// The result's cache is fresh (cached skylines are stale once rows
+// changed); callers re-enable it. When churn has bloated the stable-id
+// space past twice the live row count, ApplyBatch transparently falls
+// back to a full rebuild, which compacts the indirection.
+func (db *DynamicDB) ApplyBatch(newDS *Dataset, delta *Delta) (*DynamicDB, error) {
+	if len(delta.OldToNew) != len(db.ds.Pts) {
+		return nil, fmt.Errorf("core: delta maps %d rows, database has %d", len(delta.OldToNew), len(db.ds.Pts))
+	}
+	if len(newDS.Domains) != len(db.ds.Domains) {
+		return nil, fmt.Errorf("core: new dataset has %d PO domains, database has %d", len(newDS.Domains), len(db.ds.Domains))
+	}
+	if db.stableSpace()+delta.Added > 2*len(newDS.Pts)+compactionSlack {
+		nd := NewDynamicDB(newDS, db.opt)
+		return nd, nil
+	}
+	start := time.Now()
+	maintIO := &rtree.IOCounter{}
+
+	nd := &DynamicDB{
+		ds:     newDS,
+		opt:    db.opt,
+		groups: append([]dynGroup(nil), db.groups...),
+		byKey:  make(map[string]int, len(db.byKey)),
+	}
+	for k, gi := range db.byKey {
+		nd.byKey[k] = gi
+	}
+
+	// Gather the per-group work: COW tree deletions for removed rows,
+	// insertions for added ones, creating groups for unseen PO value
+	// combinations.
+	type groupOps struct {
+		removeStable []int32 // stable ids leaving the group
+		removeCoords [][]int32
+		addStable    []int32 // stable ids entering the group
+		addRow       []int32 // their new row indexes
+	}
+	ops := map[int]*groupOps{}
+	opsFor := func(gi int) *groupOps {
+		o := ops[gi]
+		if o == nil {
+			o = &groupOps{}
+			ops[gi] = o
+		}
+		return o
+	}
+	for r, nr := range delta.OldToNew {
+		if nr >= 0 {
+			continue
+		}
+		p := &db.ds.Pts[r]
+		gi, ok := db.byKey[poKey(p.PO)]
+		if !ok {
+			return nil, fmt.Errorf("core: removed row %d belongs to no group", r)
+		}
+		o := opsFor(gi)
+		o.removeStable = append(o.removeStable, db.stable(int32(r)))
+		o.removeCoords = append(o.removeCoords, p.TO)
+	}
+	oldSpace := db.stableSpace()
+	newN := len(newDS.Pts)
+	for k := 0; k < delta.Added; k++ {
+		row := int32(newN - delta.Added + k)
+		p := &newDS.Pts[row]
+		key := poKey(p.PO)
+		gi, ok := nd.byKey[key]
+		if !ok {
+			gi = len(nd.groups)
+			nd.byKey[key] = gi
+			nd.groups = append(nd.groups, dynGroup{
+				vals: append([]int32(nil), p.PO...),
+				tree: rtree.BulkLoad(newDS.NumTO(), nil, db.opt.capacityFor(newDS.NumTO()), maintIO),
+			})
+		}
+		o := opsFor(gi)
+		o.addStable = append(o.addStable, int32(oldSpace+k))
+		o.addRow = append(o.addRow, row)
+	}
+
+	// Refresh the stable-id maps: one O(N) pass, far cheaper than the
+	// per-group sorts and bulk loads a rebuild would redo.
+	rowOf := make([]int32, oldSpace+delta.Added)
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	stableOf := make([]int32, newN)
+	for r, nr := range delta.OldToNew {
+		if nr >= 0 {
+			s := db.stable(int32(r))
+			rowOf[s] = nr
+			stableOf[nr] = s
+		}
+	}
+	for k := 0; k < delta.Added; k++ {
+		s := int32(oldSpace + k)
+		row := int32(newN - delta.Added + k)
+		rowOf[s] = row
+		stableOf[row] = s
+	}
+	nd.rowOf, nd.stableOf = rowOf, stableOf
+
+	// Apply the per-group maintenance.
+	for gi, o := range ops {
+		g := &nd.groups[gi]
+		tree := g.tree.WithIO(maintIO)
+		localEvicted := false
+		inLocal := make(map[int32]bool, len(g.local))
+		for _, s := range g.local {
+			inLocal[s] = true
+		}
+		for i, s := range o.removeStable {
+			nt, ok := tree.DeleteCOW(rtree.Point{Coords: o.removeCoords[i], ID: s})
+			if !ok {
+				return nil, fmt.Errorf("core: stable id %d missing from its group tree", s)
+			}
+			tree = nt
+			if inLocal[s] {
+				localEvicted = true
+			}
+		}
+		for i, s := range o.addStable {
+			tree = tree.InsertCOW(rtree.Point{Coords: newDS.Pts[o.addRow[i]].TO, ID: s})
+		}
+		g.tree = tree.WithIO(nil)
+
+		// Membership list: drop the removed stables, append the added.
+		removed := make(map[int32]bool, len(o.removeStable))
+		for _, s := range o.removeStable {
+			removed[s] = true
+		}
+		idxs := make([]int32, 0, len(g.idxs)-len(o.removeStable)+len(o.addStable))
+		for _, s := range g.idxs {
+			if !removed[s] {
+				idxs = append(idxs, s)
+			}
+		}
+		idxs = append(idxs, o.addStable...)
+		g.idxs = idxs
+
+		// Local-skyline maintenance. Removing a member of the local
+		// skyline can promote dominated group members, so that forces a
+		// recompute; otherwise additions fold in incrementally (each is
+		// either dominated by a member, or joins and evicts the members
+		// it dominates) and removals of non-members change nothing.
+		if localEvicted {
+			g.local = localSkylineStable(newDS, idxs, rowOf)
+		} else if len(o.addStable) > 0 {
+			local := append([]int32(nil), g.local...)
+			for _, s := range o.addStable {
+				local = localInsert(newDS, local, rowOf, s)
+			}
+			g.local = local
+		}
+	}
+
+	nd.BuildWriteIOs = maintIO.Writes
+	nd.BuildCPU = time.Since(start)
+	return nd, nil
+}
+
+// localInsert folds one new group member into a local skyline kept in
+// ascending-L1 order: the point is dropped if an existing member
+// dominates it, otherwise it takes its L1 position and evicts the
+// members it dominates. O(|local|) — no sort, no full recompute.
+// (Equal-L1 points can never dominate each other: TO dominance implies
+// a strictly smaller coordinate sum.)
+func localInsert(ds *Dataset, local []int32, rowOf []int32, s int32) []int32 {
+	p := ds.Pts[rowOf[s]].TO
+	var pSum int64
+	for _, v := range p {
+		pSum += int64(v)
+	}
+	sumOf := func(id int32) int64 {
+		var sum int64
+		for _, v := range ds.Pts[rowOf[id]].TO {
+			sum += int64(v)
+		}
+		return sum
+	}
+	// Members with smaller L1 may dominate p; if any does, p is out.
+	insertAt := len(local)
+	for i, id := range local {
+		if sumOf(id) >= pSum {
+			insertAt = i
+			break
+		}
+		if toDominates(ds.Pts[rowOf[id]].TO, p) {
+			return local
+		}
+	}
+	// p is in: splice it at its position and evict what it dominates
+	// (only possible at L1 sums strictly greater than pSum).
+	out := make([]int32, 0, len(local)+1)
+	out = append(out, local[:insertAt]...)
+	out = append(out, s)
+	for _, id := range local[insertAt:] {
+		if !toDominates(p, ds.Pts[rowOf[id]].TO) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// localSkylineStable recomputes a group's TO-only local skyline over
+// stable ids, resolving current rows through rowOf.
+func localSkylineStable(ds *Dataset, stables []int32, rowOf []int32) []int32 {
+	rows := make([]int32, len(stables))
+	for i, s := range stables {
+		rows[i] = rowOf[s]
+	}
+	sky := localSkylineTO(ds, rows)
+	// Map the skyline's row indexes back to stable ids.
+	stableOf := make(map[int32]int32, len(stables))
+	for i, s := range stables {
+		stableOf[rows[i]] = s
+	}
+	out := make([]int32, len(sky))
+	for i, r := range sky {
+		out[i] = stableOf[r]
+	}
+	return out
+}

@@ -21,10 +21,47 @@ type DynamicDB struct {
 	ds     *Dataset
 	opt    Options
 	groups []dynGroup
+	byKey  map[string]int // PO value combination -> group index
 	cache  *queryCache
-	// Build metrics for reporting; queries are charged separately.
+
+	// Stable-id indirection for incremental maintenance (ApplyBatch):
+	// group trees, idxs and local lists store *stable* point ids, which
+	// survive the row renumbering a removal causes; rowOf maps a stable
+	// id to its current row index. A nil rowOf means the identity map
+	// (fresh build: stable id == row index), so query paths resolve
+	// through row(). stableOf is the inverse (row index -> stable id).
+	rowOf    []int32
+	stableOf []int32
+
+	// Build metrics for reporting; queries are charged separately. After
+	// an ApplyBatch they hold the incremental maintenance cost instead.
 	BuildWriteIOs int64
 	BuildCPU      time.Duration
+}
+
+// row resolves a stable point id to its current row index.
+func (db *DynamicDB) row(stable int32) int32 {
+	if db.rowOf == nil {
+		return stable
+	}
+	return db.rowOf[stable]
+}
+
+// stable resolves a current row index to its stable point id.
+func (db *DynamicDB) stable(row int32) int32 {
+	if db.stableOf == nil {
+		return row
+	}
+	return db.stableOf[row]
+}
+
+// stableSpace returns the size of the stable-id space (ids are
+// allocated densely from 0; deleted ids leave holes until a rebuild).
+func (db *DynamicDB) stableSpace() int {
+	if db.rowOf == nil {
+		return len(db.ds.Pts)
+	}
+	return len(db.rowOf)
 }
 
 type dynGroup struct {
@@ -43,15 +80,14 @@ func NewDynamicDB(ds *Dataset, opt Options) *DynamicDB {
 	opt = opt.withDefaults()
 	start := time.Now()
 	io := &rtree.IOCounter{}
-	db := &DynamicDB{ds: ds, opt: opt}
+	db := &DynamicDB{ds: ds, opt: opt, byKey: map[string]int{}}
 
-	byKey := map[string]int{}
 	for i := range ds.Pts {
 		k := poKey(ds.Pts[i].PO)
-		gi, ok := byKey[k]
+		gi, ok := db.byKey[k]
 		if !ok {
 			gi = len(db.groups)
-			byKey[k] = gi
+			db.byKey[k] = gi
 			db.groups = append(db.groups, dynGroup{vals: append([]int32(nil), ds.Pts[i].PO...)})
 		}
 		db.groups[gi].idxs = append(db.groups[gi].idxs, int32(i))
@@ -133,8 +169,19 @@ func toDominates(a, b []int32) bool {
 	return strict
 }
 
-// NumGroups returns the number of distinct PO value combinations.
-func (db *DynamicDB) NumGroups() int { return len(db.groups) }
+// NumGroups returns the number of distinct PO value combinations among
+// the current rows. Incremental maintenance can leave a group empty
+// (all members removed); such groups cost one slot until compaction
+// but are not part of the logical partition.
+func (db *DynamicDB) NumGroups() int {
+	n := 0
+	for gi := range db.groups {
+		if len(db.groups[gi].idxs) > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // QueryTSS answers a dynamic skyline query with dTSS (§V-A): the query
 // supplies one preference DAG per PO attribute (as domains preprocessed
@@ -238,7 +285,7 @@ func (db *DynamicDB) searchGroup(g *dynGroup, domains []*poset.Domain, checker t
 	for h.len() > 0 {
 		it := h.pop()
 		if it.isPoint {
-			p := &ds.Pts[it.e.ID]
+			p := &ds.Pts[db.row(it.e.ID)]
 			if checker.dominatedPoint(p.TO, p.PO) {
 				res.Metrics.PointsPruned++
 				continue
@@ -273,7 +320,7 @@ func (db *DynamicDB) scanLocal(g *dynGroup, domains []*poset.Domain, checker tCh
 	ds := db.ds
 	*extra += db.opt.dataPages(len(g.local), ds.NumTO()+ds.NumPO())
 	for _, i := range g.local {
-		p := &ds.Pts[i]
+		p := &ds.Pts[db.row(i)]
 		if checker.dominatedPoint(p.TO, p.PO) {
 			res.Metrics.PointsPruned++
 			continue

@@ -134,7 +134,7 @@ func (db *DynamicDB) QueryTSSFull(q []int32, domains []*poset.Domain, opt Option
 		for h.len() > 0 {
 			it := h.pop()
 			if it.isPoint {
-				p := &ds.Pts[it.e.ID]
+				p := &ds.Pts[db.row(it.e.ID)]
 				tq := absDiff(p.TO, q)
 				if checker.dominatedPoint(tq, p.PO) {
 					res.Metrics.PointsPruned++

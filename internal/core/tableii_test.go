@@ -79,7 +79,7 @@ func TestTableIIExactTree(t *testing.T) {
 // agree (run with -race in CI).
 func TestSTSSConcurrentReads(t *testing.T) {
 	ds := figure3Dataset()
-	ds.Domains[0].EnableDyadic() // pre-enable: EnableDyadic itself is not concurrent-safe
+	ds.Domains[0].EnableDyadic() // pre-build the index outside the timed region
 	want := ds.NaiveSkyline()
 	var wg sync.WaitGroup
 	errs := make(chan string, 8)

@@ -1,0 +1,95 @@
+package data
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+	"repro/internal/store"
+)
+
+// Conversions between the CLI workload form (core.Dataset: CSV rows +
+// DAG files) and the storage engine's columnar snapshot, giving the
+// tools a tables:save / tables:load round trip against the same data
+// directories tssserve persists into.
+
+// DatasetSnapshot renders ds as a storage snapshot at the given
+// version, with the interchange format's to_*/po_* column names and
+// integer-id PO value labels (the encoding the CSV files themselves
+// use).
+func DatasetSnapshot(ds *core.Dataset, version int64) (*store.Snapshot, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	s := &store.Snapshot{Version: version}
+	for c := 0; c < ds.NumTO(); c++ {
+		s.Schema.TOColumns = append(s.Schema.TOColumns, fmt.Sprintf("to_%d", c))
+		col := make([]int64, len(ds.Pts))
+		for i := range ds.Pts {
+			col[i] = int64(ds.Pts[i].TO[c])
+		}
+		s.Rows.TO = append(s.Rows.TO, col)
+	}
+	for c, dom := range ds.Domains {
+		dag := dom.DAG()
+		o := store.OrderSchema{Name: fmt.Sprintf("po_%d", c)}
+		for v := 0; v < dag.N(); v++ {
+			o.Values = append(o.Values, strconv.Itoa(v))
+		}
+		for v := 0; v < dag.N(); v++ {
+			for _, w := range dag.Out(v) {
+				o.Edges = append(o.Edges, [2]int32{int32(v), w})
+			}
+		}
+		s.Schema.Orders = append(s.Schema.Orders, o)
+		col := make([]int32, len(ds.Pts))
+		for i := range ds.Pts {
+			col[i] = ds.Pts[i].PO[c]
+		}
+		s.Rows.PO = append(s.Rows.PO, col)
+	}
+	return s, nil
+}
+
+// DatasetFromSnapshot rebuilds a dataset from a storage snapshot: PO
+// domains from the persisted preference DAGs (labels preserved), rows
+// from the columnar data.
+func DatasetFromSnapshot(s *store.Snapshot) (*core.Dataset, error) {
+	ds := &core.Dataset{}
+	for c, o := range s.Schema.Orders {
+		dag := poset.NewDAG(len(o.Values))
+		for v, label := range o.Values {
+			dag.SetLabel(v, label)
+		}
+		for _, e := range o.Edges {
+			if err := dag.AddEdge(int(e[0]), int(e[1])); err != nil {
+				return nil, fmt.Errorf("po column %d: %w", c, err)
+			}
+		}
+		dom, err := poset.NewDomain(dag)
+		if err != nil {
+			return nil, fmt.Errorf("po column %d: %w", c, err)
+		}
+		ds.Domains = append(ds.Domains, dom)
+	}
+	n := s.Rows.N()
+	for i := 0; i < n; i++ {
+		p := core.Point{ID: int32(i)}
+		for c := range s.Rows.TO {
+			v := s.Rows.TO[c][i]
+			if v < 0 || v > 1<<30 {
+				return nil, fmt.Errorf("row %d: TO value %d outside the supported range", i, v)
+			}
+			p.TO = append(p.TO, int32(v))
+		}
+		for c := range s.Rows.PO {
+			p.PO = append(p.PO, s.Rows.PO[c][i])
+		}
+		ds.Pts = append(ds.Pts, p)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

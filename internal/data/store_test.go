@@ -1,0 +1,84 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+	"repro/internal/store"
+)
+
+// TestDatasetSnapshotRoundTrip: dataset → snapshot → dataset preserves
+// rows, domains (reachability included) and skylines.
+func TestDatasetSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dag := poset.NewDAG(5)
+	dag.MustEdge(0, 1)
+	dag.MustEdge(0, 2)
+	dag.MustEdge(1, 3)
+	dag.MustEdge(2, 4)
+	dom := poset.MustDomain(dag)
+	ds := &core.Dataset{Domains: []*poset.Domain{dom}}
+	for i := 0; i < 40; i++ {
+		ds.Pts = append(ds.Pts, core.Point{
+			ID: int32(i),
+			TO: []int32{int32(rng.Intn(50)), int32(rng.Intn(50))},
+			PO: []int32{int32(rng.Intn(5))},
+		})
+	}
+
+	snap, err := DatasetSnapshot(ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 7 || snap.Rows.N() != 40 {
+		t.Fatalf("snapshot version %d rows %d", snap.Version, snap.Rows.N())
+	}
+	back, err := DatasetFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pts) != len(ds.Pts) || back.NumTO() != 2 || back.NumPO() != 1 {
+		t.Fatalf("shape diverges: %d pts, %d TO, %d PO", len(back.Pts), back.NumTO(), back.NumPO())
+	}
+	for i := range ds.Pts {
+		if fmt.Sprint(ds.Pts[i]) != fmt.Sprint(back.Pts[i]) {
+			t.Fatalf("row %d diverges: %v vs %v", i, ds.Pts[i], back.Pts[i])
+		}
+	}
+	for x := int32(0); x < 5; x++ {
+		for y := int32(0); y < 5; y++ {
+			if dom.TPrefers(x, y) != back.Domains[0].TPrefers(x, y) {
+				t.Fatalf("preference %d→%d diverges after round trip", x, y)
+			}
+		}
+	}
+	if fmt.Sprint(ds.NaiveSkyline()) != fmt.Sprint(back.NaiveSkyline()) {
+		t.Fatal("skyline diverges after round trip")
+	}
+}
+
+// TestDatasetFromSnapshotRejectsBadInput: cyclic DAGs and out-of-range
+// values error instead of producing a broken dataset.
+func TestDatasetFromSnapshotRejectsBadInput(t *testing.T) {
+	good, err := DatasetSnapshot(&core.Dataset{
+		Domains: []*poset.Domain{poset.MustDomain(poset.NewDAG(2))},
+		Pts:     []core.Point{{TO: []int32{1}, PO: []int32{0}}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Schema.Orders = append([]store.OrderSchema(nil), good.Schema.Orders...)
+	bad.Schema.Orders[0].Edges = [][2]int32{{0, 1}, {1, 0}}
+	if _, err := DatasetFromSnapshot(&bad); err == nil {
+		t.Fatal("cyclic DAG accepted")
+	}
+	neg := *good
+	neg.Rows.TO = [][]int64{{-5}}
+	if _, err := DatasetFromSnapshot(&neg); err == nil {
+		t.Fatal("negative TO value accepted")
+	}
+}

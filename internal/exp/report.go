@@ -139,3 +139,17 @@ func WriteServeRows(w io.Writer, rows []ServeRow) {
 	tw.Flush()
 	fmt.Fprintln(w)
 }
+
+// WriteStoreRows renders the storage experiment: batch-apply latency,
+// rebuild-aside vs incremental, plus WAL append durability cost.
+func WriteStoreRows(w io.Writer, rows []StoreRow) {
+	fmt.Fprintln(w, "Store — batch apply: rebuild-aside vs incremental (plus WAL append cost)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\tbatch\trebuild(ms)\tincremental(ms)\tspeedup\twal+fsync(ms)\twal-fsync(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\t%.1fx\t%.3f\t%.3f\n",
+			r.N, r.Batch, r.RebuildMs, r.IncrMs, r.Speedup, r.WALFsyncMs, r.WALNoSyncMs)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

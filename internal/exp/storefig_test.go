@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFigureStoreShapes sanity-checks the storage figure at tiny scale.
+func TestFigureStoreShapes(t *testing.T) {
+	rows := FigureStore(0.001)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.N <= 0 || r.Batch <= 0 || r.RebuildMs <= 0 || r.IncrMs <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.WALFsyncMs <= 0 || r.WALNoSyncMs <= 0 {
+			t.Fatalf("missing WAL measurements: %+v", r)
+		}
+	}
+}
+
+// BenchmarkApplyBatchIncremental measures the incremental maintenance
+// path in isolation (the figure's inner loop), profilable with
+// -cpuprofile.
+func BenchmarkApplyBatchIncremental(b *testing.B) {
+	cfg := DynamicDefaults(0.02)
+	cfg.N = 50000
+	ds := BuildDataset(cfg)
+	db := core.NewDynamicDB(ds, core.Options{})
+	rng := rand.New(rand.NewSource(5))
+	removes, adds := randomBatch(rng, cfg, ds, 500)
+	newDS, delta := deltaDataset(ds, removes, adds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ApplyBatch(newDS, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package poset
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Domain is a fully preprocessed partially ordered domain: a DAG plus
@@ -31,7 +33,14 @@ type Domain struct {
 	level []int32       // value -> uncovered level
 	maxLv int32
 
-	dy *dyadicIndex // lazily built by EnableDyadic / RangeIntervals
+	// dy is the lazily built dyadic-range index. It is published through
+	// an atomic pointer so EnableDyadic may race concurrent readers
+	// (skyline queries calling OrdRangeIntervals): tables cloned for a
+	// snapshot swap share their compiled domains with the table still
+	// serving queries, so sealing the clone must not perturb in-flight
+	// reads of the original.
+	dy   atomic.Pointer[dyadicIndex]
+	dyMu sync.Mutex // serializes the one-time index build
 }
 
 // domainConfig carries construction options.
@@ -353,8 +362,8 @@ func (dm *Domain) OrdRangeIntervals(loOrd, hiOrd int32) IntervalSet {
 	if loOrd == hiOrd {
 		return dm.sets[dm.byOrd[loOrd]]
 	}
-	if dm.dy != nil {
-		return dm.dy.rangeIntervals(loOrd, hiOrd)
+	if dy := dm.dy.Load(); dy != nil {
+		return dy.rangeIntervals(loOrd, hiOrd)
 	}
 	var scratch []Interval
 	for i := loOrd; i <= hiOrd; i++ {
@@ -366,11 +375,21 @@ func (dm *Domain) OrdRangeIntervals(loOrd, hiOrd int32) IntervalSet {
 // EnableDyadic precomputes the dyadic-range index (sTSS optimisation
 // §IV-B): the merged interval sets of all dyadic ordinal ranges, linear
 // space, turning OrdRangeIntervals into an O(log |D|) lookup.
+//
+// EnableDyadic is idempotent and safe to call concurrently with itself
+// and with queries: the index is built once under a mutex and published
+// atomically, so readers either see the finished index or fall back to
+// the direct merge — never a partially built structure.
 func (dm *Domain) EnableDyadic() {
-	if dm.dy == nil {
-		dm.dy = newDyadicIndex(dm)
+	if dm.dy.Load() != nil {
+		return
+	}
+	dm.dyMu.Lock()
+	defer dm.dyMu.Unlock()
+	if dm.dy.Load() == nil {
+		dm.dy.Store(newDyadicIndex(dm))
 	}
 }
 
 // DyadicEnabled reports whether the dyadic index has been built.
-func (dm *Domain) DyadicEnabled() bool { return dm.dy != nil }
+func (dm *Domain) DyadicEnabled() bool { return dm.dy.Load() != nil }

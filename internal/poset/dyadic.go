@@ -88,20 +88,21 @@ func (dy *dyadicIndex) rangeIntervals(lo, hi int32) IntervalSet {
 // DecomposeOrdRange returns the covering dyadic pieces' interval sets
 // without the final merge; exposed for tests and instrumentation.
 func (dm *Domain) decomposeOrdRange(lo, hi int32) []IntervalSet {
-	if dm.dy == nil {
+	dy := dm.dy.Load()
+	if dy == nil {
 		return nil
 	}
-	l := int(lo) + dm.dy.size
-	r := int(hi) + dm.dy.size + 1
+	l := int(lo) + dy.size
+	r := int(hi) + dy.size + 1
 	var out []IntervalSet
 	for l < r {
 		if l&1 == 1 {
-			out = append(out, dm.dy.sets[l])
+			out = append(out, dy.sets[l])
 			l++
 		}
 		if r&1 == 1 {
 			r--
-			out = append(out, dm.dy.sets[r])
+			out = append(out, dy.sets[r])
 		}
 		l >>= 1
 		r >>= 1

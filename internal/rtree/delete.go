@@ -1,0 +1,201 @@
+package rtree
+
+// Deletion with condense-tree (Guttman §3.3) on top of the insertion
+// machinery: the leaf entry is located by exact coordinates + id and
+// removed; underfull nodes on the path are dissolved and their entries
+// reinserted at their original level; the root is collapsed while it is
+// an internal node with a single child.
+//
+// Every mutation goes through the cowCtx of insert.go, so the same code
+// serves two call forms:
+//
+//   - Delete mutates the tree in place (single-owner trees);
+//   - DeleteCOW / InsertCOW leave the receiver untouched and return a
+//     new tree sharing all unmodified nodes — the O(batch·log N)
+//     maintenance primitive behind incremental snapshot swaps, where
+//     concurrent readers keep traversing the previous version.
+
+// Delete removes the leaf entry with exactly p's coordinates and ID.
+// It reports whether such an entry existed. Node visits on the search
+// path are charged as reads; modified nodes as writes.
+func (t *Tree) Delete(p Point) bool {
+	if len(p.Coords) != t.dims {
+		panic("rtree: point dimensionality mismatch")
+	}
+	return t.delete(nil, p)
+}
+
+// InsertCOW returns a tree with p added, leaving the receiver
+// unchanged; the result shares every node the insertion did not touch.
+// The two trees must not be mutated in place afterwards (use further
+// COW operations).
+func (t *Tree) InsertCOW(p Point) *Tree {
+	if len(p.Coords) != t.dims {
+		panic("rtree: point dimensionality mismatch")
+	}
+	nt := t.shallowCopy()
+	nt.insertEntry(newCowCtx(), Entry{Lo: p.Coords, Hi: p.Coords, ID: p.ID}, 1)
+	nt.size++
+	return nt
+}
+
+// DeleteCOW returns a tree with the leaf entry matching p removed,
+// leaving the receiver unchanged, plus whether the entry existed (when
+// false, the receiver itself is returned).
+func (t *Tree) DeleteCOW(p Point) (*Tree, bool) {
+	if len(p.Coords) != t.dims {
+		panic("rtree: point dimensionality mismatch")
+	}
+	nt := t.shallowCopy()
+	if !nt.delete(newCowCtx(), p) {
+		return t, false
+	}
+	return nt, true
+}
+
+// WithIO returns a shallow copy of t whose future operations are
+// charged to io; the copy shares every node with t. Combine with the
+// COW operations to account maintenance separately from queries.
+func (t *Tree) WithIO(io *IOCounter) *Tree {
+	nt := t.shallowCopy()
+	nt.io = io
+	return nt
+}
+
+func (t *Tree) shallowCopy() *Tree {
+	cp := *t
+	return &cp
+}
+
+// pathElem records one step of the root→leaf search path: the node and
+// the index of the entry chosen inside it (the child descended into,
+// or the matching point entry at the leaf).
+type pathElem struct {
+	n   *Node
+	idx int
+}
+
+// delete implements Delete for both call forms. With a non-nil ctx all
+// modified nodes are copied first (copy-on-write).
+func (t *Tree) delete(c *cowCtx, p Point) bool {
+	path := t.findLeaf(p)
+	if path == nil {
+		return false
+	}
+	// COW: replace every node on the path with an editable copy,
+	// re-linking parent entries top-down. After this loop the whole
+	// path is owned by this operation.
+	if c != nil {
+		for k := range path {
+			cp := c.editable(path[k].n)
+			if k == 0 {
+				t.root = cp
+			} else {
+				path[k-1].n.Entries[path[k-1].idx].child = cp
+			}
+			path[k].n = cp
+		}
+	}
+
+	// Remove the point entry from the leaf.
+	leaf := path[len(path)-1]
+	leaf.n.Entries = append(leaf.n.Entries[:leaf.idx], leaf.n.Entries[leaf.idx+1:]...)
+	t.chargeWrites(1)
+	t.size--
+
+	// Condense: walk the path bottom-up. Underfull non-root nodes are
+	// dissolved — their entries queue for reinsertion at their level —
+	// and surviving ancestors get their MBBs tightened.
+	type orphan struct {
+		e     Entry
+		level int // node level the entry must be reinserted at (1 = leaf)
+	}
+	var orphans []orphan
+	level := 1 // level of path[k].n in the loop below
+	for k := len(path) - 1; k >= 1; k-- {
+		n, parent := path[k].n, path[k-1]
+		if len(n.Entries) < t.minEntries {
+			for _, e := range n.Entries {
+				orphans = append(orphans, orphan{e, level})
+			}
+			parent.n.Entries = append(parent.n.Entries[:parent.idx], parent.n.Entries[parent.idx+1:]...)
+			t.nodes--
+		} else {
+			lo, hi := mbbOf(n, t.dims)
+			parent.n.Entries[parent.idx].Lo, parent.n.Entries[parent.idx].Hi = lo, hi
+		}
+		t.chargeWrites(1)
+		level++
+	}
+
+	// Reinsert orphaned entries at their original levels. Splits may
+	// grow the tree again; the insertion machinery handles that.
+	for _, o := range orphans {
+		t.insertEntry(c, o.e, o.level)
+	}
+
+	// Collapse a root chain: an internal root with one entry hands the
+	// tree to its only child.
+	for !t.root.Leaf && len(t.root.Entries) == 1 {
+		t.root = t.root.Entries[0].child
+		t.height--
+		t.nodes--
+		t.chargeWrites(1)
+	}
+	return true
+}
+
+// findLeaf locates the leaf entry with exactly p's coordinates and ID,
+// returning the root→leaf path (the last element's idx is the entry's
+// index in the leaf), or nil if absent. Visited nodes are charged as
+// reads.
+func (t *Tree) findLeaf(p Point) []pathElem {
+	var path []pathElem
+	var dfs func(n *Node) bool
+	dfs = func(n *Node) bool {
+		t.chargeRead(n)
+		if n.Leaf {
+			for i := range n.Entries {
+				e := &n.Entries[i]
+				if e.ID == p.ID && coordsEqual(e.Lo, p.Coords) {
+					path = append(path, pathElem{n, i})
+					return true
+				}
+			}
+			return false
+		}
+		for i := range n.Entries {
+			if !coversPoint(&n.Entries[i], p.Coords) {
+				continue
+			}
+			path = append(path, pathElem{n, i})
+			if dfs(n.Entries[i].child) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	if dfs(t.root) {
+		return path
+	}
+	return nil
+}
+
+func coordsEqual(a, b []int32) bool {
+	for d := range a {
+		if a[d] != b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func coversPoint(e *Entry, c []int32) bool {
+	for d := range c {
+		if c[d] < e.Lo[d] || c[d] > e.Hi[d] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,243 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// leafSet collects every stored (coords, id) pair, sorted, as strings.
+func leafSet(t *Tree) []string {
+	var out []string
+	t.All(func(e Entry) {
+		out = append(out, fmt.Sprint(e.Lo, e.ID))
+	})
+	sort.Strings(out)
+	return out
+}
+
+// checkDeleteInvariants verifies structural soundness: MBBs tight, leaves all
+// at the same depth, fill bounds respected (root exempt), and the
+// size/node counters accurate.
+func checkDeleteInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	points, nodes := 0, 0
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		nodes++
+		if n != tr.root {
+			if len(n.Entries) < tr.minEntries {
+				t.Fatalf("node at depth %d underfull: %d < %d", depth, len(n.Entries), tr.minEntries)
+			}
+		}
+		if len(n.Entries) > tr.maxEntries {
+			t.Fatalf("node at depth %d overfull: %d > %d", depth, len(n.Entries), tr.maxEntries)
+		}
+		if n.Leaf {
+			if depth != tr.height {
+				t.Fatalf("leaf at depth %d, tree height %d", depth, tr.height)
+			}
+			points += len(n.Entries)
+			return
+		}
+		for _, e := range n.Entries {
+			lo, hi := mbbOf(e.child, tr.dims)
+			for d := 0; d < tr.dims; d++ {
+				if e.Lo[d] != lo[d] || e.Hi[d] != hi[d] {
+					t.Fatalf("stale MBB at depth %d: entry [%v %v], child [%v %v]", depth, e.Lo, e.Hi, lo, hi)
+				}
+			}
+			walk(e.child, depth+1)
+		}
+	}
+	walk(tr.root, 1)
+	if points != tr.size {
+		t.Fatalf("size counter %d, stored points %d", tr.size, points)
+	}
+	if nodes != tr.nodes {
+		t.Fatalf("node counter %d, walked nodes %d", tr.nodes, nodes)
+	}
+}
+
+func randPoint(rng *rand.Rand, dims int, id int32) Point {
+	c := make([]int32, dims)
+	for d := range c {
+		c[d] = int32(rng.Intn(64))
+	}
+	return Point{Coords: c, ID: id}
+}
+
+// TestDeleteBasic removes every point one by one from an insert-built
+// tree, checking invariants and membership throughout.
+func TestDeleteBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(2, 4, nil)
+	pts := make([]Point, 60)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2, int32(i))
+		tr.Insert(pts[i])
+	}
+	for i, p := range pts {
+		if !tr.Delete(p) {
+			t.Fatalf("delete %d: point not found", i)
+		}
+		if tr.Delete(p) {
+			t.Fatalf("delete %d: double delete succeeded", i)
+		}
+		if tr.Len() != len(pts)-i-1 {
+			t.Fatalf("delete %d: len %d", i, tr.Len())
+		}
+		checkDeleteInvariants(t, tr)
+	}
+	if tr.Height() != 1 || tr.NodeCount() != 1 {
+		t.Fatalf("emptied tree: height %d nodes %d", tr.Height(), tr.NodeCount())
+	}
+}
+
+// TestInsertDeleteInterleavedMatchesBulk is the property test: after an
+// arbitrary interleaving of inserts and deletes, the tree holds exactly
+// the surviving points — the same leaf set as a tree bulk-loaded from
+// them — and every structural invariant holds.
+func TestInsertDeleteInterleavedMatchesBulk(t *testing.T) {
+	for _, cfg := range []struct {
+		dims, cap, ops int
+		seed           int64
+	}{
+		{1, 4, 300, 1},
+		{2, 4, 400, 2},
+		{2, 8, 400, 3},
+		{3, 5, 300, 4},
+		{4, 16, 500, 5},
+		// Past linearSplitThreshold: exercises the linear split.
+		{2, 48, 700, 6},
+		{3, 146, 900, 7},
+	} {
+		t.Run(fmt.Sprintf("d%dc%d", cfg.dims, cfg.cap), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(cfg.seed))
+			tr := New(cfg.dims, cfg.cap, nil)
+			live := map[int32]Point{}
+			nextID := int32(0)
+			for op := 0; op < cfg.ops; op++ {
+				if len(live) == 0 || rng.Intn(3) != 0 {
+					p := randPoint(rng, cfg.dims, nextID)
+					nextID++
+					tr.Insert(p)
+					live[p.ID] = p
+				} else {
+					// Delete a random live point.
+					ids := make([]int32, 0, len(live))
+					for id := range live {
+						ids = append(ids, id)
+					}
+					sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+					victim := live[ids[rng.Intn(len(ids))]]
+					if !tr.Delete(victim) {
+						t.Fatalf("op %d: live point %d not found", op, victim.ID)
+					}
+					delete(live, victim.ID)
+				}
+				if op%25 == 0 {
+					checkDeleteInvariants(t, tr)
+				}
+			}
+			checkDeleteInvariants(t, tr)
+
+			surviving := make([]Point, 0, len(live))
+			for _, p := range live {
+				surviving = append(surviving, p)
+			}
+			bulk := BulkLoad(cfg.dims, surviving, cfg.cap, nil)
+			got, want := leafSet(tr), leafSet(bulk)
+			if len(got) != len(want) {
+				t.Fatalf("leaf set size %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("leaf set diverges at %d: %s vs %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCOWLeavesSourceIntact interleaves COW inserts and deletes,
+// checking after every operation that the previous versions still hold
+// exactly their own point sets — the snapshot-isolation property the
+// serving layer relies on.
+func TestCOWLeavesSourceIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cur := New(2, 4, nil)
+	type version struct {
+		tree *Tree
+		set  []string
+	}
+	versions := []version{{cur, leafSet(cur)}}
+	live := map[int32]Point{}
+	nextID := int32(0)
+	for op := 0; op < 250; op++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			p := randPoint(rng, 2, nextID)
+			nextID++
+			cur = cur.InsertCOW(p)
+			live[p.ID] = p
+		} else {
+			ids := make([]int32, 0, len(live))
+			for id := range live {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			victim := live[ids[rng.Intn(len(ids))]]
+			nt, ok := cur.DeleteCOW(victim)
+			if !ok {
+				t.Fatalf("op %d: live point %d not found", op, victim.ID)
+			}
+			cur = nt
+			delete(live, victim.ID)
+		}
+		if op%10 == 0 {
+			versions = append(versions, version{cur, leafSet(cur)})
+			checkDeleteInvariants(t, cur)
+		}
+	}
+	// Every retained version must still read exactly as it did when
+	// captured.
+	for i, v := range versions {
+		got := leafSet(v.tree)
+		if len(got) != len(v.set) {
+			t.Fatalf("version %d: %d points, want %d", i, len(got), len(v.set))
+		}
+		for j := range got {
+			if got[j] != v.set[j] {
+				t.Fatalf("version %d diverged at %d", i, j)
+			}
+		}
+	}
+	// COW delete of an absent point returns the receiver unchanged.
+	if nt, ok := cur.DeleteCOW(Point{Coords: []int32{999, 999}, ID: -1}); ok || nt != cur {
+		t.Fatalf("DeleteCOW of absent point: ok=%v same=%v", ok, nt == cur)
+	}
+}
+
+// TestDeleteChargesIO checks the accounting contract: deletes charge
+// reads on the search path and writes for modified nodes.
+func TestDeleteChargesIO(t *testing.T) {
+	io := &IOCounter{}
+	tr := New(2, 4, io)
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 40)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2, int32(i))
+		tr.Insert(pts[i])
+	}
+	r0, w0 := io.Reads, io.Writes
+	if !tr.Delete(pts[0]) {
+		t.Fatal("point not found")
+	}
+	if io.Reads == r0 {
+		t.Error("delete charged no reads")
+	}
+	if io.Writes == w0 {
+		t.Error("delete charged no writes")
+	}
+}

@@ -14,35 +14,103 @@ import (
 
 	tss "repro"
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // DefaultCacheCapacity sizes a table's dynamic-query result cache when
 // neither the server nor the table spec overrides it.
 const DefaultCacheCapacity = 64
 
-// Server is the in-memory catalog of named skyline tables plus the
-// HTTP handlers that serve them. The zero value is not usable;
-// construct with New.
+// DefaultCheckpointEvery is the WAL size past which a batch triggers a
+// checkpoint (snapshot rewrite + log truncation).
+const DefaultCheckpointEvery = 4 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// CacheCapacity sizes each new table's dynamic result cache
+	// (0 = DefaultCacheCapacity).
+	CacheCapacity int
+	// Store, when non-nil, makes every table durable: batches append
+	// to a write-ahead log before publishing, logs checkpoint into
+	// snapshots, and tables recover on startup (see Recover).
+	Store store.Store
+	// CheckpointEvery is the WAL byte size past which a batch
+	// checkpoints its table (0 = DefaultCheckpointEvery).
+	CheckpointEvery int64
+}
+
+// Server is the catalog of named skyline tables plus the HTTP handlers
+// that serve them. The zero value is not usable; construct with New or
+// NewWithConfig.
 type Server struct {
 	mu     sync.RWMutex
 	tables map[string]*tableEntry
 
-	cacheCap int
-	started  time.Time
-	queries  atomic.Int64
+	cacheCap        int
+	store           store.Store // nil = ephemeral
+	checkpointEvery int64
+	checkpointErrs  atomic.Int64
+	started         time.Time
+	queries         atomic.Int64
 }
 
-// New creates an empty catalog. cacheCap sizes each new table's
-// dynamic result cache (0 selects DefaultCacheCapacity).
+// New creates an empty, ephemeral (storeless) catalog. cacheCap sizes
+// each new table's dynamic result cache (0 selects
+// DefaultCacheCapacity).
 func New(cacheCap int) *Server {
-	if cacheCap <= 0 {
-		cacheCap = DefaultCacheCapacity
+	return NewWithConfig(Config{CacheCapacity: cacheCap})
+}
+
+// NewWithConfig creates a catalog with the given configuration. When a
+// store is attached, call Recover before serving to load persisted
+// tables.
+func NewWithConfig(cfg Config) *Server {
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = DefaultCacheCapacity
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
 	}
 	return &Server{
-		tables:   make(map[string]*tableEntry),
-		cacheCap: cacheCap,
-		started:  time.Now(),
+		tables:          make(map[string]*tableEntry),
+		cacheCap:        cfg.CacheCapacity,
+		store:           cfg.Store,
+		checkpointEvery: cfg.CheckpointEvery,
+		started:         time.Now(),
 	}
+}
+
+// Recover loads every table persisted in the attached store — the
+// latest snapshot with all logged batches replayed — and publishes
+// each at its recovered version. Call once, before serving traffic.
+func (s *Server) Recover() ([]TableInfo, error) {
+	if s.store == nil {
+		return nil, nil
+	}
+	names, err := s.store.List()
+	if err != nil {
+		return nil, err
+	}
+	var infos []TableInfo
+	for _, name := range names {
+		snap, err := s.store.Load(name)
+		if err != nil {
+			return infos, fmt.Errorf("recover table %q: %w", name, err)
+		}
+		spec, err := specFromStore(name, snap)
+		if err != nil {
+			return infos, fmt.Errorf("recover table %q: %w", name, err)
+		}
+		e, err := newTableEntry(spec, s.cacheCap, snap.Version)
+		if err != nil {
+			return infos, fmt.Errorf("recover table %q: %w", name, err)
+		}
+		s.mu.Lock()
+		s.tables[name] = e
+		s.mu.Unlock()
+		infos = append(infos, e.info())
+	}
+	return infos, nil
 }
 
 // CreateTable validates the spec, builds the initial snapshot and adds
@@ -50,28 +118,44 @@ func New(cacheCap int) *Server {
 // before the (potentially expensive) snapshot build and again when
 // publishing, so duplicate creates fail fast without burning an index
 // build and concurrent same-name creates still serialize correctly.
+// With a store attached, the initial snapshot is persisted before the
+// table becomes visible.
 func (s *Server) CreateTable(spec TableSpec) (TableInfo, error) {
 	s.mu.RLock()
 	_, dup := s.tables[spec.Name]
 	s.mu.RUnlock()
 	if dup {
-		return TableInfo{}, errTableExists
+		return TableInfo{}, ErrTableExists
 	}
-	e, err := newTableEntry(spec, s.cacheCap)
+	e, err := newTableEntry(spec, s.cacheCap, 0)
 	if err != nil {
 		return TableInfo{}, err
 	}
+	// The snapshot build above ran without the lock; persisting runs
+	// inside the critical section, after winning the name, so a losing
+	// concurrent create can never overwrite — or clean up — the
+	// winner's durable state.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.tables[spec.Name]; dup {
-		return TableInfo{}, errTableExists
+		return TableInfo{}, ErrTableExists
+	}
+	if s.store != nil {
+		img, err := e.storeSnapshot(e.current())
+		if err != nil {
+			return TableInfo{}, err
+		}
+		if err := s.store.SaveSnapshot(spec.Name, img); err != nil {
+			return TableInfo{}, fmt.Errorf("%w: persist table: %v", errStorage, err)
+		}
 	}
 	s.tables[spec.Name] = e
 	return e.info(), nil
 }
 
-// DropTable removes a table from the catalog. In-flight queries on its
-// last snapshot finish normally.
+// DropTable removes a table from the catalog and, with a store
+// attached, its persisted state. In-flight queries on its last
+// snapshot finish normally.
 func (s *Server) DropTable(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -79,7 +163,49 @@ func (s *Server) DropTable(name string) bool {
 		return false
 	}
 	delete(s.tables, name)
+	if s.store != nil {
+		_ = s.store.Drop(name)
+	}
 	return true
+}
+
+// applyBatch runs a batch through the entry with the server's
+// persistence hooks: the mutation is WAL-appended before the snapshot
+// publishes, and an oversized log checkpoints afterwards.
+func (s *Server) applyBatch(e *tableEntry, req BatchRequest) (BatchResponse, error) {
+	var persist func(version int64) error
+	if s.store != nil {
+		persist = func(version int64) error {
+			m, err := e.mutationRecord(version, req)
+			if err != nil {
+				return err
+			}
+			if err := s.store.AppendMutation(e.name, m); err != nil {
+				return fmt.Errorf("%w: persist batch: %v", errStorage, err)
+			}
+			return nil
+		}
+	}
+	resp, err := e.applyBatch(req, persist)
+	if err != nil || s.store == nil {
+		return resp, err
+	}
+	// Checkpoint policy: the batch is already durable in the WAL, so a
+	// failed checkpoint only defers compaction — count it, don't fail
+	// the request.
+	if size, err := s.store.LogSize(e.name); err == nil && size >= s.checkpointEvery {
+		e.writeMu.Lock()
+		cur := e.current()
+		img, err := e.storeSnapshot(cur)
+		if err == nil {
+			err = s.store.SaveSnapshot(e.name, img)
+		}
+		e.writeMu.Unlock()
+		if err != nil {
+			s.checkpointErrs.Add(1)
+		}
+	}
+	return resp, nil
 }
 
 // Table looks a catalog entry up.
@@ -109,14 +235,30 @@ func (s *Server) Tables() []TableInfo {
 // Stats renders the /statsz body.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Tables:        s.Tables(),
-		TotalQueries:  s.queries.Load(),
-		Algorithms:    core.AlgorithmNames(),
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		Tables:           s.Tables(),
+		TotalQueries:     s.queries.Load(),
+		Algorithms:       core.AlgorithmNames(),
+		Durable:          s.store != nil,
+		CheckpointErrors: s.checkpointErrs.Load(),
 	}
 }
 
-var errTableExists = errors.New("table already exists")
+// ErrTableExists is returned by CreateTable when the name is taken.
+var ErrTableExists = errors.New("table already exists")
+
+// errStorage marks server-side storage failures, so handlers answer
+// them with a 5xx (the request was well-formed; the disk was not)
+// instead of a client error.
+var errStorage = errors.New("storage failure")
+
+// statusFor maps a handler error to its HTTP status.
+func statusFor(err error) int {
+	if errors.Is(err, errStorage) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
 
 // Handler returns the HTTP API:
 //
@@ -177,12 +319,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, err := s.CreateTable(spec)
-	if errors.Is(err, errTableExists) {
+	if errors.Is(err, ErrTableExists) {
 		writeError(w, http.StatusConflict, fmt.Errorf("table %q already exists", spec.Name))
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -244,9 +386,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *tableEnt
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch: %w", err))
 		return
 	}
-	resp, err := e.applyBatch(req)
+	resp, err := s.applyBatch(e, req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

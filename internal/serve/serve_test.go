@@ -428,7 +428,7 @@ func TestVersionPinsSnapshot(t *testing.T) {
 		t.Fatal("flights missing")
 	}
 	snap := e.current()
-	if _, err := e.applyBatch(BatchRequest{Add: []RowSpec{{TO: []int64{1, 1}, PO: []string{"a"}}}}); err != nil {
+	if _, err := e.applyBatch(BatchRequest{Add: []RowSpec{{TO: []int64{1, 1}, PO: []string{"a"}}}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// The old snapshot still answers with its own row count.

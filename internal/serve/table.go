@@ -1,9 +1,12 @@
 // Package serve is the HTTP/JSON skyline query server behind
-// cmd/tssserve: an in-memory catalog of named tables, each published as
-// an immutable copy-on-write snapshot (a sealed tss.Table plus its
+// cmd/tssserve: a catalog of named tables, each published as an
+// immutable copy-on-write snapshot (a sealed tss.Table plus its
 // prepared dynamic-query database), so any number of concurrent readers
-// query lock-free while batched mutations build the next snapshot aside
-// and atomically swap it in.
+// query lock-free while batched mutations derive the next snapshot and
+// atomically swap it in. With a storage engine attached, every batch is
+// appended to the table's write-ahead log before the snapshot is
+// published, logs checkpoint into columnar snapshots past a size
+// threshold, and tables recover on startup — see internal/store.
 //
 // Consistency model: a query is answered entirely by one snapshot — the
 // one current when the request reached the table — and the response
@@ -36,7 +39,12 @@ type tableEntry struct {
 	name       string
 	toCols     []string
 	orderSpecs []OrderSpec
-	orders     []*tss.Order // compiled base orders, shared by all snapshots
+	orders     []*tss.Order     // compiled base orders, shared by all snapshots
+	poIndex    []map[string]int // per order: value label -> id (storage encoding)
+
+	// specCacheCap preserves the table spec's cache sizing (0 = server
+	// default) for persistence across restarts.
+	specCacheCap int
 
 	writeMu sync.Mutex // serializes mutations; readers never take it
 	snap    atomic.Pointer[snapshot]
@@ -71,9 +79,11 @@ func buildOrders(specs []OrderSpec) (orders []*tss.Order, err error) {
 	return orders, nil
 }
 
-// newTableEntry validates a spec, builds the initial snapshot and
-// returns the ready entry. cacheCap sizes the dynamic result cache.
-func newTableEntry(spec TableSpec, cacheCap int) (*tableEntry, error) {
+// newTableEntry validates a spec, builds the initial snapshot at the
+// given version and returns the ready entry. cacheCap sizes the
+// dynamic result cache; version is 0 for fresh tables and the
+// recovered version when loading from a store.
+func newTableEntry(spec TableSpec, cacheCap int, version int64) (*tableEntry, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("table name is required")
 	}
@@ -86,14 +96,22 @@ func newTableEntry(spec TableSpec, cacheCap int) (*tableEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	e := &tableEntry{
+		name:         spec.Name,
+		toCols:       append([]string(nil), spec.TOColumns...),
+		orderSpecs:   append([]OrderSpec(nil), spec.Orders...),
+		orders:       orders,
+		specCacheCap: spec.CacheCapacity,
+	}
 	if spec.CacheCapacity > 0 {
 		cacheCap = spec.CacheCapacity
 	}
-	e := &tableEntry{
-		name:       spec.Name,
-		toCols:     append([]string(nil), spec.TOColumns...),
-		orderSpecs: append([]OrderSpec(nil), spec.Orders...),
-		orders:     orders,
+	for _, spec := range e.orderSpecs {
+		idx := make(map[string]int, len(spec.Values))
+		for i, v := range spec.Values {
+			idx[v] = i
+		}
+		e.poIndex = append(e.poIndex, idx)
 	}
 	table, err := e.freshTable()
 	if err != nil {
@@ -104,7 +122,7 @@ func newTableEntry(spec TableSpec, cacheCap int) (*tableEntry, error) {
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
 	}
-	e.publish(0, table, cacheCap)
+	e.publish(version, table, cacheCap)
 	return e, nil
 }
 
@@ -131,11 +149,18 @@ func (e *tableEntry) publish(version int64, table *tss.Table, cacheCap int) {
 // current returns the snapshot serving reads right now.
 func (e *tableEntry) current() *snapshot { return e.snap.Load() }
 
-// applyBatch atomically applies a batched mutation: removals (by
-// current-snapshot row index) first, then appends, then the re-prepare
-// hook rebuilds the dynamic database and the snapshot pointer swaps.
+// applyBatch atomically applies a batched mutation. The next snapshot
+// is *derived*, not rebuilt: Table.ApplyBatch copies the row header
+// (removals first — by current-snapshot row index — then appends,
+// survivors renumbered) and Dynamic.ApplyDelta maintains the prepared
+// group indexes incrementally, copy-on-write, in O(batch·log N).
 // Reads issued while this runs are served by the old snapshot.
-func (e *tableEntry) applyBatch(req BatchRequest) (BatchResponse, error) {
+//
+// persist, when non-nil, is called with the produced version *before*
+// the snapshot is published; an error aborts the swap, so every
+// version a client ever observes is in the log. This is the serving
+// layer's write-ahead contract.
+func (e *tableEntry) applyBatch(req BatchRequest, persist func(version int64) error) (BatchResponse, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	cur := e.current()
@@ -146,37 +171,31 @@ func (e *tableEntry) applyBatch(req BatchRequest) (BatchResponse, error) {
 		return BatchResponse{Table: e.name, Version: cur.version, Rows: cur.table.Len()}, nil
 	}
 
-	var next *tss.Table
-	removed := 0
-	if len(req.Remove) == 0 {
-		next = cur.table.Clone()
-	} else {
-		drop := make(map[int]bool, len(req.Remove))
-		for _, i := range req.Remove {
-			if i < 0 || i >= cur.table.Len() {
-				return BatchResponse{}, fmt.Errorf("remove index %d out of range [0, %d)", i, cur.table.Len())
-			}
-			drop[i] = true
-		}
-		removed = len(drop)
-		next = cur.table.Filter(func(i int) bool { return !drop[i] })
-	}
+	adds := make([]tss.TableRow, len(req.Add))
 	for i, r := range req.Add {
-		if err := next.Add(r.TO, r.PO...); err != nil {
-			return BatchResponse{}, fmt.Errorf("add row %d: %w", i, err)
+		adds[i] = tss.TableRow{TO: r.TO, PO: r.PO}
+	}
+	next, delta, err := cur.table.ApplyBatch(req.Remove, adds)
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	next.Seal()
+	dyn := cur.dyn.ApplyDelta(next, delta)
+
+	version := cur.version + 1
+	if persist != nil {
+		if err := persist(version); err != nil {
+			return BatchResponse{}, err
 		}
 	}
-
-	next.Seal()
-	dyn := cur.dyn.Reprepare(next)
-	e.snap.Store(&snapshot{version: cur.version + 1, table: next, dyn: dyn})
+	e.snap.Store(&snapshot{version: version, table: next, dyn: dyn})
 	e.mutations.Add(1)
 	return BatchResponse{
 		Table:   e.name,
-		Version: cur.version + 1,
+		Version: version,
 		Rows:    next.Len(),
-		Added:   len(req.Add),
-		Removed: removed,
+		Added:   delta.Added,
+		Removed: delta.OldLen - (delta.NewLen - delta.Added),
 	}, nil
 }
 

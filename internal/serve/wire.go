@@ -121,6 +121,12 @@ type StatsResponse struct {
 	Tables        []TableInfo `json:"tables"`
 	TotalQueries  int64       `json:"totalQueries"`
 	Algorithms    []string    `json:"algorithms"`
+	// Durable reports whether a storage engine is attached (batches
+	// WAL-logged before publishing, tables recovered on restart).
+	Durable bool `json:"durable"`
+	// CheckpointErrors counts failed best-effort checkpoints (the WAL
+	// still holds the batches; only log compaction was deferred).
+	CheckpointErrors int64 `json:"checkpointErrors,omitempty"`
 }
 
 // errorResponse is every non-2xx body.

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Disk persists each table in its own directory under the data dir:
+//
+//	<dir>/<escaped name>/snapshot.tss   columnar snapshot (CRC-checked)
+//	<dir>/<escaped name>/wal.log        write-ahead log of mutations
+//
+// Snapshot replacement is atomic (write-to-temp + rename, directory
+// fsynced), and the WAL is truncated only *after* the new snapshot is
+// in place; a crash between the two leaves a snapshot ahead of its log,
+// which recovery handles by skipping already-absorbed records. With
+// Fsync enabled (the default) every WAL append reaches stable storage
+// before the batch is acknowledged.
+type Disk struct {
+	dir   string
+	fsync bool
+
+	mu   sync.Mutex
+	wals map[string]*os.File // open append handles, one per table
+}
+
+// DiskOptions tunes the disk engine.
+type DiskOptions struct {
+	// NoFsync skips the fsync after each WAL append and snapshot write.
+	// Batches then survive process crashes (the page cache persists)
+	// but not OS or power failures. The store benchmark quantifies the
+	// latency difference.
+	NoFsync bool
+}
+
+// OpenDisk opens (creating if necessary) a disk store rooted at dir.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Disk{dir: dir, fsync: !opts.NoFsync, wals: map[string]*os.File{}}, nil
+}
+
+func (d *Disk) tableDir(name string) string {
+	return filepath.Join(d.dir, escapeName(name))
+}
+
+// escapeName maps an arbitrary table name to a directory-safe form:
+// every byte outside [A-Za-z0-9_-] is %XX-escaped — including dots, so
+// "." and ".." cannot traverse out of the data dir (url.PathEscape
+// leaves them intact, which would).
+func escapeName(name string) string {
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			b = append(b, c)
+		} else {
+			b = append(b, '%', "0123456789ABCDEF"[c>>4], "0123456789ABCDEF"[c&0xf])
+		}
+	}
+	return string(b)
+}
+
+// List implements Store.
+func (d *Disk) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil || escapeName(name) != e.Name() {
+			continue // not a directory this engine created
+		}
+		if _, err := os.Stat(filepath.Join(d.dir, e.Name(), "snapshot.tss")); err == nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Load implements Store.
+func (d *Disk) Load(name string) (*Snapshot, error) {
+	td := d.tableDir(name)
+	snapImg, err := os.ReadFile(filepath.Join(td, "snapshot.tss"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	walPath := filepath.Join(td, "wal.log")
+	walImg, err := os.ReadFile(walPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		walImg = nil
+	} else if err != nil {
+		return nil, err
+	}
+	s, dropped, err := loadImages(snapImg, walImg)
+	if err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	if dropped > 0 {
+		// A crash tore the final (unacknowledged) append. Cut it off so
+		// nothing is ever appended after garbage; if the truncate fails
+		// the CRC check will still catch the damage on the next load.
+		d.mu.Lock()
+		d.closeWALLocked(name)
+		_ = os.Truncate(walPath, int64(len(walImg)-dropped))
+		d.mu.Unlock()
+	}
+	return s, nil
+}
+
+// SaveSnapshot implements Store: atomically replaces the snapshot,
+// then truncates the WAL to an empty (header-only) log.
+func (d *Disk) SaveSnapshot(name string, s *Snapshot) error {
+	img, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	td := d.tableDir(name)
+	if err := os.MkdirAll(td, 0o755); err != nil {
+		return err
+	}
+	// Truncating the log goes through the handle cache: drop any open
+	// append handle so later appends reopen the fresh file.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closeWALLocked(name)
+	if err := d.writeFileAtomic(filepath.Join(td, "snapshot.tss"), img); err != nil {
+		return err
+	}
+	return d.writeFileAtomic(filepath.Join(td, "wal.log"), walHeader())
+}
+
+// writeFileAtomic writes via a temp file + rename, fsyncing file and
+// directory when the engine is in fsync mode.
+func (d *Disk) writeFileAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if d.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return d.syncDir(filepath.Dir(path))
+}
+
+func (d *Disk) syncDir(dir string) error {
+	if !d.fsync {
+		return nil
+	}
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// AppendMutation implements Store. A failed append must not leave torn
+// bytes *mid-file* — a later successful append would land after them
+// and recovery would abort at the garbage, losing acknowledged batches
+// — so on any write/sync error the log is truncated back to its
+// pre-append size and the handle dropped.
+func (d *Disk) AppendMutation(name string, m *Mutation) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := d.walLocked(name)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		d.closeWALLocked(name)
+		return err
+	}
+	appendErr := func() error {
+		if _, err := f.Write(AppendWALRecord(nil, m)); err != nil {
+			return err
+		}
+		if d.fsync {
+			return f.Sync()
+		}
+		return nil
+	}()
+	if appendErr != nil {
+		_ = f.Truncate(st.Size())
+		d.closeWALLocked(name)
+		return appendErr
+	}
+	return nil
+}
+
+// walLocked returns the open append handle for name's WAL, opening
+// (and writing the header of) the file as needed. The snapshot must
+// exist — appending to a never-saved table is an error.
+func (d *Disk) walLocked(name string) (*os.File, error) {
+	if f, ok := d.wals[name]; ok {
+		return f, nil
+	}
+	td := d.tableDir(name)
+	if _, err := os.Stat(filepath.Join(td, "snapshot.tss")); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	path := filepath.Join(td, "wal.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(walHeader()); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	d.wals[name] = f
+	return f, nil
+}
+
+func (d *Disk) closeWALLocked(name string) {
+	if f, ok := d.wals[name]; ok {
+		f.Close()
+		delete(d.wals, name)
+	}
+}
+
+// LogSize implements Store.
+func (d *Disk) LogSize(name string) (int64, error) {
+	st, err := os.Stat(filepath.Join(d.tableDir(name), "wal.log"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Drop implements Store.
+func (d *Disk) Drop(name string) error {
+	d.mu.Lock()
+	d.closeWALLocked(name)
+	d.mu.Unlock()
+	return os.RemoveAll(d.tableDir(name))
+}
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var firstErr error
+	for name, f := range d.wals {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(d.wals, name)
+	}
+	return firstErr
+}

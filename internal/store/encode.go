@@ -1,0 +1,290 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary encodings. Everything is little-endian and fixed-width, so
+// encodings are canonical: decode(encode(x)) == x and
+// encode(decode(b)) == b for every accepted b — the property the
+// round-trip fuzz targets enforce.
+//
+// Snapshot file:
+//
+//	magic "TSSS" | u16 format | u64 version | u32 cacheCapacity
+//	u32 nTO | nTO × str                       (column names)
+//	u32 nPO | per PO column:
+//	    str name
+//	    u32 nValues | nValues × str           (value labels)
+//	    u32 nEdges  | nEdges × (u32 better, u32 worse)
+//	u64 N
+//	per TO column: N × u64 (int64 bits)       (columnar row data)
+//	per PO column: N × u32 (value ids)
+//	u32 CRC-32 (IEEE) of all preceding bytes
+//
+// str is u16 length + bytes. The WAL is a "TSSW" | u16 format header
+// followed by length-prefixed records (see wal.go); each record's
+// payload is an encoded Mutation:
+//
+//	u64 version
+//	u32 nRemove | nRemove × u32               (prior-version row indexes)
+//	u32 nTO | u32 nPO | u32 nAdd
+//	per TO column: nAdd × u64
+//	per PO column: nAdd × u32
+
+const (
+	snapMagic     = "TSSS"
+	walMagic      = "TSSW"
+	formatVersion = 1
+
+	// maxDim caps decoded column/value/edge counts; together with the
+	// remaining-length checks it keeps hostile headers from forcing
+	// large allocations.
+	maxDim = 1 << 20
+)
+
+// EncodeSnapshot serializes s.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	if err := s.Rows.check(&s.Schema); err != nil {
+		return nil, err
+	}
+	var b []byte
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint16(b, formatVersion)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Version))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.CacheCapacity))
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Schema.TOColumns)))
+	for _, name := range s.Schema.TOColumns {
+		b = appendStr(b, name)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Schema.Orders)))
+	for _, o := range s.Schema.Orders {
+		b = appendStr(b, o.Name)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(o.Values)))
+		for _, v := range o.Values {
+			b = appendStr(b, v)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(o.Edges)))
+		for _, e := range o.Edges {
+			b = binary.LittleEndian.AppendUint32(b, uint32(e[0]))
+			b = binary.LittleEndian.AppendUint32(b, uint32(e[1]))
+		}
+	}
+
+	n := s.Rows.N()
+	b = binary.LittleEndian.AppendUint64(b, uint64(n))
+	for _, col := range s.Rows.TO {
+		for _, v := range col {
+			b = binary.LittleEndian.AppendUint64(b, uint64(v))
+		}
+	}
+	for _, col := range s.Rows.PO {
+		for _, v := range col {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b, nil
+}
+
+// DecodeSnapshot parses and validates an EncodeSnapshot result,
+// verifying the trailing CRC before trusting any field. All failures
+// wrap ErrCorrupt; hostile inputs never panic or over-allocate.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapMagic)+2+4 {
+		return nil, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	r := &reader{buf: body}
+	if string(r.take(4)) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	if v := r.u16(); v != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported snapshot format %d", ErrCorrupt, v)
+	}
+	s := &Snapshot{Version: int64(r.u64()), CacheCapacity: int(int32(r.u32()))}
+	if s.Version < 0 || s.CacheCapacity < 0 {
+		return nil, fmt.Errorf("%w: negative version or cache capacity", ErrCorrupt)
+	}
+
+	nTO := int(r.u32())
+	if nTO > maxDim {
+		return nil, fmt.Errorf("%w: implausible TO column count %d", ErrCorrupt, nTO)
+	}
+	for i := 0; i < nTO && r.err == nil; i++ {
+		s.Schema.TOColumns = append(s.Schema.TOColumns, r.str())
+	}
+	nPO := int(r.u32())
+	if nPO > maxDim {
+		return nil, fmt.Errorf("%w: implausible PO column count %d", ErrCorrupt, nPO)
+	}
+	for i := 0; i < nPO && r.err == nil; i++ {
+		o := OrderSchema{Name: r.str()}
+		nVal := int(r.u32())
+		if nVal > maxDim {
+			return nil, fmt.Errorf("%w: implausible value count %d", ErrCorrupt, nVal)
+		}
+		for v := 0; v < nVal && r.err == nil; v++ {
+			o.Values = append(o.Values, r.str())
+		}
+		nEdge := int(r.u32())
+		if r.err == nil && r.remaining() < nEdge*8 {
+			return nil, fmt.Errorf("%w: truncated edge list", ErrCorrupt)
+		}
+		for e := 0; e < nEdge && r.err == nil; e++ {
+			a, b := int32(r.u32()), int32(r.u32())
+			if a < 0 || int(a) >= nVal || b < 0 || int(b) >= nVal {
+				return nil, fmt.Errorf("%w: edge (%d,%d) outside %d values", ErrCorrupt, a, b, nVal)
+			}
+			o.Edges = append(o.Edges, [2]int32{a, b})
+		}
+		s.Schema.Orders = append(s.Schema.Orders, o)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated schema", ErrCorrupt)
+	}
+
+	n64 := r.u64()
+	if r.err == nil && (n64 > uint64(r.remaining()) || int(n64)*(8*nTO+4*nPO) > r.remaining()) {
+		return nil, fmt.Errorf("%w: %d rows cannot fit in %d bytes", ErrCorrupt, n64, r.remaining())
+	}
+	n := int(n64)
+	for c := 0; c < nTO; c++ {
+		col := make([]int64, n)
+		for i := range col {
+			col[i] = int64(r.u64())
+		}
+		s.Rows.TO = append(s.Rows.TO, col)
+	}
+	for c := 0; c < nPO; c++ {
+		col := make([]int32, n)
+		for i := range col {
+			col[i] = int32(r.u32())
+		}
+		s.Rows.PO = append(s.Rows.PO, col)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated row data", ErrCorrupt)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	if err := s.Rows.check(&s.Schema); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeMutation serializes a WAL record payload.
+func EncodeMutation(m *Mutation) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Version))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Remove)))
+	for _, r := range m.Remove {
+		b = binary.LittleEndian.AppendUint32(b, uint32(r))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Add.TO)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Add.PO)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Add.N()))
+	for _, col := range m.Add.TO {
+		for _, v := range col {
+			b = binary.LittleEndian.AppendUint64(b, uint64(v))
+		}
+	}
+	for _, col := range m.Add.PO {
+		for _, v := range col {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+	}
+	return b
+}
+
+// DecodeMutation parses a WAL record payload. All failures wrap
+// ErrCorrupt.
+func DecodeMutation(b []byte) (*Mutation, error) {
+	r := &reader{buf: b}
+	m := &Mutation{Version: int64(r.u64())}
+	if r.err == nil && m.Version < 0 {
+		return nil, fmt.Errorf("%w: negative WAL version", ErrCorrupt)
+	}
+	nRemove := int(r.u32())
+	if r.err == nil && r.remaining() < nRemove*4 {
+		return nil, fmt.Errorf("%w: truncated remove list", ErrCorrupt)
+	}
+	for i := 0; i < nRemove && r.err == nil; i++ {
+		v := int32(r.u32())
+		if v < 0 {
+			return nil, fmt.Errorf("%w: negative remove index", ErrCorrupt)
+		}
+		m.Remove = append(m.Remove, v)
+	}
+	nTO, nPO, nAdd := int(r.u32()), int(r.u32()), int(r.u32())
+	if r.err == nil && (nTO > maxDim || nPO > maxDim || nAdd*(8*nTO+4*nPO) > r.remaining()) {
+		return nil, fmt.Errorf("%w: %d added rows cannot fit in %d bytes", ErrCorrupt, nAdd, r.remaining())
+	}
+	// A columnless mutation cannot carry rows; rejecting it keeps the
+	// encoding canonical (re-encoding would write nAdd=0).
+	if r.err == nil && nTO == 0 && nPO == 0 && nAdd != 0 {
+		return nil, fmt.Errorf("%w: %d added rows without columns", ErrCorrupt, nAdd)
+	}
+	for c := 0; c < nTO && r.err == nil; c++ {
+		col := make([]int64, nAdd)
+		for i := range col {
+			col[i] = int64(r.u64())
+		}
+		m.Add.TO = append(m.Add.TO, col)
+	}
+	for c := 0; c < nPO && r.err == nil; c++ {
+		col := make([]int32, nAdd)
+		for i := range col {
+			col[i] = int32(r.u32())
+		}
+		m.Add.PO = append(m.Add.PO, col)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated mutation", ErrCorrupt)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in mutation", ErrCorrupt, r.remaining())
+	}
+	return m, nil
+}
+
+func appendStr(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// reader is a bounds-checked cursor over encoded bytes.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.err = ErrCorrupt
+		return make([]byte, max(n, 0))
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+
+func (r *reader) str() string { return string(r.take(int(r.u16()))) }

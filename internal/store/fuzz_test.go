@@ -1,0 +1,130 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzz seeds: a few valid images plus systematic corruptions of them,
+// so the fuzzer starts from both sides of the accept/reject boundary.
+func snapshotSeeds() [][]byte {
+	var seeds [][]byte
+	for _, s := range []*Snapshot{
+		sampleSnapshot(0, 0),
+		sampleSnapshot(3, 8),
+		{Version: 1, Schema: Schema{TOColumns: []string{"x"}}, Rows: Rows{TO: [][]int64{{1, 2, 3}}}},
+	} {
+		img, err := EncodeSnapshot(s)
+		if err != nil {
+			panic(err)
+		}
+		seeds = append(seeds, img)
+		seeds = append(seeds, img[:len(img)/2])
+		flipped := append([]byte(nil), img...)
+		flipped[len(flipped)/3] ^= 0x40
+		seeds = append(seeds, flipped)
+	}
+	return seeds
+}
+
+func walSeeds() [][]byte {
+	w := walHeader()
+	w = AppendWALRecord(w, sampleMutation(1, nil, 2))
+	w = AppendWALRecord(w, sampleMutation(2, []int32{0, 1}, 1))
+	flipped := append([]byte(nil), w...)
+	flipped[len(flipped)-2] ^= 0x01
+	return [][]byte{
+		walHeader(),
+		w,
+		w[:len(w)-5],
+		flipped,
+	}
+}
+
+// TestRegenSeedCorpus rewrites the committed seed corpora under
+// testdata/fuzz (run with STORE_REGEN_CORPUS=1 after changing the
+// encodings or the seed constructors). The committed files let CI and
+// plain `go test` exercise the boundary cases without -fuzz.
+func TestRegenSeedCorpus(t *testing.T) {
+	if os.Getenv("STORE_REGEN_CORPUS") == "" {
+		t.Skip("set STORE_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	for target, seeds := range map[string][][]byte{
+		"FuzzSnapshotRoundTrip": snapshotSeeds(),
+		"FuzzWALReplay":         walSeeds(),
+	} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range seeds {
+			content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// FuzzSnapshotRoundTrip: DecodeSnapshot must never panic; every image
+// it accepts must re-encode to exactly the input bytes (canonical
+// encoding), and every rejection must be a wrapped ErrCorrupt.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	for _, s := range snapshotSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		img, err := EncodeSnapshot(s)
+		if err != nil {
+			t.Fatalf("accepted snapshot fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(img, b) {
+			t.Fatalf("non-canonical encoding accepted:\n in  %x\n out %x", b, img)
+		}
+	})
+}
+
+// FuzzWALReplay: ReplayWAL must never panic on arbitrary bytes —
+// truncated or corrupt tails error with ErrCorrupt — and any accepted
+// image must re-frame, record by record, to exactly the input.
+func FuzzWALReplay(f *testing.F) {
+	for _, s := range walSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var muts []*Mutation
+		err := ReplayWAL(b, func(m *Mutation) error {
+			muts = append(muts, m)
+			return nil
+		})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		out := walHeader()
+		for _, m := range muts {
+			out = AppendWALRecord(out, m)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("non-canonical WAL accepted:\n in  %x\n out %x", b, out)
+		}
+	})
+}

@@ -1,0 +1,478 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleSnapshot(version int64, n int) *Snapshot {
+	s := &Snapshot{
+		Version: version,
+		Schema: Schema{
+			TOColumns: []string{"price", "stops"},
+			Orders: []OrderSchema{{
+				Name:   "airline",
+				Values: []string{"a", "b", "c", "d"},
+				Edges:  [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+			}},
+		},
+		CacheCapacity: 16,
+	}
+	rng := rand.New(rand.NewSource(version))
+	to0 := make([]int64, n)
+	to1 := make([]int64, n)
+	po0 := make([]int32, n)
+	for i := 0; i < n; i++ {
+		to0[i] = int64(rng.Intn(2000))
+		to1[i] = int64(rng.Intn(4))
+		po0[i] = int32(rng.Intn(4))
+	}
+	s.Rows = Rows{TO: [][]int64{to0, to1}, PO: [][]int32{po0}}
+	return s
+}
+
+func sampleMutation(version int64, remove []int32, add int) *Mutation {
+	m := &Mutation{Version: version, Remove: remove}
+	rng := rand.New(rand.NewSource(version * 31))
+	to0 := make([]int64, add)
+	to1 := make([]int64, add)
+	po0 := make([]int32, add)
+	for i := 0; i < add; i++ {
+		to0[i] = int64(rng.Intn(2000))
+		to1[i] = int64(rng.Intn(4))
+		po0[i] = int32(rng.Intn(4))
+	}
+	m.Add = Rows{TO: [][]int64{to0, to1}, PO: [][]int32{po0}}
+	return m
+}
+
+func engines(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	diskNoSync, err := OpenDisk(t.TempDir(), DiskOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { diskNoSync.Close() })
+	return map[string]Store{"mem": NewMem(), "disk": disk, "disk-nofsync": diskNoSync}
+}
+
+// TestStoreRoundTrip: snapshot + logged mutations load back as the
+// mutations' net effect, for every engine.
+func TestStoreRoundTrip(t *testing.T) {
+	for engine, st := range engines(t) {
+		t.Run(engine, func(t *testing.T) {
+			if _, err := st.Load("absent"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load(absent) = %v, want ErrNotFound", err)
+			}
+			s := sampleSnapshot(0, 10)
+			if err := st.SaveSnapshot("flights", s); err != nil {
+				t.Fatal(err)
+			}
+			// Two batches: drop rows 0,3, add 2; then add 1.
+			if err := st.AppendMutation("flights", sampleMutation(1, []int32{0, 3}, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.AppendMutation("flights", sampleMutation(2, nil, 1)); err != nil {
+				t.Fatal(err)
+			}
+
+			got, err := st.Load("flights")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Independently replay over the original.
+			want := sampleSnapshot(0, 10)
+			if err := applyMutation(want, sampleMutation(1, []int32{0, 3}, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := applyMutation(want, sampleMutation(2, nil, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("loaded state diverges:\n got %+v\nwant %+v", got, want)
+			}
+			if got.Version != 2 || got.Rows.N() != 11 {
+				t.Fatalf("version %d rows %d", got.Version, got.Rows.N())
+			}
+
+			names, err := st.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 1 || names[0] != "flights" {
+				t.Fatalf("List = %v", names)
+			}
+
+			// Checkpoint: save at current state, log truncates.
+			if err := st.SaveSnapshot("flights", got); err != nil {
+				t.Fatal(err)
+			}
+			size, err := st.LogSize("flights")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size > int64(len(walHeader())) {
+				t.Fatalf("log not truncated: %d bytes", size)
+			}
+			reloaded, err := st.Load("flights")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reloaded, got) {
+				t.Fatal("checkpointed state diverges")
+			}
+
+			if err := st.Drop("flights"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Load("flights"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load after Drop = %v", err)
+			}
+		})
+	}
+}
+
+// TestAppendWithoutSnapshot: the WAL only exists below a snapshot.
+func TestAppendWithoutSnapshot(t *testing.T) {
+	for engine, st := range engines(t) {
+		t.Run(engine, func(t *testing.T) {
+			err := st.AppendMutation("ghost", sampleMutation(1, nil, 1))
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("append to missing table = %v", err)
+			}
+		})
+	}
+}
+
+// TestDiskSurvivesReopen: a fresh Disk over the same directory sees
+// everything — the actual restart path.
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot("t", sampleSnapshot(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendMutation("t", sampleMutation(1, []int32{1}, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s, err := st2.Load("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != 1 || s.Rows.N() != 7 {
+		t.Fatalf("reopened state: version %d rows %d", s.Version, s.Rows.N())
+	}
+	// Appends continue where the log left off.
+	if err := st2.AppendMutation("t", sampleMutation(2, nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := st2.Load("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Version != 2 || s2.Rows.N() != 8 {
+		t.Fatalf("after second epoch: version %d rows %d", s2.Version, s2.Rows.N())
+	}
+}
+
+// TestCrashWindowSnapshotAheadOfLog: a crash between snapshot
+// replacement and WAL truncation leaves log records the snapshot
+// already absorbed; recovery skips them.
+func TestCrashWindowSnapshotAheadOfLog(t *testing.T) {
+	base := sampleSnapshot(0, 6)
+	m1 := sampleMutation(1, []int32{2}, 2)
+	checkpointed := sampleSnapshot(0, 6)
+	if err := applyMutation(checkpointed, sampleMutation(1, []int32{2}, 2)); err != nil {
+		t.Fatal(err)
+	}
+	snapImg, err := EncodeSnapshot(checkpointed) // version 1 snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := AppendWALRecord(walHeader(), m1) // stale record, version 1
+	got, _, err := loadImages(snapImg, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, checkpointed) {
+		t.Fatal("stale WAL record was re-applied")
+	}
+	_ = base
+
+	// A gap, by contrast, is corruption: snapshot v0 + record v2.
+	baseImg, err := EncodeSnapshot(sampleSnapshot(0, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walGap := AppendWALRecord(walHeader(), sampleMutation(2, nil, 1))
+	if _, _, err := loadImages(baseImg, walGap); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version gap accepted: %v", err)
+	}
+}
+
+// TestWALTailCorruption: every flavour of damaged tail errors with
+// ErrCorrupt and never panics.
+func TestWALTailCorruption(t *testing.T) {
+	wal := walHeader()
+	wal = AppendWALRecord(wal, sampleMutation(1, nil, 2))
+	wal = AppendWALRecord(wal, sampleMutation(2, []int32{0}, 1))
+	count := func(b []byte) (int, error) {
+		n := 0
+		err := ReplayWAL(b, func(*Mutation) error { n++; return nil })
+		return n, err
+	}
+	if n, err := count(wal); err != nil || n != 2 {
+		t.Fatalf("intact WAL: n=%d err=%v", n, err)
+	}
+	// Truncations at every byte offset inside the records must error —
+	// except exactly at a record boundary, where the shorter log is
+	// simply a valid WAL with fewer records.
+	boundaries := map[int]bool{}
+	off := len(walHeader())
+	boundaries[off] = true
+	for off < len(wal) {
+		n := int(binary.LittleEndian.Uint32(wal[off:]))
+		off += 8 + n
+		boundaries[off] = true
+	}
+	for cut := len(walHeader()) + 1; cut < len(wal); cut++ {
+		n, err := count(wal[:cut])
+		if boundaries[cut] {
+			if err != nil {
+				t.Fatalf("clean prefix at %d rejected: %v", cut, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d accepted: n=%d err=%v", cut, n, err)
+		}
+	}
+	// Flip one payload byte: checksum must catch it.
+	flipped := append([]byte(nil), wal...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := count(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip accepted: %v", err)
+	}
+	// Hostile length prefix.
+	hostile := append(append([]byte(nil), walHeader()...), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0)
+	if _, err := count(hostile); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile length accepted: %v", err)
+	}
+	// Bad magic / missing header.
+	if _, err := count([]byte("XXXX\x01\x00")); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := count(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("empty WAL accepted")
+	}
+}
+
+// TestSnapshotCorruption: header, checksum and structural damage all
+// error with ErrCorrupt.
+func TestSnapshotCorruption(t *testing.T) {
+	img, err := EncodeSnapshot(sampleSnapshot(3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(img); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 5, len(img) / 2, len(img) - 1} {
+		if _, err := DecodeSnapshot(img[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for _, pos := range []int{0, 6, len(img) / 2, len(img) - 5} {
+		bad := append([]byte(nil), img...)
+		bad[pos] ^= 0x01
+		if _, err := DecodeSnapshot(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+	// Trailing garbage breaks the checksum-over-prefix property.
+	if _, err := DecodeSnapshot(append(append([]byte(nil), img...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestEncodingsAreCanonical: decode ∘ encode is the identity on
+// values, and encode ∘ decode is the identity on accepted bytes.
+func TestEncodingsAreCanonical(t *testing.T) {
+	s := sampleSnapshot(7, 12)
+	img, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := EncodeSnapshot(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(img) != string(img2) {
+		t.Fatal("snapshot re-encoding diverges")
+	}
+
+	m := sampleMutation(4, []int32{1, 2}, 3)
+	mb := EncodeMutation(m)
+	md, err := DecodeMutation(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(EncodeMutation(md)) != string(mb) {
+		t.Fatal("mutation re-encoding diverges")
+	}
+}
+
+// TestDiskCrashTornAppend simulates a crash mid-append: the torn
+// (unacknowledged) final record is discarded, the log is truncated
+// back to its last complete record, every acknowledged batch survives,
+// and appending continues cleanly after the cut.
+func TestDiskCrashTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot("t", sampleSnapshot(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendMutation("t", sampleMutation(1, nil, 1)); err != nil { // acknowledged
+		t.Fatal(err)
+	}
+	if err := st.AppendMutation("t", sampleMutation(2, nil, 2)); err != nil { // will be torn
+		t.Fatal(err)
+	}
+	st.Close()
+
+	walPath := filepath.Join(dir, "t", "wal.log")
+	img, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, img[:len(img)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s, err := st2.Load("t")
+	if err != nil {
+		t.Fatalf("torn tail not recovered: %v", err)
+	}
+	if s.Version != 1 || s.Rows.N() != 5 {
+		t.Fatalf("recovered version %d rows %d, want 1 / 5 (torn batch dropped)", s.Version, s.Rows.N())
+	}
+	// The garbage is gone from disk: re-appending version 2 and
+	// reloading must see it, not abort at mid-file damage.
+	if err := st2.AppendMutation("t", sampleMutation(2, nil, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := st2.Load("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Version != 2 || s2.Rows.N() != 7 {
+		t.Fatalf("after re-append: version %d rows %d", s2.Version, s2.Rows.N())
+	}
+
+	// A *complete* final record with a flipped payload byte is
+	// corruption of possibly-acknowledged state — never tolerated.
+	img, err = os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)-1] ^= 0xff
+	if err := os.WriteFile(walPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if _, err := st3.Load("t"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("CRC-corrupt tail loaded: %v", err)
+	}
+}
+
+// TestWALRecordFrame pins the frame layout: length, CRC, payload.
+func TestWALRecordFrame(t *testing.T) {
+	m := sampleMutation(1, nil, 0)
+	payload := EncodeMutation(m)
+	rec := AppendWALRecord(nil, m)
+	if got := binary.LittleEndian.Uint32(rec); int(got) != len(payload) {
+		t.Fatalf("length prefix %d, payload %d", got, len(payload))
+	}
+	if got := binary.LittleEndian.Uint32(rec[4:]); got != crc32.ChecksumIEEE(payload) {
+		t.Fatal("CRC prefix mismatch")
+	}
+	if string(rec[8:]) != string(payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+// TestTableNameEscaping: names with separators and dots stay inside
+// the data dir.
+func TestTableNameEscaping(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	weird := []string{"a/b", "..", "c d", "π"}
+	for _, name := range weird {
+		if err := st.SaveSnapshot(name, sampleSnapshot(0, 1)); err != nil {
+			t.Fatalf("save %q: %v", name, err)
+		}
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(names) != fmt.Sprint([]string{"..", "a/b", "c d", "π"}) {
+		t.Fatalf("List = %v", names)
+	}
+	for _, name := range weird {
+		if _, err := st.Load(name); err != nil {
+			t.Fatalf("load %q: %v", name, err)
+		}
+	}
+	// Nothing escaped the root.
+	entries, err := os.ReadDir(filepath.Join(dir, ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(dir) {
+			t.Fatalf("stray entry %q outside data dir", e.Name())
+		}
+	}
+}

@@ -272,6 +272,12 @@ func (t *Table) RowValues(i int) (to []int64, po []string) {
 // storage, but appending to either table never affects the other. This
 // is the snapshot hook the serving layer's batched mutations build on —
 // clone, append, publish — while readers keep querying the original.
+//
+// Seal state propagates through Clone: the clone shares the compiled
+// domains, so the dyadic indexes a Seal built (on either table, before
+// or after cloning) serve both. Sealing a clone while the original is
+// answering queries is safe — the index is built once and published
+// atomically (see poset.Domain.EnableDyadic).
 func (t *Table) Clone() *Table {
 	pts := make([]core.Point, len(t.ds.Pts))
 	copy(pts, t.ds.Pts)
@@ -285,7 +291,8 @@ func (t *Table) Clone() *Table {
 // Filter returns a copy-on-write snapshot containing only the rows the
 // keep predicate admits, renumbered to consecutive row indexes in
 // their original order. Like Clone, the result shares the compiled
-// orders and the surviving rows' value storage.
+// orders and the surviving rows' value storage — and, with them, any
+// seal state (see Clone).
 func (t *Table) Filter(keep func(row int) bool) *Table {
 	nt := &Table{
 		toNames: t.toNames,
@@ -307,13 +314,89 @@ func (t *Table) Filter(keep func(row int) bool) *Table {
 // index) that skyline runs would otherwise build lazily on first use.
 // A sealed table can serve any number of concurrent Skyline* calls
 // without mutating shared state; call it once before sharing a table
-// across goroutines. Sealing is idempotent and does not freeze rows —
-// but rows must not be added while queries are in flight.
+// across goroutines. Sealing is idempotent, concurrency-safe (it may
+// race queries and other Seal calls, including through Clone/Filter
+// copies that share the same compiled domains) and does not freeze
+// rows — but rows must not be added while queries are in flight.
 func (t *Table) Seal() *Table {
 	for _, dom := range t.ds.Domains {
 		dom.EnableDyadic()
 	}
 	return t
+}
+
+// TableRow is one table row in plain form: the TO column values plus
+// one PO value label per Order — the unit ApplyBatch appends.
+type TableRow struct {
+	TO []int64
+	PO []string
+}
+
+// BatchDelta records how an ApplyBatch moved rows around: the mapping
+// from old to new row indexes and the count of appended rows. It is
+// the contract between a table mutation and the incremental index
+// maintenance of Dynamic.ApplyDelta.
+type BatchDelta struct {
+	// OldLen and NewLen are the row counts before and after the batch.
+	OldLen, NewLen int
+	// OldToNew maps each old row index to its new index, -1 if removed.
+	OldToNew []int32
+	// Added is the number of appended rows, occupying the new indexes
+	// NewLen-Added … NewLen-1.
+	Added int
+}
+
+// ApplyBatch returns a copy-on-write snapshot with the rows named in
+// removes (current row indexes, duplicates tolerated) dropped,
+// survivors renumbered to consecutive indexes in their original order,
+// and the adds appended — plus the BatchDelta describing the move.
+// The receiver is unchanged; like Clone, the result shares the
+// compiled orders (and their seal state) and the surviving rows' value
+// storage. Point work is O(N + batch); pair it with
+// Dynamic.ApplyDelta to avoid rebuilding prepared indexes.
+func (t *Table) ApplyBatch(removes []int, adds []TableRow) (*Table, *BatchDelta, error) {
+	oldLen := len(t.ds.Pts)
+	drop := make([]bool, oldLen)
+	for _, r := range removes {
+		if r < 0 || r >= oldLen {
+			return nil, nil, fmt.Errorf("tss: remove index %d out of range [0, %d)", r, oldLen)
+		}
+		drop[r] = true
+	}
+	delta := &BatchDelta{OldLen: oldLen, OldToNew: make([]int32, oldLen), Added: len(adds)}
+	nt := &Table{
+		toNames: t.toNames,
+		orders:  t.orders,
+		ds:      &core.Dataset{Domains: t.ds.Domains},
+	}
+	nt.ds.Pts = make([]core.Point, 0, oldLen-countTrue(drop)+len(adds))
+	for i := range t.ds.Pts {
+		if drop[i] {
+			delta.OldToNew[i] = -1
+			continue
+		}
+		p := t.ds.Pts[i]
+		p.ID = int32(len(nt.ds.Pts))
+		delta.OldToNew[i] = p.ID
+		nt.ds.Pts = append(nt.ds.Pts, p)
+	}
+	for i, r := range adds {
+		if err := nt.Add(r.TO, r.PO...); err != nil {
+			return nil, nil, fmt.Errorf("tss: add row %d: %w", i, err)
+		}
+	}
+	delta.NewLen = len(nt.ds.Pts)
+	return nt, delta, nil
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // Row renders row i as a human-readable string.
