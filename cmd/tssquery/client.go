@@ -24,9 +24,11 @@ type clientConfig struct {
 	baseURL, table    string
 	dataPath, dagList string
 	method            string
+	methodSet         bool
 	parallel          int
 	queryDAGs, ideal  string
 	limit             int
+	plan              planFlags
 }
 
 func runClient(cfg clientConfig) error {
@@ -48,6 +50,9 @@ func runClient(cfg clientConfig) error {
 	}
 	if cfg.queryDAGs != "" {
 		return c.dynamicQuery(cfg)
+	}
+	if cfg.plan.active() {
+		return c.planQuery(cfg)
 	}
 	return c.staticQuery(cfg)
 }
@@ -134,13 +139,12 @@ func (c *client) dynamicQuery(cfg clientConfig) error {
 		req.Orders = append(req.Orders, qo)
 	}
 	if cfg.ideal != "" {
-		for _, part := range strings.Split(cfg.ideal, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad -ideal value %q: %w", part, err)
-			}
-			req.Ideal = append(req.Ideal, v)
+		var err error
+		ideal, err := parseIdealCSV(cfg.ideal)
+		if err != nil {
+			return err
 		}
+		req.Ideal = ideal
 	}
 	if cfg.limit > 0 {
 		req.Limit = cfg.limit
@@ -148,6 +152,47 @@ func (c *client) dynamicQuery(cfg clientConfig) error {
 	var out serve.QueryResponse
 	if err := c.postJSON("/tables/"+url.PathEscape(cfg.table)+"/query", req, &out); err != nil {
 		return err
+	}
+	printResponse(&out, cfg.limit)
+	return nil
+}
+
+// planQuery issues POST /tables/{t}/query in planner mode: the
+// subspace/where/topk/rank fields pass through verbatim (the server
+// resolves column names and PO value labels against the table schema),
+// -method (when explicitly set) and -parallel become optimizer hints.
+func (c *client) planQuery(cfg clientConfig) error {
+	var req serve.QueryRequest
+	if err := cfg.plan.wireFields(&req); err != nil {
+		return err
+	}
+	if cfg.methodSet {
+		req.Algo = cfg.method
+	}
+	req.Parallel = cfg.parallel
+	if cfg.ideal != "" {
+		if req.Rank != "ideal" {
+			return errIdealNeedsRank
+		}
+		ideal, err := parseIdealCSV(cfg.ideal)
+		if err != nil {
+			return err
+		}
+		req.Ideal = ideal
+	}
+	if cfg.limit > 0 {
+		req.Limit = cfg.limit
+	}
+	var out serve.QueryResponse
+	if err := c.postJSON("/tables/"+url.PathEscape(cfg.table)+"/query", req, &out); err != nil {
+		return err
+	}
+	if out.Plan != nil {
+		buf, err := json.MarshalIndent(out.Plan, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %s\n", buf)
 	}
 	printResponse(&out, cfg.limit)
 	return nil

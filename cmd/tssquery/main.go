@@ -10,6 +10,19 @@
 // the current list); -parallel N runs it behind the partition-and-merge
 // executor with N shards (-1 = one per CPU).
 //
+// Planner mode (-subspace / -where / -topk / -rank / -explain) answers
+// subspace, constrained and top-k skyline variants through the
+// cost-based optimizer, which picks the algorithm (unless -method is
+// explicitly set), parallelism and predicate placement from workload
+// statistics; -explain prints the chosen plan as JSON:
+//
+//	tssquery -data work/data.csv -dags work/dag_0.txt -where "to_0<=500,po_0 in 1|3" -explain
+//	tssquery -data work/data.csv -dags work/dag_0.txt -subspace to_0,po_0
+//	tssquery -data work/data.csv -dags work/dag_0.txt -topk 10 -rank domcount
+//
+// The same flags work against a server (-serve URL), with column names
+// and PO value labels resolved by the table's schema.
+//
 // Workloads round-trip through the durable storage engine (the same
 // format tssserve's -data-dir uses):
 //
@@ -26,14 +39,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/plan"
 	"repro/internal/poset"
 	"repro/internal/store"
 )
@@ -52,14 +69,30 @@ func main() {
 	tableName := flag.String("table", "", "server or store table name (defaults to \"default\")")
 	storeDir := flag.String("store", "", "durable store directory: with -save persist the -data workload there, without -data load the table from it")
 	save := flag.Bool("save", false, "tables:save — persist the -data workload into -store and exit")
+	var pf planFlags
+	flag.StringVar(&pf.subspace, "subspace", "", "planned query: comma-separated kept columns (to_<i>/po_<i> locally, schema names against a server)")
+	flag.StringVar(&pf.where, "where", "", "planned query: comma-separated predicates, e.g. \"to_0<=500,po_0 in 1|3\"")
+	flag.IntVar(&pf.topk, "topk", 0, "planned query: keep only the best K skyline rows")
+	flag.StringVar(&pf.rank, "rank", "", "top-k ranking: domcount or ideal (default: first K in emission order)")
+	flag.BoolVar(&pf.explain, "explain", false, "print the optimizer's plan (algorithm, route, estimates) before the results")
 	flag.Parse()
+	methodSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "method" {
+			methodSet = true
+		}
+	})
+	if pf.active() && *queryDAGs != "" {
+		fatalf("-subspace/-where/-topk/-rank/-explain plan over the workload's own orders; they cannot combine with -querydags")
+	}
 
 	if *serveURL != "" {
 		if err := runClient(clientConfig{
 			baseURL: *serveURL, table: *tableName,
 			dataPath: *dataPath, dagList: *dagList,
-			method: *method, parallel: *parallel,
+			method: *method, methodSet: methodSet, parallel: *parallel,
 			queryDAGs: *queryDAGs, ideal: *ideal, limit: *limit,
+			plan: pf,
 		}); err != nil {
 			fatalf("%v", err)
 		}
@@ -124,7 +157,8 @@ func main() {
 
 	var res *core.Result
 	var err error
-	if *queryDAGs != "" {
+	switch {
+	case *queryDAGs != "":
 		if *parallel != 0 {
 			fatalf("-parallel applies to static queries only (dTSS runs sequentially)")
 		}
@@ -132,7 +166,16 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-	} else {
+	case pf.active():
+		forced := ""
+		if methodSet {
+			forced = *method
+		}
+		res, err = runPlanned(ds, pf, forced, *parallel, *ideal)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
 		res, err = runStatic(ds, *method, *parallel)
 		if err != nil {
 			fatalf("%v", err)
@@ -181,6 +224,52 @@ func runStatic(ds *core.Dataset, method string, parallel int) (*core.Result, err
 		algo = core.Parallel(algo)
 	}
 	return algo.Run(ds, opt)
+}
+
+// runPlanned answers a subspace / constrained / top-k query through the
+// cost-based planner. With -method explicitly set the algorithm is
+// forced; otherwise the optimizer chooses from the workload's
+// statistics. -parallel maps to a shard-count hint (-1 = one per CPU,
+// 0 = planner decides in this mode).
+func runPlanned(ds *core.Dataset, pf planFlags, forcedMethod string, parallel int, idealCSV string) (*core.Result, error) {
+	hint := 0
+	switch {
+	case parallel > 0:
+		hint = parallel
+	case parallel < 0:
+		hint = runtime.GOMAXPROCS(0)
+	}
+	var ideal []int64
+	if idealCSV != "" {
+		if pf.rank != string(plan.RankIdeal) {
+			return nil, errIdealNeedsRank
+		}
+		var err error
+		if ideal, err = parseIdealCSV(idealCSV); err != nil {
+			return nil, err
+		}
+	}
+	q, err := pf.localQuery(ds.NumTO(), ds.NumPO(), forcedMethod, hint, ideal)
+	if err != nil {
+		return nil, err
+	}
+	env := plan.Env{Learned: plan.NewLearned()}
+	p, err := plan.New(ds, q, env)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Run(context.Background(), ds, env)
+	if err != nil {
+		return nil, err
+	}
+	if pf.explain {
+		buf, err := json.MarshalIndent(&p.Explain, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("plan: %s\n", buf)
+	}
+	return res, nil
 }
 
 // runDynamic answers a dynamic (or fully dynamic, when idealCSV is set)

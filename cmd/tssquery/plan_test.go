@@ -1,0 +1,165 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/plan"
+	"repro/internal/poset"
+	"repro/internal/serve"
+)
+
+func TestParseWhere(t *testing.T) {
+	clauses, err := parseWhere("to_0<=500, to_1>=2 ,po_0 in 1|3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []whereClause{
+		{col: "to_0", op: "<=", val: "500"},
+		{col: "to_1", op: ">=", val: "2"},
+		{col: "po_0", op: "in", val: "1|3"},
+	}
+	if len(clauses) != len(want) {
+		t.Fatalf("got %+v", clauses)
+	}
+	for i := range want {
+		if clauses[i] != want[i] {
+			t.Fatalf("clause %d: got %+v want %+v", i, clauses[i], want[i])
+		}
+	}
+	if _, err := parseWhere("to_0 = 5"); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+}
+
+func TestParseCol(t *testing.T) {
+	for _, tc := range []struct {
+		tok  string
+		dim  int
+		isTO bool
+	}{
+		{"to_0", 0, true}, {"to1", 1, true}, {"po_0", 0, false}, {"po0", 0, false},
+	} {
+		dim, isTO, err := parseCol(tc.tok, 2, 1)
+		if err != nil || dim != tc.dim || isTO != tc.isTO {
+			t.Fatalf("parseCol(%q) = (%d, %v, %v)", tc.tok, dim, isTO, err)
+		}
+	}
+	for _, bad := range []string{"x0", "to_9", "po_5", "to_x"} {
+		if _, _, err := parseCol(bad, 2, 1); err == nil {
+			t.Fatalf("parseCol(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunPlannedLocal drives the local planner path over the flights
+// workload: constrained and subspace answers match the hand-derived
+// expectations of the serve-layer tests.
+func TestRunPlannedLocal(t *testing.T) {
+	dir := t.TempDir()
+	dagPath := writeFile(t, dir, "dag.txt", "4\n0 1\n0 2\n1 3\n2 3\n")
+	dag, err := data.ReadDAGFile(dagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := poset.NewDomain(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := "to_0,to_1,po_0\n" +
+		"1800,0,0\n2000,0,0\n1800,0,1\n1200,1,1\n1400,1,0\n" +
+		"1000,1,1\n1000,1,3\n1800,1,2\n500,2,3\n1200,2,2\n"
+	ds, err := data.ReadCSVDataset(writeFile(t, dir, "data.csv", csv), []*poset.Domain{dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		pf   planFlags
+		want []int32
+	}{
+		{"constrained", planFlags{where: "to_0<=1200"}, []int32{5, 8, 9}},
+		{"po-in", planFlags{where: "po_0 in 0|1"}, []int32{0, 4, 5}},
+		{"subspace", planFlags{subspace: "to_0"}, []int32{8}},
+		{"explain", planFlags{where: "to_0<=1200", explain: true}, []int32{5, 8, 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := runPlanned(ds, tc.pf, "", 0, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]int32(nil), res.SkylineIDs...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if len(got) != len(tc.want) {
+				t.Fatalf("rows %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("rows %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+
+	// Ranked top-k matches the plan oracle.
+	pf := planFlags{topk: 2, rank: "domcount"}
+	res, err := runPlanned(ds, pf, "", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Naive(ds, plan.Query{TopK: 2, Rank: plan.RankDomCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkylineIDs) != len(want) || res.SkylineIDs[0] != want[0] || res.SkylineIDs[1] != want[1] {
+		t.Fatalf("topk: got %v want %v", res.SkylineIDs, want)
+	}
+
+	// -ideal without -rank ideal is refused.
+	if _, err := runPlanned(ds, planFlags{topk: 1}, "", 0, "5,5"); err == nil {
+		t.Fatal("-ideal without -rank ideal accepted")
+	}
+}
+
+// TestThinClientPlanQuery drives the planner flags end-to-end through
+// the HTTP client against a live server.
+func TestThinClientPlanQuery(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	dagPath := filepath.Join(dir, "dag_0.txt")
+	if err := os.WriteFile(dataPath, []byte("to_0,po_0\n10,0\n20,1\n5,2\n7,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dagPath, []byte("3\n0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(4).Handler())
+	defer ts.Close()
+
+	base := clientConfig{
+		baseURL: ts.URL, table: "t",
+		dataPath: dataPath, dagList: dagPath, limit: 10,
+	}
+	base.plan = planFlags{where: "to_0<=9", explain: true}
+	if err := runClient(base); err != nil {
+		t.Fatalf("constrained: %v", err)
+	}
+	again := base
+	again.dataPath, again.dagList = "", ""
+	again.plan = planFlags{subspace: "to_0,po_0", topk: 2, rank: "domcount"}
+	if err := runClient(again); err != nil {
+		t.Fatalf("subspace+topk: %v", err)
+	}
+	// Server-side validation surfaces as a client error.
+	bad := again
+	bad.plan = planFlags{where: "bogus<=1"}
+	if err := runClient(bad); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}

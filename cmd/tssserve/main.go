@@ -63,6 +63,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", serve.DefaultCacheCapacity, "per-table dynamic result cache capacity")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	requestTimeout := flag.Duration("request-timeout", 0,
+		"per-request time budget: planned queries are canceled cooperatively via the request context; dynamic (orders) queries check it only before starting (0 = unlimited)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	checkpointEvery := flag.Int64("checkpoint-every", serve.DefaultCheckpointEvery,
 		"WAL bytes after which a batch checkpoints its table into a fresh snapshot")
@@ -107,7 +109,20 @@ func main() {
 		fmt.Printf("loaded table %q: %d rows, %d groups\n", info.Name, info.Rows, info.Groups)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if *requestTimeout > 0 {
+		handler = withRequestTimeout(handler, *requestTimeout)
+	}
+	// Slow-client hardening: a peer that trickles its headers or parks
+	// an idle keep-alive connection must not pin a goroutine (or a file
+	// descriptor) forever. Request *bodies* stay untimed — batch uploads
+	// may legitimately be large; -request-timeout bounds the work.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("tssserve listening on %s\n", *addr)
@@ -128,6 +143,19 @@ func main() {
 			fatalf("shutdown: %v", err)
 		}
 	}
+}
+
+// withRequestTimeout bounds each request's context. Planned queries
+// check it cooperatively (the executor between pipeline stages and
+// inside its scan loops) and answer 503 on expiry, releasing the
+// worker; dynamic dTSS queries do not take a context, so they check
+// the budget only before starting and run to completion once begun.
+func withRequestTimeout(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 func fatalf(format string, args ...any) {

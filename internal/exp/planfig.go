@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/plan"
+)
+
+// PlanRow is one measurement of the planner experiment: a (workload,
+// series) cell, where the series is either the cost-based planner
+// ("auto", annotated with its chosen algorithm and the ratio to the
+// best fixed algorithm) or one fixed algorithm / forced route.
+type PlanRow struct {
+	Workload string  // distribution + query variant
+	Series   string  // "auto", an algorithm name, or a route
+	Algo     string  // chosen algorithm (auto and route rows)
+	WallMs   float64 // measured wall-clock, best of planBestOf runs
+	Skyline  int     // result rows
+	Ratio    float64 // auto rows: auto / best fixed (≤ 1 means auto won)
+}
+
+const planBestOf = 3
+
+// planWorkload is one logical query of the sweep.
+type planWorkload struct {
+	name string
+	q    plan.Query
+}
+
+// planWorkloads derives the figure's query battery from a dataset's
+// statistics: the full skyline, a selective anti-monotone constraint
+// (the cheapest ~10% of to_0), a ranked top-k, and a TO-only subspace
+// (which opens the field to the sort-based TO algorithms).
+func planWorkloads(stats *plan.Stats) []planWorkload {
+	span := stats.TO[0].Max - stats.TO[0].Min
+	sel := stats.TO[0].Min + span/10
+	return []planWorkload{
+		{"full", plan.Query{}},
+		{"constrained(to_0<=p10)", plan.Query{Where: []plan.Predicate{
+			{Kind: plan.TORange, Dim: 0, HasHi: true, Hi: sel}}}},
+		{"topk10(domcount)", plan.Query{TopK: 10, Rank: plan.RankDomCount}},
+		{"subspace(TO-only)", plan.Query{Subspace: &plan.Subspace{TO: []int{0, 1}}}},
+	}
+}
+
+// timePlan runs q through the planner best-of-planBestOf times and
+// returns the fastest wall-clock plus the last result and explain.
+func timePlan(ds *core.Dataset, q plan.Query, env plan.Env) (float64, *core.Result, *plan.Explain, error) {
+	best := -1.0
+	var res *core.Result
+	var ex *plan.Explain
+	for i := 0; i < planBestOf; i++ {
+		p, err := plan.New(ds, q, env)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		start := time.Now()
+		r, err := p.Run(context.Background(), ds, env)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if best < 0 || ms < best {
+			best = ms
+		}
+		res, ex = r, &p.Explain
+	}
+	return best, res, ex, nil
+}
+
+func sameIDSet(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int32(nil), a...)
+	bs := append([]int32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FigurePlan measures the cost-based planner against every fixed
+// algorithm on each query variant and distribution: the acceptance bar
+// is that "auto" is never worse than 2× the best fixed choice. A second
+// block forces the predicate-placement routes on the selective
+// constrained query — push-down vs post-filter, cold and cached — the
+// planner's soundness-gated optimization. Every measured run's result
+// set is cross-checked against every other's (the differential-fuzz
+// harness checks them all against the brute-force oracle).
+func FigurePlan(scale float64) []PlanRow {
+	var rows []PlanRow
+	for _, dist := range []data.Distribution{data.Correlated, data.Independent, data.AntiCorrelated} {
+		cfg := StaticDefaults(scale)
+		cfg.Dist = dist
+		ds := BuildDataset(cfg)
+		stats := plan.Analyze(ds)
+		learned := plan.NewLearned()
+		env := plan.Env{Stats: stats, Learned: learned}
+
+		// Warm the feedback loop: one observed full run corrects the
+		// skyline-fraction estimate and the chosen algorithm's cost
+		// multiplier — the statistics-driven half of the planner.
+		if _, _, _, err := timePlan(ds, plan.Query{Hints: plan.Hints{NoCache: true}}, env); err != nil {
+			panic(err)
+		}
+
+		for _, wl := range planWorkloads(stats) {
+			label := fmt.Sprintf("plan-%s/%s", dist, wl.name)
+			q := wl.q
+			q.Hints.NoCache = true // measure computation, not the memo
+
+			autoMs, autoRes, autoEx, err := timePlan(ds, q, env)
+			if err != nil {
+				panic(err)
+			}
+
+			bestFixed := -1.0
+			for _, a := range core.Algorithms() {
+				fq := q
+				fq.Hints.Algorithm = a.Name()
+				effPO := ds.NumPO()
+				if q.Subspace != nil {
+					effPO = len(q.Subspace.PO)
+				}
+				if effPO > 0 && !a.Capabilities().POCapable {
+					continue
+				}
+				ms, res, _, err := timePlan(ds, fq, env)
+				if err != nil {
+					panic(fmt.Sprintf("exp: %s on %s: %v", a.Name(), label, err))
+				}
+				if !sameIDSet(res.SkylineIDs, autoRes.SkylineIDs) {
+					panic(fmt.Sprintf("exp: %s disagrees with auto plan on %s", a.Name(), label))
+				}
+				if bestFixed < 0 || ms < bestFixed {
+					bestFixed = ms
+				}
+				rows = append(rows, PlanRow{
+					Workload: label, Series: a.Name(), Algo: a.Name(),
+					WallMs: ms, Skyline: len(res.SkylineIDs),
+				})
+			}
+			ratio := 0.0
+			if bestFixed > 0 {
+				ratio = autoMs / bestFixed
+			}
+			rows = append(rows, PlanRow{
+				Workload: label, Series: "auto", Algo: autoEx.Algorithm,
+				WallMs: autoMs, Skyline: len(autoRes.SkylineIDs), Ratio: ratio,
+			})
+		}
+
+		// Predicate placement on the selective constraint: push-down
+		// reads sel·N rows; post-filter must compute the full skyline
+		// first (sound here — the predicate is anti-monotone) unless the
+		// memo cache already holds it.
+		sel := planWorkloads(stats)[1].q
+		label := fmt.Sprintf("plan-%s/placement", dist)
+		push := sel
+		push.Hints = plan.Hints{Route: plan.RoutePushdown, NoCache: true}
+		pushMs, pushRes, pushEx, err := timePlan(ds, push, env)
+		if err != nil {
+			panic(err)
+		}
+		post := sel
+		post.Hints = plan.Hints{Route: plan.RoutePostFilter, NoCache: true}
+		postMs, postRes, postEx, err := timePlan(ds, post, env)
+		if err != nil {
+			panic(err)
+		}
+		if !sameIDSet(pushRes.SkylineIDs, postRes.SkylineIDs) {
+			panic("exp: push-down and post-filter disagree on " + label)
+		}
+		cache := plan.NewMemoCache()
+		cenv := plan.Env{Stats: stats, Learned: learned, Cache: cache}
+		if _, _, _, err := timePlan(ds, plan.Query{}, cenv); err != nil {
+			panic(err) // warm the memo
+		}
+		cachedMs, cachedRes, cachedEx, err := timePlan(ds, sel, cenv)
+		if err != nil {
+			panic(err)
+		}
+		if !sameIDSet(cachedRes.SkylineIDs, pushRes.SkylineIDs) {
+			panic("exp: cached post-filter disagrees on " + label)
+		}
+		rows = append(rows,
+			PlanRow{Workload: label, Series: "pushdown", Algo: pushEx.Algorithm,
+				WallMs: pushMs, Skyline: len(pushRes.SkylineIDs)},
+			PlanRow{Workload: label, Series: "postfilter-cold", Algo: postEx.Algorithm,
+				WallMs: postMs, Skyline: len(postRes.SkylineIDs)},
+			PlanRow{Workload: label, Series: "postfilter-cached", Algo: string(cachedEx.Route),
+				WallMs: cachedMs, Skyline: len(cachedRes.SkylineIDs)},
+		)
+	}
+	return rows
+}

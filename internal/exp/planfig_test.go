@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigurePlanShape runs the planner figure at a tiny scale: every
+// workload must yield one auto row with a chosen algorithm and a
+// positive best-fixed ratio (result agreement across all plans is
+// enforced inside FigurePlan — it panics on any mismatch), plus the
+// three predicate-placement rows.
+func TestFigurePlanShape(t *testing.T) {
+	rows := FigurePlan(0.0002) // n=200: shape check, not a measurement
+	autos, placements := 0, 0
+	for _, r := range rows {
+		switch r.Series {
+		case "auto":
+			autos++
+			if r.Algo == "" || r.Ratio <= 0 || r.WallMs < 0 {
+				t.Fatalf("bad auto row: %+v", r)
+			}
+		case "pushdown", "postfilter-cold", "postfilter-cached":
+			placements++
+			if !strings.Contains(r.Workload, "placement") {
+				t.Fatalf("placement row outside placement workload: %+v", r)
+			}
+		}
+	}
+	if autos != 12 { // 3 distributions × 4 workloads
+		t.Fatalf("%d auto rows, want 12", autos)
+	}
+	if placements != 9 { // 3 distributions × 3 routes
+		t.Fatalf("%d placement rows, want 9", placements)
+	}
+}

@@ -140,6 +140,31 @@ func WriteServeRows(w io.Writer, rows []ServeRow) {
 	fmt.Fprintln(w)
 }
 
+// WritePlanRows renders the planner experiment: the cost-based choice
+// against every fixed algorithm, per workload, plus the forced
+// predicate-placement routes. The ratio column annotates auto rows with
+// auto/best-fixed (the acceptance bar is ≤ 2).
+func WritePlanRows(w io.Writer, rows []PlanRow) {
+	fmt.Fprintln(w, "Plan — cost-based algorithm choice vs fixed algorithms (wall-clock)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tseries\talgo\twall(ms)\tskyline\tauto/best")
+	last := ""
+	for _, r := range rows {
+		if r.Workload != last && last != "" {
+			fmt.Fprintln(tw, "\t\t\t\t\t")
+		}
+		last = r.Workload
+		ratio := ""
+		if r.Series == "auto" && r.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", r.Ratio)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%d\t%s\n",
+			r.Workload, r.Series, r.Algo, r.WallMs, r.Skyline, ratio)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
 // WriteStoreRows renders the storage experiment: batch-apply latency,
 // rebuild-aside vs incremental, plus WAL append durability cost.
 func WriteStoreRows(w io.Writer, rows []StoreRow) {

@@ -1,0 +1,27 @@
+package plan
+
+import "sync/atomic"
+
+// MemoCache is a ready-made Cache: an atomically published memo of the
+// full skyline of one immutable row set. The serving layer binds one to
+// each table snapshot; tss.Table.SetQueryCache accepts one directly.
+// Concurrent racing Puts are benign — every writer stores the same
+// skyline set.
+type MemoCache struct {
+	full atomic.Pointer[[]int32]
+}
+
+// NewMemoCache returns an empty memo.
+func NewMemoCache() *MemoCache { return &MemoCache{} }
+
+// GetFull returns the memoised full skyline, if any.
+func (c *MemoCache) GetFull() ([]int32, bool) {
+	if ids := c.full.Load(); ids != nil {
+		return *ids, true
+	}
+	return nil, false
+}
+
+// PutFull publishes the full skyline. The caller must not mutate ids
+// afterwards.
+func (c *MemoCache) PutFull(ids []int32) { c.full.Store(&ids) }

@@ -1,0 +1,366 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+// ctxCheckEvery is how many loop iterations pass between cooperative
+// context checks in the executor's scan loops.
+const ctxCheckEvery = 4096
+
+// Run executes the plan on ds, records the observed cost back into
+// env.Learned, and fills the Explain's observed fields. The dataset
+// must use the table layout (ds.Pts[i].ID == i), which Table datasets
+// always do; result IDs are row indexes of that table.
+//
+// Cancellation is cooperative: ctx is checked between pipeline stages
+// and periodically inside the executor's own scan loops. A registered
+// algorithm that is already running is not interrupted mid-run — the
+// check happens before it starts and the filter/rank work after it.
+func (p *Plan) Run(ctx context.Context, ds *core.Dataset, env Env) (*core.Result, error) {
+	start := time.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	var res *core.Result
+	observedRows := 0 // rows the executor actually fed an algorithm
+	switch {
+	case p.cached != nil:
+		// Cache routing: the snapshot's full skyline, filtered when the
+		// (proved anti-monotone) predicates demand it. No index is
+		// touched, so no rows are processed.
+		ids := p.cached
+		if p.route == RoutePostFilter {
+			ids = p.filterIDs(ds, ids)
+		}
+		res = &core.Result{SkylineIDs: append([]int32(nil), ids...), FromCache: true}
+	case p.earlyExit:
+		var err error
+		if res, err = p.runCursor(ctx, ds); err != nil {
+			return nil, err
+		}
+		observedRows = p.cursorRows
+	default:
+		eff, err := p.effective(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
+		observedRows = len(eff.Pts)
+		algo := p.algo
+		opt := core.Options{UseMemTree: true}
+		if p.shards > 0 {
+			algo = core.Parallel(algo)
+			opt.Parallelism = p.shards
+		}
+		algoStart := time.Now()
+		if res, err = algo.Run(eff, opt); err != nil {
+			return nil, err
+		}
+		// Feedback, with two guards. The skyline-fraction EWMA describes
+		// the table's full-dimensional skyline, so projected or filtered
+		// runs must not feed it (a stream of 1-D subspace queries would
+		// otherwise drag the estimate toward ~1/n for everyone). The cost
+		// multiplier corrects the *sequential* model, so parallel runs —
+		// whose wall-clock is divided across cores the model knows
+		// nothing about — are excluded too.
+		if p.route == RouteDirect && p.Query.Subspace == nil {
+			env.Learned.ObserveSkyline(len(eff.Pts), len(res.SkylineIDs))
+		}
+		if p.shards == 0 {
+			// Train the multiplier on the model's *shape* error alone:
+			// re-evaluate the prior at the rows and skyline size the run
+			// actually saw, and time only the algorithm itself (the
+			// executor's O(table) filter/projection scan is not part of
+			// the model), so a selectivity misestimate — already visible
+			// as estimatedRows vs observedRows — is not folded into the
+			// per-algorithm correction that full-table plans reuse.
+			predicted := p.prior.modelSeconds(len(eff.Pts), len(res.SkylineIDs), len(p.keptPO))
+			env.Learned.ObserveCost(p.algo.Name(), predicted, time.Since(algoStart).Seconds())
+		}
+		if p.route == RoutePostFilter {
+			if env.Cache != nil && !p.Query.Hints.NoCache {
+				env.Cache.PutFull(append([]int32(nil), res.SkylineIDs...))
+			}
+			res.SkylineIDs = p.filterIDs(ds, res.SkylineIDs)
+		} else if p.route == RouteDirect && p.Query.Subspace == nil &&
+			env.Cache != nil && !p.Query.Hints.NoCache {
+			env.Cache.PutFull(append([]int32(nil), res.SkylineIDs...))
+		}
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	if p.Query.TopK > 0 {
+		ids, err := p.rankAndTruncate(ctx, ds, res.SkylineIDs)
+		if err != nil {
+			return nil, err
+		}
+		res.SkylineIDs = ids
+		// Keep only the emission records of rows that survived the
+		// truncation. Unranked truncation keeps an emission-order
+		// prefix; a ranked one keeps a scattered subset, so a prefix
+		// cut would report emissions for rows not in the result.
+		if len(res.Metrics.Emissions) > 0 {
+			kept := make(map[int32]bool, len(ids))
+			for _, id := range ids {
+				kept[id] = true
+			}
+			out := res.Metrics.Emissions[:0]
+			for _, e := range res.Metrics.Emissions {
+				if kept[e.ID] {
+					out = append(out, e)
+				}
+			}
+			res.Metrics.Emissions = out
+		}
+	}
+
+	p.Explain.ObservedSeconds = time.Since(start).Seconds()
+	p.Explain.ObservedRows = observedRows
+	p.Explain.ObservedSkyline = len(res.SkylineIDs)
+	return res, nil
+}
+
+// runCursor answers an unranked top-k through the progressive sTSS
+// cursor, paying only for the first K certified emissions.
+func (p *Plan) runCursor(ctx context.Context, ds *core.Dataset) (*core.Result, error) {
+	eff, err := p.effective(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	p.cursorRows = len(eff.Pts)
+	cur := core.NewSTSSCursor(eff, core.Options{UseMemTree: true})
+	res := &core.Result{}
+	for len(res.SkylineIDs) < p.Query.TopK {
+		if len(res.SkylineIDs)%256 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		id, ok := cur.Next()
+		if !ok {
+			break
+		}
+		res.SkylineIDs = append(res.SkylineIDs, id)
+	}
+	res.Metrics = cur.Metrics()
+	return res, nil
+}
+
+// effective materializes the dataset the algorithm runs on: predicate
+// filtering (push-down route) and subspace projection, with original
+// row ids preserved so results need no mapping back.
+func (p *Plan) effective(ctx context.Context, ds *core.Dataset) (*core.Dataset, error) {
+	project := p.Query.Subspace != nil
+	filter := p.route == RoutePushdown
+	if !project && !filter {
+		return ds, nil
+	}
+	eff := &core.Dataset{Domains: keptPODomains(ds, p.keptPO)}
+	if !project {
+		eff.Domains = ds.Domains
+	}
+	for i := range ds.Pts {
+		if i%ctxCheckEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		pt := &ds.Pts[i]
+		if filter && !p.matchesAll(pt) {
+			continue
+		}
+		if !project {
+			eff.Pts = append(eff.Pts, *pt)
+			continue
+		}
+		eff.Pts = append(eff.Pts, p.projectPoint(pt))
+	}
+	return eff, nil
+}
+
+// matchesAll reports whether a row satisfies every predicate.
+func (p *Plan) matchesAll(pt *core.Point) bool {
+	for i := range p.Query.Where {
+		if !p.Query.Where[i].matches(pt) {
+			return false
+		}
+	}
+	return true
+}
+
+// filterIDs keeps the result ids whose rows satisfy the predicates —
+// the post-filter route's final pass.
+func (p *Plan) filterIDs(ds *core.Dataset, ids []int32) []int32 {
+	out := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		if p.matchesAll(&ds.Pts[id]) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// rankAndTruncate orders the skyline by the query's rank and keeps the
+// best K. RankNone keeps the first K in emission order.
+func (p *Plan) rankAndTruncate(ctx context.Context, ds *core.Dataset, ids []int32) ([]int32, error) {
+	k := p.Query.TopK
+	if p.Query.Rank == RankNone {
+		if k < len(ids) {
+			ids = ids[:k]
+		}
+		return ids, nil
+	}
+	scores := make(map[int32]float64, len(ids))
+	switch p.Query.Rank {
+	case RankDomCount:
+		counts, err := p.domCounts(ctx, ds, ids)
+		if err != nil {
+			return nil, err
+		}
+		// Negated so the shared ascending sort ranks higher counts first.
+		for id, c := range counts {
+			scores[id] = -float64(c)
+		}
+	case RankIdeal:
+		depths := p.idealDepths(ds)
+		for _, id := range ids {
+			scores[id] = p.idealScore(&ds.Pts[id], depths)
+		}
+	}
+	ranked := append([]int32(nil), ids...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si < sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	if k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return ranked, nil
+}
+
+// domCounts counts, per skyline row, the rows of R (the predicate-
+// filtered table) it dominates in the kept dimensions. O(|skyline|·|R|)
+// with the exact dominance oracle.
+func (p *Plan) domCounts(ctx context.Context, ds *core.Dataset, ids []int32) (map[int32]int, error) {
+	doms := keptPODomains(ds, p.keptPO)
+	counts := make(map[int32]int, len(ids))
+	sky := make([]projected, len(ids))
+	for i, id := range ids {
+		sky[i] = projected{id: id, pt: p.projectPoint(&ds.Pts[id])}
+	}
+	for i := range ds.Pts {
+		if i%ctxCheckEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		row := &ds.Pts[i]
+		if len(p.Query.Where) > 0 && !p.matchesAll(row) {
+			continue
+		}
+		rp := p.projectPoint(row)
+		for j := range sky {
+			if sky[j].id == row.ID {
+				continue
+			}
+			if core.DominatesUnder(doms, &sky[j].pt, &rp) {
+				counts[sky[j].id]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+type projected struct {
+	id int32
+	pt core.Point
+}
+
+// projectPoint maps a full-dimensional row into the kept dimensions.
+func (p *Plan) projectPoint(pt *core.Point) core.Point {
+	np := core.Point{ID: pt.ID}
+	np.TO = make([]int32, len(p.keptTO))
+	for j, d := range p.keptTO {
+		np.TO[j] = pt.TO[d]
+	}
+	if len(p.keptPO) > 0 {
+		np.PO = make([]int32, len(p.keptPO))
+		for j, d := range p.keptPO {
+			np.PO[j] = pt.PO[d]
+		}
+	}
+	return np
+}
+
+// idealDepths precomputes, per kept PO column, each value's depth: the
+// number of values t-preferred to it (0 for DAG tops).
+func (p *Plan) idealDepths(ds *core.Dataset) [][]int32 {
+	depths := make([][]int32, len(p.keptPO))
+	for j, d := range p.keptPO {
+		dom := ds.Domains[d]
+		col := make([]int32, dom.Size())
+		for v := int32(0); int(v) < dom.Size(); v++ {
+			for w := int32(0); int(w) < dom.Size(); w++ {
+				if dom.TPrefers(w, v) {
+					col[v]++
+				}
+			}
+		}
+		depths[j] = col
+	}
+	return depths
+}
+
+// idealScore is the RankIdeal score of a (full-dimensional) row: L1
+// distance to the ideal point over the kept TO columns (the dTSS
+// fully-dynamic |v − q| transform) plus the preference-DAG depth of
+// each kept PO value. Smaller is better.
+func (p *Plan) idealScore(pt *core.Point, depths [][]int32) float64 {
+	var s float64
+	for _, d := range p.keptTO {
+		var q int64
+		if p.Query.Ideal != nil {
+			q = p.Query.Ideal[d]
+		}
+		diff := int64(pt.TO[d]) - q
+		if diff < 0 {
+			diff = -diff
+		}
+		s += float64(diff)
+	}
+	for j, d := range p.keptPO {
+		s += float64(depths[j][pt.PO[d]])
+	}
+	return s
+}
+
+// keptPODomains selects the kept PO columns' domains in subspace order.
+func keptPODomains(ds *core.Dataset, keptPO []int) []*poset.Domain {
+	doms := make([]*poset.Domain, len(keptPO))
+	for j, d := range keptPO {
+		doms[j] = ds.Domains[d]
+	}
+	return doms
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("plan: query canceled: %w", err)
+	}
+	return nil
+}

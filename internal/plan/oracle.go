@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Naive answers the query by brute force — filter, project, O(n²)
+// skyline, O(n·m) rank — with no planner, no index and no cache. It is
+// the ground truth every physical plan is differential-tested against
+// (FuzzPlanAgreement, exp.FigurePlan's verification pass). The dataset
+// must use the table layout (ds.Pts[i].ID == i).
+func Naive(ds *core.Dataset, q Query) ([]int32, error) {
+	sizes := make([]int, len(ds.Domains))
+	for d, dom := range ds.Domains {
+		sizes[d] = dom.Size()
+	}
+	if err := q.Validate(ds.NumTO(), ds.NumPO(), sizes); err != nil {
+		return nil, err
+	}
+	keptTO, keptPO := resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
+	doms := keptPODomains(ds, keptPO)
+
+	// R: the filtered rows, projected onto the kept dimensions.
+	var rows []core.Point
+	for i := range ds.Pts {
+		pt := &ds.Pts[i]
+		ok := true
+		for j := range q.Where {
+			if !q.Where[j].matches(pt) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		np := core.Point{ID: pt.ID, TO: make([]int32, len(keptTO))}
+		for j, d := range keptTO {
+			np.TO[j] = pt.TO[d]
+		}
+		if len(keptPO) > 0 {
+			np.PO = make([]int32, len(keptPO))
+			for j, d := range keptPO {
+				np.PO[j] = pt.PO[d]
+			}
+		}
+		rows = append(rows, np)
+	}
+
+	sky := core.NaiveSkylineUnder(doms, rows)
+	if q.TopK <= 0 {
+		return sky, nil
+	}
+	switch q.Rank {
+	case RankNone:
+		if q.TopK < len(sky) {
+			sky = sky[:q.TopK]
+		}
+		return sky, nil
+	case RankDomCount:
+		byID := make(map[int32]*core.Point, len(rows))
+		for i := range rows {
+			byID[rows[i].ID] = &rows[i]
+		}
+		counts := make(map[int32]float64, len(sky))
+		for _, id := range sky {
+			s := byID[id]
+			var c float64
+			for i := range rows {
+				if rows[i].ID != id && core.DominatesUnder(doms, s, &rows[i]) {
+					c++
+				}
+			}
+			counts[id] = -c // ascending sort ranks bigger counts first
+		}
+		return sortByScore(sky, counts, q.TopK), nil
+	case RankIdeal:
+		scores := make(map[int32]float64, len(sky))
+		byID := make(map[int32]*core.Point, len(rows))
+		for i := range rows {
+			byID[rows[i].ID] = &rows[i]
+		}
+		for _, id := range sky {
+			s := byID[id]
+			var sc float64
+			for j, d := range keptTO {
+				var ideal int64
+				if q.Ideal != nil {
+					ideal = q.Ideal[d]
+				}
+				diff := int64(s.TO[j]) - ideal
+				if diff < 0 {
+					diff = -diff
+				}
+				sc += float64(diff)
+			}
+			for j := range keptPO {
+				dom := doms[j]
+				for w := int32(0); int(w) < dom.Size(); w++ {
+					if dom.TPrefers(w, s.PO[j]) {
+						sc++
+					}
+				}
+			}
+			scores[id] = sc
+		}
+		return sortByScore(sky, scores, q.TopK), nil
+	}
+	return sky, nil
+}
+
+// sortByScore orders ids by ascending score (id-ascending on ties) and
+// keeps the first k.
+func sortByScore(ids []int32, scores map[int32]float64, k int) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := scores[out[i]], scores[out[j]]
+		if si != sj {
+			return si < sj
+		}
+		return out[i] < out[j]
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

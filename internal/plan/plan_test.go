@@ -1,0 +1,587 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+// chainDomain builds the total order v0 → v1 → … → v(n-1).
+func chainDomain(t testing.TB, n int) *poset.Domain {
+	t.Helper()
+	dag := poset.NewDAG(n)
+	for i := 0; i+1 < n; i++ {
+		dag.MustEdge(i, i+1)
+	}
+	dom, err := poset.NewDomain(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom
+}
+
+// diamondDomain builds 0 → {1, 2} → 3 (1 and 2 incomparable).
+func diamondDomain(t testing.TB) *poset.Domain {
+	t.Helper()
+	dag := poset.NewDAG(4)
+	dag.MustEdge(0, 1)
+	dag.MustEdge(0, 2)
+	dag.MustEdge(1, 3)
+	dag.MustEdge(2, 3)
+	dom, err := poset.NewDomain(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom
+}
+
+// sampleDS builds a deterministic mixed TO/PO dataset with table layout
+// (ID == index): 2 TO columns plus one diamond PO column.
+func sampleDS(t testing.TB, n int) *core.Dataset {
+	t.Helper()
+	ds := &core.Dataset{Domains: []*poset.Domain{diamondDomain(t)}}
+	for i := 0; i < n; i++ {
+		ds.Pts = append(ds.Pts, core.Point{
+			ID: int32(i),
+			TO: []int32{int32((i * 7) % 50), int32((i*13 + 3) % 50)},
+			PO: []int32{int32(i % 4)},
+		})
+	}
+	return ds
+}
+
+func sorted32(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memCache is a test Cache.
+type memCache struct {
+	mu   sync.Mutex
+	full []int32
+}
+
+func (c *memCache) GetFull() ([]int32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.full, c.full != nil
+}
+
+func (c *memCache) PutFull(ids []int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.full = ids
+}
+
+// runPlan plans and runs q, returning the result ids and the explain.
+func runPlan(t *testing.T, ds *core.Dataset, q Query, env Env) ([]int32, Explain) {
+	t.Helper()
+	p, err := New(ds, q, env)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", q, err)
+	}
+	res, err := p.Run(context.Background(), ds, env)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", q, err)
+	}
+	return res.SkylineIDs, p.Explain
+}
+
+// queryBattery is the shared set of logical queries the agreement tests
+// sweep.
+func queryBattery() []Query {
+	hi := func(v int64) Predicate { return Predicate{Kind: TORange, Dim: 0, HasHi: true, Hi: v} }
+	lo := func(v int64) Predicate { return Predicate{Kind: TORange, Dim: 1, HasLo: true, Lo: v} }
+	return []Query{
+		{},
+		{Subspace: &Subspace{TO: []int{0}, PO: []int{0}}},
+		{Subspace: &Subspace{TO: []int{0, 1}}},
+		{Subspace: &Subspace{TO: []int{1}}},
+		{Where: []Predicate{hi(20)}},
+		{Where: []Predicate{lo(10)}},
+		{Where: []Predicate{hi(30), lo(5)}},
+		{Where: []Predicate{{Kind: POIn, Dim: 0, In: []int32{0, 1}}}},
+		{Where: []Predicate{{Kind: POIn, Dim: 0, In: []int32{1, 3}}}},
+		{TopK: 5, Rank: RankDomCount},
+		{TopK: 3, Rank: RankIdeal, Ideal: []int64{10, 10}},
+		{TopK: 4, Rank: RankIdeal},
+		{Where: []Predicate{hi(25)}, TopK: 3, Rank: RankDomCount},
+		{Subspace: &Subspace{TO: []int{0}, PO: []int{0}}, Where: []Predicate{hi(40)}, TopK: 2, Rank: RankIdeal},
+	}
+}
+
+// TestPlansAgreeWithOracle sweeps the query battery through the auto
+// planner and through every registered algorithm forced, checking each
+// against the brute-force oracle.
+func TestPlansAgreeWithOracle(t *testing.T) {
+	ds := sampleDS(t, 200)
+	for qi, q := range queryBattery() {
+		want, err := Naive(ds, q)
+		if err != nil {
+			t.Fatalf("query %d: oracle: %v", qi, err)
+		}
+		algos := []string{""}
+		for _, a := range core.Algorithms() {
+			algos = append(algos, a.Name())
+		}
+		for _, algo := range algos {
+			fq := q
+			fq.Hints.Algorithm = algo
+			p, err := New(ds, fq, Env{})
+			if err != nil {
+				t.Fatalf("query %d algo %q: New: %v", qi, algo, err)
+			}
+			res, err := p.Run(context.Background(), ds, Env{})
+			if err != nil {
+				if algo != "" && !core.MustLookup(algo).Capabilities().POCapable && len(p.keptPO) > 0 {
+					continue // TO-only algorithm on PO data: rejection is the contract
+				}
+				t.Fatalf("query %d algo %q: Run: %v", qi, algo, err)
+			}
+			if !equal32(sorted32(res.SkylineIDs), sorted32(want)) {
+				t.Fatalf("query %d (%s) algo %q: got %v want %v",
+					qi, q.Variant(), algo, sorted32(res.SkylineIDs), sorted32(want))
+			}
+		}
+	}
+}
+
+// TestRankedTopKExactOrder pins the ranked result order, not just the
+// set: scores then row id break ties totally.
+func TestRankedTopKExactOrder(t *testing.T) {
+	ds := sampleDS(t, 120)
+	for _, q := range []Query{
+		{TopK: 6, Rank: RankDomCount},
+		{TopK: 6, Rank: RankIdeal, Ideal: []int64{25, 25}},
+	} {
+		want, err := Naive(ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := runPlan(t, ds, q, Env{})
+		if !equal32(got, want) {
+			t.Fatalf("rank %q: got order %v want %v", q.Rank, got, want)
+		}
+	}
+}
+
+// TestUnrankedTopK checks the emission-order contract: K results, all
+// members of the full skyline, served by the cursor route.
+func TestUnrankedTopK(t *testing.T) {
+	ds := sampleDS(t, 200)
+	full, err := Naive(ds, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := make(map[int32]bool, len(full))
+	for _, id := range full {
+		member[id] = true
+	}
+	k := 3
+	ids, ex := runPlan(t, ds, Query{TopK: k}, Env{})
+	if ex.Route != RouteCursor {
+		t.Fatalf("route %q, want %q", ex.Route, RouteCursor)
+	}
+	wantLen := k
+	if len(full) < k {
+		wantLen = len(full)
+	}
+	if len(ids) != wantLen {
+		t.Fatalf("got %d rows, want %d", len(ids), wantLen)
+	}
+	for _, id := range ids {
+		if !member[id] {
+			t.Fatalf("row %d not in the full skyline %v", id, full)
+		}
+	}
+}
+
+func TestAntiMonotoneProof(t *testing.T) {
+	ds := sampleDS(t, 10)
+	cases := []struct {
+		name string
+		pred Predicate
+		want bool
+	}{
+		{"upper bound", Predicate{Kind: TORange, Dim: 0, HasHi: true, Hi: 5}, true},
+		{"lower bound", Predicate{Kind: TORange, Dim: 0, HasLo: true, Lo: 5}, false},
+		{"both bounds", Predicate{Kind: TORange, Dim: 0, HasLo: true, Lo: 1, HasHi: true, Hi: 5}, false},
+		// Diamond 0→{1,2}→3: {0,1} is upward closed, {1,3} is not (0 and
+		// 2 are preferred to members but excluded).
+		{"PO up-set", Predicate{Kind: POIn, Dim: 0, In: []int32{0, 1}}, true},
+		{"PO top only", Predicate{Kind: POIn, Dim: 0, In: []int32{0}}, true},
+		{"PO not up-set", Predicate{Kind: POIn, Dim: 0, In: []int32{1, 3}}, false},
+	}
+	for _, tc := range cases {
+		got, reason := allAntiMonotone(ds, Query{Where: []Predicate{tc.pred}})
+		if got != tc.want {
+			t.Errorf("%s: antiMonotone=%v (reason %q), want %v", tc.name, got, reason, tc.want)
+		}
+	}
+}
+
+// TestCacheRouting drives the cache life cycle: a full-skyline run
+// populates it, an anti-monotone constrained query is then served
+// post-filter from the cache, and a non-anti-monotone one still pushes
+// down.
+func TestCacheRouting(t *testing.T) {
+	ds := sampleDS(t, 150)
+	cache := &memCache{}
+	env := Env{Cache: cache, Learned: NewLearned()}
+
+	full, ex := runPlan(t, ds, Query{}, env)
+	if ex.CacheHit {
+		t.Fatal("first full run reported a cache hit")
+	}
+	if _, ok := cache.GetFull(); !ok {
+		t.Fatal("full run did not populate the cache")
+	}
+
+	ids2, ex2 := runPlan(t, ds, Query{}, env)
+	if !ex2.CacheHit {
+		t.Fatal("second full run missed the cache")
+	}
+	if !equal32(sorted32(ids2), sorted32(full)) {
+		t.Fatal("cached full skyline differs")
+	}
+
+	am := Query{Where: []Predicate{{Kind: TORange, Dim: 0, HasHi: true, Hi: 20}}}
+	want, err := Naive(ds, am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids3, ex3 := runPlan(t, ds, am, env)
+	if ex3.Route != RoutePostFilter || !ex3.CacheHit {
+		t.Fatalf("anti-monotone query with warm cache: route %q cacheHit %v", ex3.Route, ex3.CacheHit)
+	}
+	if !equal32(sorted32(ids3), sorted32(want)) {
+		t.Fatalf("post-filter answer differs from oracle: got %v want %v", sorted32(ids3), sorted32(want))
+	}
+
+	nonAM := Query{Where: []Predicate{{Kind: TORange, Dim: 0, HasLo: true, Lo: 10}}}
+	_, ex4 := runPlan(t, ds, nonAM, env)
+	if ex4.Route != RoutePushdown || ex4.CacheHit {
+		t.Fatalf("non-anti-monotone query: route %q cacheHit %v, want pushdown cold", ex4.Route, ex4.CacheHit)
+	}
+
+	// NoCache must bypass a warm cache.
+	_, ex5 := runPlan(t, ds, Query{Hints: Hints{NoCache: true}}, env)
+	if ex5.CacheHit {
+		t.Fatal("NoCache hint still hit the cache")
+	}
+}
+
+func TestForcedPostFilterNeedsProof(t *testing.T) {
+	ds := sampleDS(t, 20)
+	q := Query{
+		Where: []Predicate{{Kind: TORange, Dim: 0, HasLo: true, Lo: 5}},
+		Hints: Hints{Route: RoutePostFilter},
+	}
+	if _, err := New(ds, q, Env{}); err == nil {
+		t.Fatal("forced post-filter on a non-anti-monotone predicate planned without error")
+	}
+	// Provably anti-monotone but projected: the blocker is the
+	// subspace, and the error must say so.
+	sq := Query{
+		Where:    []Predicate{{Kind: TORange, Dim: 0, HasHi: true, Hi: 5}},
+		Subspace: &Subspace{TO: []int{0}},
+		Hints:    Hints{Route: RoutePostFilter},
+	}
+	_, err := New(ds, sq, Env{})
+	if err == nil {
+		t.Fatal("forced post-filter on a subspace query planned without error")
+	}
+	if !strings.Contains(err.Error(), "subspace") {
+		t.Fatalf("subspace post-filter error does not name the blocker: %v", err)
+	}
+}
+
+// TestForcedParallelTopKSkipsCursor: a forced shard count must be
+// honored, so unranked top-k falls back to a full truncated run instead
+// of the sequential cursor.
+func TestForcedParallelTopKSkipsCursor(t *testing.T) {
+	ds := sampleDS(t, 200)
+	ids, ex := runPlan(t, ds, Query{TopK: 3, Hints: Hints{Parallelism: 2}}, Env{})
+	if ex.Route == RouteCursor {
+		t.Fatal("forced parallelism still took the sequential cursor route")
+	}
+	if ex.Parallelism != 2 || len(ids) != 3 {
+		t.Fatalf("parallelism %d rows %d", ex.Parallelism, len(ids))
+	}
+}
+
+// TestRankedTopKEmissionsMatchResult: after a ranked truncation the
+// metrics' emission records describe exactly the returned rows.
+func TestRankedTopKEmissionsMatchResult(t *testing.T) {
+	ds := sampleDS(t, 120)
+	p, err := New(ds, Query{TopK: 4, Rank: RankDomCount}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), ds, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := make(map[int32]bool, len(res.SkylineIDs))
+	for _, id := range res.SkylineIDs {
+		kept[id] = true
+	}
+	if len(res.Metrics.Emissions) != len(res.SkylineIDs) {
+		t.Fatalf("%d emissions for %d result rows", len(res.Metrics.Emissions), len(res.SkylineIDs))
+	}
+	for _, e := range res.Metrics.Emissions {
+		if !kept[e.ID] {
+			t.Fatalf("emission for row %d, which is not in the result %v", e.ID, res.SkylineIDs)
+		}
+	}
+}
+
+// TestStatsAdvanceFromEmptyTable: stats cached on an empty table must
+// not leak their zeroed bounds into the first real batch.
+func TestStatsAdvanceFromEmptyTable(t *testing.T) {
+	empty := &core.Dataset{Domains: []*poset.Domain{diamondDomain(t)}}
+	s := Analyze(empty)
+	next := &core.Dataset{Domains: empty.Domains, Pts: []core.Point{
+		{ID: 0, TO: []int32{100, 200}, PO: []int32{0}},
+		{ID: 1, TO: []int32{150, 250}, PO: []int32{1}},
+	}}
+	s2 := s.Advance(empty, next, nil, 2)
+	if s2.TO[0].Min != 100 || s2.TO[0].Max != 150 {
+		t.Fatalf("bounds after first batch: %+v (zeroed Min leaked?)", s2.TO[0])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	ds := sampleDS(t, 10)
+	bad := []Query{
+		{TopK: -1},
+		{Rank: RankDomCount},   // rank without TopK
+		{Ideal: []int64{1, 2}}, // ideal without rank
+		{TopK: 1, Rank: RankIdeal, Ideal: []int64{1}},              // ideal arity
+		{Subspace: &Subspace{TO: []int{}}},                         // no TO dim kept
+		{Subspace: &Subspace{TO: []int{1, 0}}},                     // not ascending
+		{Subspace: &Subspace{TO: []int{0, 0}}},                     // duplicate
+		{Subspace: &Subspace{TO: []int{2}}},                        // out of range
+		{Where: []Predicate{{Kind: TORange, Dim: 5}}},              // bad dim
+		{Where: []Predicate{{Kind: TORange, Dim: 0}}},              // no bounds
+		{Where: []Predicate{{Kind: POIn, Dim: 0}}},                 // empty set
+		{Where: []Predicate{{Kind: POIn, Dim: 0, In: []int32{9}}}}, // bad value
+		{Hints: Hints{Route: RouteCursor}},                         // not forceable
+		{Where: []Predicate{{Kind: TORange, Dim: 0, HasHi: true}}, Hints: Hints{Route: "bogus"}},
+	}
+	for i, q := range bad {
+		if _, err := New(ds, q, Env{}); err == nil {
+			t.Errorf("query %d (%+v): expected a validation error", i, q)
+		}
+	}
+}
+
+func TestStatsAnalyzeAndAdvance(t *testing.T) {
+	ds := sampleDS(t, 100)
+	s := Analyze(ds)
+	if s.Rows != 100 || len(s.TO) != 2 || len(s.PO) != 1 {
+		t.Fatalf("bad shape: %+v", s)
+	}
+	wantMin, wantMax := int64(math.MaxInt64), int64(math.MinInt64)
+	for i := range ds.Pts {
+		v := int64(ds.Pts[i].TO[0])
+		if v < wantMin {
+			wantMin = v
+		}
+		if v > wantMax {
+			wantMax = v
+		}
+	}
+	if s.TO[0].Min != wantMin || s.TO[0].Max != wantMax {
+		t.Fatalf("TO[0] bounds [%d, %d], want [%d, %d]", s.TO[0].Min, s.TO[0].Max, wantMin, wantMax)
+	}
+	if s.PO[0].DomainSize != 4 || s.PO[0].Distinct != 4 {
+		t.Fatalf("PO stats %+v", s.PO[0])
+	}
+
+	// Incremental append widens the max.
+	next := &core.Dataset{Domains: ds.Domains, Pts: append(append([]core.Point(nil), ds.Pts...),
+		core.Point{ID: 100, TO: []int32{999, 1}, PO: []int32{0}})}
+	oldToNew := make([]int32, 100)
+	for i := range oldToNew {
+		oldToNew[i] = int32(i)
+	}
+	s2 := s.Advance(ds, next, oldToNew, 1)
+	if s2.Rows != 101 || s2.TO[0].Max != 999 {
+		t.Fatalf("advance add: %+v", s2.TO[0])
+	}
+	if s.TO[0].Max == 999 {
+		t.Fatal("Advance mutated the receiver")
+	}
+
+	// Removing the extreme row must trigger a recompute that restores
+	// the true bounds.
+	var maxRow int
+	for i := range next.Pts {
+		if next.Pts[i].TO[0] == 999 {
+			maxRow = i
+		}
+	}
+	after := &core.Dataset{Domains: ds.Domains}
+	o2n := make([]int32, len(next.Pts))
+	for i := range next.Pts {
+		if i == maxRow {
+			o2n[i] = -1
+			continue
+		}
+		p := next.Pts[i]
+		p.ID = int32(len(after.Pts))
+		o2n[i] = p.ID
+		after.Pts = append(after.Pts, p)
+	}
+	s3 := s2.Advance(next, after, o2n, 0)
+	if s3.TO[0].Max != wantMax {
+		t.Fatalf("advance remove-extreme: max %d, want %d", s3.TO[0].Max, wantMax)
+	}
+}
+
+func TestCorrelationSign(t *testing.T) {
+	corr := &core.Dataset{}
+	anti := &core.Dataset{}
+	for i := 0; i < 500; i++ {
+		corr.Pts = append(corr.Pts, core.Point{ID: int32(i), TO: []int32{int32(i), int32(i + 3)}})
+		anti.Pts = append(anti.Pts, core.Point{ID: int32(i), TO: []int32{int32(i), int32(500 - i)}})
+	}
+	if s := Analyze(corr); s.CorrSign < 0.5 {
+		t.Fatalf("correlated sign %f", s.CorrSign)
+	}
+	if s := Analyze(anti); s.CorrSign > -0.5 {
+		t.Fatalf("anti-correlated sign %f", s.CorrSign)
+	}
+}
+
+func TestLearnedFeedback(t *testing.T) {
+	l := NewLearned()
+	if m := l.CostMultiplier("stss"); m != 1 {
+		t.Fatalf("cold multiplier %f", m)
+	}
+	l.ObserveCost("stss", 1.0, 3.0)
+	if m := l.CostMultiplier("stss"); m != 3 {
+		t.Fatalf("first observation multiplier %f, want 3", m)
+	}
+	l.ObserveSkyline(1000, 100)
+	if f, ok := l.SkylineFrac(); !ok || f != 0.1 {
+		t.Fatalf("skyline frac %f ok=%v", f, ok)
+	}
+
+	st := l.Export()
+	l2 := ImportLearned(st)
+	if m := l2.CostMultiplier("stss"); m != 3 {
+		t.Fatalf("round-trip multiplier %f", m)
+	}
+	if f, ok := l2.SkylineFrac(); !ok || f != 0.1 {
+		t.Fatalf("round-trip frac %f ok=%v", f, ok)
+	}
+	if len(st.Algos) != 1 || st.Algos[0].Name != "stss" {
+		t.Fatalf("export %+v", st)
+	}
+}
+
+// TestPlannerUsesFeedback: after the executor observes runs, the
+// planner's estimated skyline comes from the EWMA.
+func TestPlannerUsesFeedback(t *testing.T) {
+	ds := sampleDS(t, 200)
+	env := Env{Learned: NewLearned(), Stats: Analyze(ds)}
+	_, ex := runPlan(t, ds, Query{}, env)
+	if ex.SkyFracFrom != "correlation-default" {
+		t.Fatalf("cold run frac source %q", ex.SkyFracFrom)
+	}
+	_, ex2 := runPlan(t, ds, Query{}, env)
+	if ex2.SkyFracFrom != "observed" {
+		t.Fatalf("warm run frac source %q", ex2.SkyFracFrom)
+	}
+	if ex2.EstSkyline <= 0 {
+		t.Fatalf("estimated skyline %d", ex2.EstSkyline)
+	}
+}
+
+// TestSubspaceDropsPOEnablesTOOnly: projecting away the PO column makes
+// the TO-only sort-based algorithms legal candidates.
+func TestSubspaceDropsPOEnablesTOOnly(t *testing.T) {
+	ds := sampleDS(t, 50)
+	q := Query{Subspace: &Subspace{TO: []int{0, 1}}, Hints: Hints{Algorithm: "salsa"}}
+	want, err := Naive(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ex := runPlan(t, ds, q, Env{})
+	if ex.Algorithm != "salsa" {
+		t.Fatalf("algorithm %q", ex.Algorithm)
+	}
+	if !equal32(sorted32(got), sorted32(want)) {
+		t.Fatalf("salsa on TO subspace: got %v want %v", sorted32(got), sorted32(want))
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ds := sampleDS(t, 100)
+	p, err := New(ds, Query{}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, ds, Env{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v", err)
+	}
+}
+
+func TestSelectivityEstimate(t *testing.T) {
+	stats := &Stats{
+		Rows: 100,
+		TO:   []ColStats{{Min: 0, Max: 99}},
+		PO:   []POStats{{Distinct: 4, DomainSize: 4}},
+	}
+	cases := []struct {
+		pred Predicate
+		want float64
+	}{
+		{Predicate{Kind: TORange, Dim: 0, HasHi: true, Hi: 49}, 0.5},
+		{Predicate{Kind: TORange, Dim: 0, HasLo: true, Lo: 90}, 0.1},
+		{Predicate{Kind: POIn, Dim: 0, In: []int32{0}}, 0.25},
+	}
+	for _, tc := range cases {
+		got := selectivity(stats, []Predicate{tc.pred})
+		if math.Abs(got-tc.want) > 0.02 {
+			t.Errorf("selectivity(%+v) = %f, want %f", tc.pred, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeDims(t *testing.T) {
+	got := NormalizeDims([]int{3, 1, 3, 0, 1})
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,451 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Cache is the full-skyline result cache the executor may route
+// through: it stores the skyline of the full table (all rows, all
+// dimensions) for the table state the cache belongs to. Implementations
+// must be safe for concurrent use; the serving layer binds one to each
+// immutable snapshot.
+type Cache interface {
+	GetFull() ([]int32, bool)
+	PutFull([]int32)
+}
+
+// Env is the planning context: the table's statistics, the feedback
+// store, and an optional full-skyline cache. All fields may be nil —
+// Stats is computed on the fly, feedback is dropped, no cache routing.
+type Env struct {
+	Stats   *Stats
+	Learned *Learned
+	Cache   Cache
+}
+
+// Candidate is one algorithm the planner costed, for explain output.
+type Candidate struct {
+	Name       string  `json:"name"`
+	EstSeconds float64 `json:"estSeconds"`
+}
+
+// Explain is the JSON-ready account of a planning decision, attached to
+// query responses and printed by the CLIs' -explain flags. Observed*
+// fields are filled in by the executor after the run.
+type Explain struct {
+	Variant      string      `json:"variant"`
+	Algorithm    string      `json:"algorithm"`
+	Forced       bool        `json:"forced,omitempty"`
+	Parallelism  int         `json:"parallelism,omitempty"`
+	Route        Route       `json:"route"`
+	RouteReason  string      `json:"routeReason,omitempty"`
+	AntiMonotone bool        `json:"antiMonotone,omitempty"`
+	EstRows      int         `json:"estimatedRows"`
+	EstSkyline   int         `json:"estimatedSkyline"`
+	EstSeconds   float64     `json:"estimatedSeconds"`
+	SkyFracFrom  string      `json:"skylineFracSource"`
+	Candidates   []Candidate `json:"candidates,omitempty"`
+	CacheHit     bool        `json:"cacheHit,omitempty"`
+
+	// ObservedRows counts the rows the executor actually fed an
+	// algorithm (0 on cache hits) — compare with EstRows to judge the
+	// selectivity estimate.
+	ObservedSeconds float64 `json:"observedSeconds"`
+	ObservedRows    int     `json:"observedRows"`
+	ObservedSkyline int     `json:"observedSkyline"`
+}
+
+// Plan is a physical execution plan: the logical query plus every
+// decision the optimizer made. Plans are single-use — Run fills the
+// Explain's observed fields.
+type Plan struct {
+	Query   Query
+	Explain Explain
+
+	algo      core.Algorithm
+	shards    int // partition-and-merge shard count; 0 = sequential
+	route     Route
+	earlyExit bool    // RouteCursor: stop the progressive cursor after TopK
+	cached    []int32 // full skyline served from Env.Cache, nil on miss
+	keptTO    []int   // resolved subspace (identity when Query.Subspace == nil)
+	keptPO    []int
+	estRows   int
+	estSky    int
+	predBase  float64   // static model prediction before the learned multiplier
+	prior     costPrior // chosen algorithm's model, for observation-time feedback
+
+	cursorRows int // rows the cursor route indexed (observed-rows reporting)
+}
+
+// costPrior is the static cost model of one algorithm:
+//
+//	seconds ≈ (A·n·log2(n) + B·(1 + POB·p)·n·m) × 1e-9
+//
+// with n input rows, m skyline rows and p partially ordered dimensions.
+// A carries the per-row work (sorting, index bulk-load, topological
+// preprocessing), B the pairwise dominance work that survives the
+// algorithm's pruning, and POB how much a PO dimension inflates one
+// dominance check (interval probes instead of integer compares; sTSS's
+// in-memory dominance tree makes it by far the most PO-sensitive in
+// wall-clock terms). Calibrated against measured wall-clock at n=20k
+// (`tssbench -fig plan`); deliberately rough — Learned.CostMultiplier
+// corrects each algorithm per table from observed runs.
+type costPrior struct{ A, B, POB float64 }
+
+var costPriors = map[string]costPrior{
+	"stss":  {A: 25, B: 3.5, POB: 20},
+	"bbs+":  {A: 40, B: 5, POB: 1},
+	"sdc":   {A: 30, B: 4, POB: 0.9},
+	"sdc+":  {A: 30, B: 2.8, POB: 0.6},
+	"bnl":   {A: 5, B: 3, POB: 0.75},
+	"sfs":   {A: 8, B: 2.5, POB: 0.5},
+	"salsa": {A: 10, B: 2.2},
+	"less":  {A: 8, B: 1.2},
+}
+
+// defaultPrior covers algorithms registered after this model was
+// calibrated.
+var defaultPrior = costPrior{A: 30, B: 3, POB: 1}
+
+// modelSeconds evaluates the static cost model.
+func (c costPrior) modelSeconds(n, m, effPO int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	fn, fm := float64(n), float64(m)
+	return (c.A*fn*math.Log2(fn+2) + c.B*(1+c.POB*float64(effPO))*fn*fm) * 1e-9
+}
+
+// parallelMinRows is the input size below which the partition-and-merge
+// executor's fixed overhead outweighs its speedup.
+const parallelMinRows = 20_000
+
+// New plans q against ds. The returned plan is ready to Run; its
+// Explain describes every decision (before observation fields).
+func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
+	sizes := make([]int, len(ds.Domains))
+	for d, dom := range ds.Domains {
+		sizes[d] = dom.Size()
+	}
+	if err := q.Validate(ds.NumTO(), ds.NumPO(), sizes); err != nil {
+		return nil, err
+	}
+	stats := env.Stats
+	if stats == nil {
+		stats = Analyze(ds)
+	}
+
+	p := &Plan{Query: q, Explain: Explain{Variant: q.Variant()}}
+	p.keptTO, p.keptPO = resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
+
+	// Route: push-down is the definition; post-filter needs the
+	// anti-monotonicity proof and pays off only when the full skyline is
+	// already cached (the filtered run reads fewer rows otherwise).
+	antiMono, proofReason := allAntiMonotone(ds, q)
+	p.Explain.AntiMonotone = antiMono
+	useCache := env.Cache != nil && !q.Hints.NoCache && q.Subspace == nil
+	var cachedFull []int32
+	cacheHas := false
+	if useCache {
+		cachedFull, cacheHas = env.Cache.GetFull()
+	}
+	switch {
+	case len(q.Where) == 0:
+		p.route = RouteDirect
+		if cacheHas && q.Subspace == nil {
+			p.cached = cachedFull
+			p.Explain.RouteReason = "full skyline cached"
+		}
+	case q.Hints.Route == RoutePostFilter:
+		if !antiMono {
+			return nil, fmt.Errorf("plan: post-filter route forced but not provably sound (%s)", proofReason)
+		}
+		if q.Subspace != nil {
+			return nil, fmt.Errorf("plan: post-filter route needs the full-dimensional skyline; a subspace query cannot use it")
+		}
+		p.route = RoutePostFilter
+		p.Explain.RouteReason = "forced by hint"
+		if cacheHas {
+			p.cached = cachedFull
+		}
+	case q.Hints.Route == RoutePushdown:
+		p.route = RoutePushdown
+		p.Explain.RouteReason = "forced by hint"
+	case antiMonotoneUsable(q, antiMono) && cacheHas:
+		p.route = RoutePostFilter
+		p.cached = cachedFull
+		p.Explain.RouteReason = "predicates anti-monotone and full skyline cached"
+	default:
+		p.route = RoutePushdown
+		if antiMono {
+			p.Explain.RouteReason = "anti-monotone but no cached skyline: filtering first reads fewer rows"
+		} else {
+			p.Explain.RouteReason = proofReason
+		}
+	}
+
+	// Cardinality estimates. The post-filter route runs the algorithm
+	// (when the cache misses) over the whole table.
+	n := stats.Rows
+	sel := selectivity(stats, q.Where)
+	p.estRows = n
+	if p.route == RoutePushdown {
+		p.estRows = int(math.Ceil(sel * float64(n)))
+	}
+	frac, fracSrc := skylineFrac(stats, env.Learned, len(p.keptTO)+len(p.keptPO))
+	p.Explain.SkyFracFrom = fracSrc
+	p.estSky = int(math.Ceil(frac * float64(p.estRows)))
+	if p.estSky < 1 && p.estRows > 0 {
+		p.estSky = 1
+	}
+
+	// Unranked top-k on a progressive algorithm never needs the full
+	// skyline: the sTSS cursor stops after K certified emissions
+	// (optimal progressiveness, paper §IV). Not applicable when the
+	// post-filter route would discard an unknown number of results, and
+	// skipped when the caller forced a shard count — the cursor is
+	// sequential, so honoring the hint means running the full
+	// partition-and-merge pass and truncating.
+	hinted := strings.ToLower(q.Hints.Algorithm)
+	p.earlyExit = q.TopK > 0 && q.Rank == RankNone && p.route != RoutePostFilter &&
+		p.cached == nil && q.Hints.Parallelism <= 0 && (hinted == "" || hinted == "stss")
+
+	// Algorithm choice: capability-gated cost minimization, unless
+	// forced. A projection that drops every PO column widens the field
+	// to the TO-only sort-based algorithms.
+	effPO := len(p.keptPO)
+	if err := p.chooseAlgorithm(env.Learned, effPO, hinted); err != nil {
+		return nil, err
+	}
+
+	// Parallelism: the partition-and-merge executor pays off on large
+	// inputs on multi-core hosts; it is pure overhead for cursor runs
+	// (which stop early) and cache hits.
+	switch {
+	case q.Hints.Parallelism > 0:
+		p.shards = q.Hints.Parallelism
+	case q.Hints.Parallelism < 0:
+		p.shards = 0
+	case p.earlyExit || p.cached != nil:
+		p.shards = 0
+	case runtime.GOMAXPROCS(0) > 1 && p.estRows >= parallelMinRows:
+		p.shards = runtime.GOMAXPROCS(0)
+	}
+
+	p.Explain.Route = p.route
+	if p.earlyExit {
+		p.Explain.Route = RouteCursor
+	}
+	p.Explain.Parallelism = p.shards
+	p.Explain.EstRows = p.estRows
+	p.Explain.EstSkyline = p.estSky
+	p.Explain.CacheHit = p.cached != nil
+	return p, nil
+}
+
+// chooseAlgorithm fills p.algo, p.predBase and the explain candidate
+// table.
+func (p *Plan) chooseAlgorithm(learned *Learned, effPO int, hinted string) error {
+	if hinted != "" {
+		a, ok := core.Lookup(hinted)
+		if !ok {
+			return fmt.Errorf("plan: unknown algorithm %q (have: %s)",
+				p.Query.Hints.Algorithm, strings.Join(core.AlgorithmNames(), ", "))
+		}
+		p.algo = a
+		prior, ok := costPriors[a.Name()]
+		if !ok {
+			prior = defaultPrior
+		}
+		p.prior = prior
+		p.predBase = prior.modelSeconds(p.estRows, p.estSky, effPO)
+		p.Explain.Algorithm = a.Name()
+		p.Explain.Forced = true
+		p.Explain.EstSeconds = p.predBase * learned.CostMultiplier(a.Name())
+		return nil
+	}
+	var best core.Algorithm
+	var bestPrior costPrior
+	var bestEst, bestBase float64
+	for _, a := range core.Algorithms() {
+		if effPO > 0 && !a.Capabilities().POCapable {
+			continue
+		}
+		prior, ok := costPriors[a.Name()]
+		if !ok {
+			prior = defaultPrior
+		}
+		base := prior.modelSeconds(p.estRows, p.estSky, effPO)
+		est := base * learned.CostMultiplier(a.Name())
+		p.Explain.Candidates = append(p.Explain.Candidates, Candidate{Name: a.Name(), EstSeconds: est})
+		if best == nil || est < bestEst {
+			best, bestEst, bestBase, bestPrior = a, est, base, prior
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("plan: no capable algorithm registered")
+	}
+	// The cursor route is sTSS-specific: prefer it for unranked top-k
+	// even when another algorithm models cheaper on a full run, since
+	// the cursor only pays for the first K emissions.
+	if p.earlyExit {
+		best = core.MustLookup("stss")
+		bestPrior = costPriors["stss"]
+		bestBase = bestPrior.modelSeconds(p.estRows, p.estSky, effPO)
+		frac := 1.0
+		if p.estSky > p.Query.TopK && p.estSky > 0 {
+			frac = float64(p.Query.TopK) / float64(p.estSky)
+		}
+		bestEst = bestBase * learned.CostMultiplier("stss") * frac
+	}
+	p.algo = best
+	p.prior = bestPrior
+	p.predBase = bestBase
+	p.Explain.Algorithm = best.Name()
+	p.Explain.EstSeconds = bestEst
+	return nil
+}
+
+// resolveSubspace expands a nil subspace to the identity dimension
+// lists.
+func resolveSubspace(s *Subspace, nTO, nPO int) (to, po []int) {
+	if s == nil {
+		to = make([]int, nTO)
+		for i := range to {
+			to[i] = i
+		}
+		po = make([]int, nPO)
+		for i := range po {
+			po[i] = i
+		}
+		return to, po
+	}
+	return append([]int(nil), s.TO...), append([]int(nil), s.PO...)
+}
+
+// allAntiMonotone proves (or refutes) that every predicate is closed
+// under dominance: any row dominating a satisfying row also satisfies.
+//
+//   - A TO range is anti-monotone iff it has no lower bound: dominators
+//     have values ≤ the satisfying row's (smaller is better), which can
+//     escape below a lower bound but never above an upper one.
+//   - A PO value set is anti-monotone iff it is upward closed under the
+//     table's preference order: for every allowed value, every value
+//     t-preferred to it is allowed too. Checked exhaustively against
+//     the domain (|In| × |domain| TPrefers probes on the precomputed
+//     interval encoding).
+func allAntiMonotone(ds *core.Dataset, q Query) (bool, string) {
+	for i, pr := range q.Where {
+		switch pr.Kind {
+		case TORange:
+			if pr.HasLo {
+				return false, fmt.Sprintf("predicate %d has a lower bound (a dominator may fall below it)", i)
+			}
+		case POIn:
+			dom := ds.Domains[pr.Dim]
+			allowed := make(map[int32]bool, len(pr.In))
+			for _, v := range pr.In {
+				allowed[v] = true
+			}
+			for _, v := range pr.In {
+				for w := int32(0); int(w) < dom.Size(); w++ {
+					if !allowed[w] && dom.TPrefers(w, v) {
+						return false, fmt.Sprintf(
+							"predicate %d: value %d is preferred to allowed value %d but excluded", i, w, v)
+					}
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// antiMonotoneUsable gates the post-filter route: besides the proof,
+// the cached/derived full skyline is full-dimensional, so a subspace
+// query cannot use it.
+func antiMonotoneUsable(q Query, antiMono bool) bool {
+	return antiMono && q.Subspace == nil
+}
+
+// selectivity estimates the fraction of rows surviving the predicates,
+// assuming per-column uniformity and independence across predicates.
+func selectivity(stats *Stats, where []Predicate) float64 {
+	sel := 1.0
+	for _, pr := range where {
+		switch pr.Kind {
+		case TORange:
+			if pr.Dim >= len(stats.TO) {
+				continue
+			}
+			c := stats.TO[pr.Dim]
+			span := float64(c.Max-c.Min) + 1
+			if span <= 0 {
+				continue
+			}
+			lo, hi := float64(c.Min), float64(c.Max)
+			if pr.HasLo && float64(pr.Lo) > lo {
+				lo = float64(pr.Lo)
+			}
+			if pr.HasHi && float64(pr.Hi) < hi {
+				hi = float64(pr.Hi)
+			}
+			s := (hi - lo + 1) / span
+			sel *= clamp01(s)
+		case POIn:
+			if pr.Dim >= len(stats.PO) {
+				continue
+			}
+			size := stats.PO[pr.Dim].DomainSize
+			if size > 0 {
+				sel *= clamp01(float64(len(pr.In)) / float64(size))
+			}
+		}
+	}
+	return clamp01(sel)
+}
+
+// skylineFrac estimates |skyline|/n: the observed EWMA when available,
+// otherwise a correlation-sign default scaled by dimensionality.
+func skylineFrac(stats *Stats, learned *Learned, dims int) (float64, string) {
+	if f, ok := learned.SkylineFrac(); ok {
+		return clampFrac(f), "observed"
+	}
+	var f float64
+	switch {
+	case stats.CorrSign < -0.15:
+		f = 0.10
+	case stats.CorrSign > 0.15:
+		f = 0.005
+	default:
+		f = 0.02
+	}
+	if dims > 2 {
+		f *= 1 + 0.5*float64(dims-2)
+	}
+	return clampFrac(f), "correlation-default"
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func clampFrac(f float64) float64 {
+	if f < 1e-4 {
+		return 1e-4
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"repro/internal/plan"
 	"repro/internal/store"
 )
 
@@ -76,7 +77,36 @@ func (e *tableEntry) storeSnapshot(snap *snapshot) (*store.Snapshot, error) {
 		Schema:        e.storeSchema(),
 		Rows:          cols,
 		CacheCapacity: e.specCacheCap,
+		Stats:         learnedRecord(snap.table.Learned()),
 	}, nil
+}
+
+// learnedRecord renders the planner's feedback store for persistence
+// (nil when nothing has been observed yet — the snapshot then encodes
+// without a stats section).
+func learnedRecord(l *plan.Learned) *store.TableStatsRecord {
+	st := l.Export()
+	if st.SkyFracN == 0 && len(st.Algos) == 0 {
+		return nil
+	}
+	rec := &store.TableStatsRecord{SkyFrac: st.SkyFrac, SkyFracN: st.SkyFracN}
+	for _, a := range st.Algos {
+		rec.Algos = append(rec.Algos, store.AlgoCostRecord{Name: a.Name, Mult: a.Mult, N: a.N})
+	}
+	return rec
+}
+
+// importLearned rebuilds the feedback store from a recovered snapshot
+// (nil record → fresh store semantics via a nil return).
+func importLearned(rec *store.TableStatsRecord) *plan.Learned {
+	if rec == nil {
+		return nil
+	}
+	st := plan.LearnedState{SkyFrac: rec.SkyFrac, SkyFracN: rec.SkyFracN}
+	for _, a := range rec.Algos {
+		st.Algos = append(st.Algos, plan.AlgoCost{Name: a.Name, Mult: a.Mult, N: a.N})
+	}
+	return plan.ImportLearned(st)
 }
 
 // mutationRecord renders a validated batch request as a WAL record

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -104,6 +105,11 @@ func (s *Server) Recover() ([]TableInfo, error) {
 		e, err := newTableEntry(spec, s.cacheCap, snap.Version)
 		if err != nil {
 			return infos, fmt.Errorf("recover table %q: %w", name, err)
+		}
+		// Resume the planner's learning where the checkpoint left it —
+		// before the entry is visible to any query.
+		if l := importLearned(snap.Stats); l != nil {
+			e.current().table.SetLearned(l)
 		}
 		s.mu.Lock()
 		s.tables[name] = e
@@ -252,10 +258,18 @@ var ErrTableExists = errors.New("table already exists")
 // instead of a client error.
 var errStorage = errors.New("storage failure")
 
-// statusFor maps a handler error to its HTTP status.
+// statusFor maps a handler error to its HTTP status. Context errors
+// surface when a server-side request timeout (or a disconnecting
+// client) cancels a running query — the request was fine, the time
+// budget was not.
 func statusFor(err error) int {
-	if errors.Is(err, errStorage) {
+	switch {
+	case errors.Is(err, errStorage):
 		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
 	}
 	return http.StatusBadRequest
 }
@@ -394,13 +408,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *tableEnt
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleQuery answers a dynamic skyline query: the request brings its
-// own preference DAGs (and optionally an ideal point), served through
-// the snapshot's prepared dynamic database and its result cache.
+// handleQuery answers POST /tables/{name}/query in one of two modes:
+// a dynamic skyline query bringing its own preference DAGs (served
+// through the snapshot's prepared dynamic database and its result
+// cache), or — when planner-mode fields are present instead — a
+// planned query over the table's own orders (subspace / constrained /
+// top-k, algorithm and placement chosen by the cost-based optimizer).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEntry) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
+		return
+	}
+	if req.planMode() {
+		s.handlePlanQuery(w, r, e, req)
+		return
+	}
+	// A request that mixes both modes would otherwise silently drop its
+	// planner fields — refuse instead.
+	if req.hasPlanFields() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"subspace/where/topK/rank/algo/parallel/explain cannot combine with orders/baseline (dynamic queries run dTSS as-is)"))
+		return
+	}
+	// The dynamic path runs to completion once started (dTSS does not
+	// take a context); at least refuse work whose budget already
+	// expired while the request was queued or being read.
+	if err := r.Context().Err(); err != nil {
+		writeError(w, statusFor(err), fmt.Errorf("query canceled before start: %w", err))
 		return
 	}
 	snap := e.current()
@@ -444,6 +479,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEnt
 		Metrics:  res.Metrics,
 		CacheHit: res.CacheHit,
 	})
+}
+
+// handlePlanQuery runs a planner-mode query on the current snapshot.
+// The request context rides along, so a server-side request timeout
+// cancels the executor's scan loops cooperatively. The snapshot's
+// full-skyline memo (not the dTSS result cache — its counters stay
+// untouched) serves repeat full and provably-sound post-filter
+// constrained queries without recomputation; `cacheHit` in the
+// response reports that, and `plan` carries the optimizer's explain
+// output when requested.
+func (s *Server) handlePlanQuery(w http.ResponseWriter, r *http.Request, e *tableEntry, req QueryRequest) {
+	snap := e.current()
+	q, err := e.planQuery(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, explain, err := snap.table.QueryContext(r.Context(), q)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.countQuery(e)
+	resp := QueryResponse{
+		Table:    e.name,
+		Version:  snap.version,
+		Rows:     snap.table.Len(),
+		Count:    len(res.Rows),
+		Skyline:  skylineRows(snap, res.Rows, req.Limit),
+		Metrics:  res.Metrics,
+		CacheHit: res.CacheHit,
+		Algo:     explain.Algorithm,
+	}
+	if req.Explain {
+		resp.Plan = explain
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) countQuery(e *tableEntry) {

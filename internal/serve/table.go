@@ -17,10 +17,12 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	tss "repro"
+	"repro/internal/plan"
 )
 
 // snapshot is one immutable published state of a table. The table is
@@ -113,6 +115,24 @@ func newTableEntry(spec TableSpec, cacheCap int, version int64) (*tableEntry, er
 		}
 		e.poIndex = append(e.poIndex, idx)
 	}
+	// Planner-mode queries address columns by name across one shared
+	// namespace (TO names, order names, "po<d>" fallbacks); a collision
+	// would make one column silently unaddressable, so refuse it here
+	// rather than at query time.
+	seen := make(map[string]bool, len(e.toCols)+len(e.orderSpecs))
+	for _, c := range e.toCols {
+		if seen[c] {
+			return nil, fmt.Errorf("duplicate column name %q", c)
+		}
+		seen[c] = true
+	}
+	for d := range e.orderSpecs {
+		name := e.poColName(d)
+		if seen[name] {
+			return nil, fmt.Errorf("column name %q is used by more than one column", name)
+		}
+		seen[name] = true
+	}
 	table, err := e.freshTable()
 	if err != nil {
 		return nil, err
@@ -137,10 +157,13 @@ func (e *tableEntry) freshTable() (t *tss.Table, err error) {
 	return tss.NewTable(e.toCols, e.orders...), nil
 }
 
-// publish seals table, prepares its dynamic database and swaps the new
-// snapshot in. Callers hold writeMu (or own the entry exclusively).
+// publish seals table, prepares its dynamic database, attaches a fresh
+// full-skyline memo for the planner's cache routing (snapshot-scoped:
+// the memo describes exactly this row set) and swaps the new snapshot
+// in. Callers hold writeMu (or own the entry exclusively).
 func (e *tableEntry) publish(version int64, table *tss.Table, cacheCap int) {
 	table.Seal()
+	table.SetQueryCache(plan.NewMemoCache())
 	dyn := table.PrepareDynamic()
 	dyn.EnableCache(cacheCap)
 	e.snap.Store(&snapshot{version: version, table: table, dyn: dyn})
@@ -180,6 +203,7 @@ func (e *tableEntry) applyBatch(req BatchRequest, persist func(version int64) er
 		return BatchResponse{}, err
 	}
 	next.Seal()
+	next.SetQueryCache(plan.NewMemoCache()) // new row set, fresh memo
 	dyn := cur.dyn.ApplyDelta(next, delta)
 
 	version := cur.version + 1
@@ -230,6 +254,106 @@ func (e *tableEntry) queryOrders(reqOrders []QueryOrder) ([]*tss.Order, error) {
 		specs[d] = OrderSpec{Values: e.orderSpecs[d].Values, Edges: q.Edges}
 	}
 	return buildOrders(specs)
+}
+
+// poColName returns the display/lookup name of PO column d: the
+// OrderSpec's name, or the positional fallback "po<d>".
+func (e *tableEntry) poColName(d int) string {
+	if n := e.orderSpecs[d].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("po%d", d)
+}
+
+// lookupCol resolves a column name: TO columns by their declared name,
+// PO columns by their OrderSpec name or "po<d>" fallback.
+func (e *tableEntry) lookupCol(name string) (dim int, isTO bool, err error) {
+	for d, c := range e.toCols {
+		if c == name {
+			return d, true, nil
+		}
+	}
+	for d := range e.orderSpecs {
+		if e.poColName(d) == name {
+			return d, false, nil
+		}
+	}
+	return 0, false, fmt.Errorf("unknown column %q", name)
+}
+
+// planQuery translates a planner-mode request into the plan package's
+// logical query, resolving column names and PO value labels. The wire
+// parallelism contract matches the CLI flag: > 0 forces that many
+// shards, < 0 forces one shard per *server* CPU, 0 lets the planner
+// decide — so `tssquery -parallel -1` means the same thing locally and
+// against a server.
+func (e *tableEntry) planQuery(req QueryRequest) (plan.Query, error) {
+	par := req.Parallel
+	if par < 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	q := plan.Query{
+		TopK:  req.TopK,
+		Rank:  plan.Rank(req.Rank),
+		Ideal: req.Ideal,
+		Hints: plan.Hints{Algorithm: req.Algo, Parallelism: par},
+	}
+	if len(req.Subspace) > 0 {
+		s := &plan.Subspace{}
+		for _, name := range req.Subspace {
+			dim, isTO, err := e.lookupCol(name)
+			if err != nil {
+				return plan.Query{}, fmt.Errorf("subspace: %w", err)
+			}
+			if isTO {
+				s.TO = append(s.TO, dim)
+			} else {
+				s.PO = append(s.PO, dim)
+			}
+		}
+		s.TO = plan.NormalizeDims(s.TO)
+		s.PO = plan.NormalizeDims(s.PO)
+		q.Subspace = s
+	}
+	for i, w := range req.Where {
+		dim, isTO, err := e.lookupCol(w.Col)
+		if err != nil {
+			return plan.Query{}, fmt.Errorf("where[%d]: %w", i, err)
+		}
+		switch {
+		case len(w.In) > 0:
+			if isTO {
+				return plan.Query{}, fmt.Errorf("where[%d]: `in` needs a PO column, %q is totally ordered", i, w.Col)
+			}
+			if w.Le != nil || w.Ge != nil {
+				return plan.Query{}, fmt.Errorf("where[%d]: `in` cannot combine with le/ge", i)
+			}
+			pr := plan.Predicate{Kind: plan.POIn, Dim: dim}
+			for _, label := range w.In {
+				id, ok := e.poIndex[dim][label]
+				if !ok {
+					return plan.Query{}, fmt.Errorf("where[%d]: unknown value %q for column %q", i, label, w.Col)
+				}
+				pr.In = append(pr.In, int32(id))
+			}
+			q.Where = append(q.Where, pr)
+		case w.Le != nil || w.Ge != nil:
+			if !isTO {
+				return plan.Query{}, fmt.Errorf("where[%d]: le/ge need a TO column, %q is partially ordered", i, w.Col)
+			}
+			pr := plan.Predicate{Kind: plan.TORange, Dim: dim}
+			if w.Ge != nil {
+				pr.HasLo, pr.Lo = true, *w.Ge
+			}
+			if w.Le != nil {
+				pr.HasHi, pr.Hi = true, *w.Le
+			}
+			q.Where = append(q.Where, pr)
+		default:
+			return plan.Query{}, fmt.Errorf("where[%d]: no le/ge/in on column %q", i, w.Col)
+		}
+	}
+	return q, nil
 }
 
 // skylineRows renders result row indexes with their values from the

@@ -1,6 +1,9 @@
 package serve
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/plan"
+)
 
 // Wire types of the tssserve HTTP/JSON API. Every request and response
 // body is one of these; field names are the contract documented in the
@@ -80,18 +83,65 @@ type QueryOrder struct {
 	Edges [][2]string `json:"edges"`
 }
 
-// QueryRequest is a dynamic skyline query (POST /tables/{name}/query):
-// one preference DAG per PO column, an optional ideal point (one value
-// per TO column) turning it into a fully dynamic query, and an optional
-// baseline switch answering through the rebuild-everything SDC+
-// adaptation instead of dTSS.
+// WhereSpec is one predicate of a constrained (planner) query. Col
+// names a TO column, or — for `in` — a PO column (its OrderSpec name,
+// or the positional fallback "po0", "po1", …). `le`/`ge` bound a TO
+// column inclusively; `in` lists the allowed PO value labels.
+type WhereSpec struct {
+	Col string   `json:"col"`
+	Le  *int64   `json:"le,omitempty"`
+	Ge  *int64   `json:"ge,omitempty"`
+	In  []string `json:"in,omitempty"`
+}
+
+// QueryRequest is a skyline query (POST /tables/{name}/query) in one of
+// two modes.
+//
+// With Orders set (one preference DAG per PO column) it is a *dynamic*
+// query answered by the prepared dTSS database: an optional ideal point
+// (one value per TO column) makes it fully dynamic, and Baseline
+// switches to the rebuild-everything SDC+ adaptation.
+//
+// Without Orders it is a *planned* query over the table's own orders:
+// Subspace, Where, TopK/Rank and the hint fields select the variant,
+// and the cost-based planner picks algorithm, parallelism, predicate
+// placement and cache routing (per-response decisions in the `plan`
+// field when Explain is set). Ideal doubles as the RankIdeal reference
+// point in this mode.
 type QueryRequest struct {
-	Orders   []QueryOrder `json:"orders"`
+	Orders   []QueryOrder `json:"orders,omitempty"`
 	Ideal    []int64      `json:"ideal,omitempty"`
 	Baseline bool         `json:"baseline,omitempty"`
 	// Limit truncates the rows serialized into the response (0 = all);
 	// Count always reports the full skyline size.
 	Limit int `json:"limit,omitempty"`
+
+	// Planner-mode fields (see plan.Query for the exact semantics).
+	Subspace []string    `json:"subspace,omitempty"` // kept column names
+	Where    []WhereSpec `json:"where,omitempty"`
+	TopK     int         `json:"topK,omitempty"`
+	Rank     string      `json:"rank,omitempty"` // "", "domcount", "ideal"
+	Algo     string      `json:"algo,omitempty"` // force an algorithm
+	// Parallel > 0 forces that many shards, < 0 forces one shard per
+	// server CPU, 0 lets the planner decide — the same contract as the
+	// tssquery -parallel flag.
+	Parallel int  `json:"parallel,omitempty"`
+	Explain  bool `json:"explain,omitempty"`
+}
+
+// hasPlanFields reports whether any planner-mode field is set.
+func (r *QueryRequest) hasPlanFields() bool {
+	return len(r.Subspace) > 0 || len(r.Where) > 0 || r.TopK > 0 || r.Rank != "" ||
+		r.Algo != "" || r.Parallel != 0 || r.Explain
+}
+
+// planMode reports whether the request takes the planner path: no
+// per-request preference DAGs, and at least one planner-mode field (a
+// bare `{}` keeps its historical dTSS meaning). Mixing orders with
+// planner fields is rejected by the handler rather than silently
+// ignoring either half.
+func (r *QueryRequest) planMode() bool {
+	return len(r.Orders) == 0 && !r.Baseline && r.hasPlanFields()
 }
 
 // SkylineRow is one skyline member with its snapshot-scoped row index
@@ -113,6 +163,9 @@ type QueryResponse struct {
 	Metrics  core.MetricsExport `json:"metrics"`
 	CacheHit bool               `json:"cacheHit,omitempty"`
 	Algo     string             `json:"algo,omitempty"`
+	// Plan is the optimizer's explain output (planner-mode requests
+	// with "explain": true).
+	Plan *plan.Explain `json:"plan,omitempty"`
 }
 
 // StatsResponse is the /statsz body.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 )
 
 // Binary encodings. Everything is little-endian and fixed-width, so
@@ -11,9 +12,16 @@ import (
 // encode(decode(b)) == b for every accepted b — the property the
 // round-trip fuzz targets enforce.
 //
-// Snapshot file:
+// Snapshot file (format 2; format 1 — identical minus the stats
+// section — is still decoded, and re-encodes byte-identically so the
+// canonical-encoding property holds; fresh snapshots always write
+// format 2, so checkpoints upgrade old files in place):
 //
 //	magic "TSSS" | u16 format | u64 version | u32 cacheCapacity
+//	u8 hasStats | if 1:                       (planner feedback)
+//	    u64 skyFrac (float64 bits) | u64 skyFracN
+//	    u32 nAlgos | nAlgos × (str name, u64 mult float64 bits, u64 n)
+//	                                          (names strictly ascending)
 //	u32 nTO | nTO × str                       (column names)
 //	u32 nPO | per PO column:
 //	    str name
@@ -37,7 +45,11 @@ import (
 const (
 	snapMagic     = "TSSS"
 	walMagic      = "TSSW"
-	formatVersion = 1
+	formatVersion = 2
+	// formatVersionV1 is the pre-planner snapshot/WAL format, accepted
+	// on read (the WAL record encoding never changed; a v1 snapshot is
+	// a v2 snapshot without the stats section).
+	formatVersionV1 = 1
 
 	// maxDim caps decoded column/value/edge counts; together with the
 	// remaining-length checks it keeps hostile headers from forcing
@@ -50,11 +62,36 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 	if err := s.Rows.check(&s.Schema); err != nil {
 		return nil, err
 	}
+	version := uint16(formatVersion)
+	if s.formatV1 && s.Stats == nil {
+		version = formatVersionV1
+	}
 	var b []byte
 	b = append(b, snapMagic...)
-	b = binary.LittleEndian.AppendUint16(b, formatVersion)
+	b = binary.LittleEndian.AppendUint16(b, version)
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.Version))
 	b = binary.LittleEndian.AppendUint32(b, uint32(s.CacheCapacity))
+
+	switch {
+	case version == formatVersionV1:
+		// no stats section in format 1
+	case s.Stats == nil:
+		b = append(b, 0)
+	default:
+		st := s.Stats
+		if err := st.check(); err != nil {
+			return nil, err
+		}
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(st.SkyFrac))
+		b = binary.LittleEndian.AppendUint64(b, uint64(st.SkyFracN))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Algos)))
+		for _, a := range st.Algos {
+			b = appendStr(b, a.Name)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(a.Mult))
+			b = binary.LittleEndian.AppendUint64(b, uint64(a.N))
+		}
+	}
 
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Schema.TOColumns)))
 	for _, name := range s.Schema.TOColumns {
@@ -105,12 +142,46 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if string(r.take(4)) != snapMagic {
 		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
-	if v := r.u16(); v != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported snapshot format %d", ErrCorrupt, v)
+	version := r.u16()
+	if version != formatVersion && version != formatVersionV1 {
+		return nil, fmt.Errorf("%w: unsupported snapshot format %d", ErrCorrupt, version)
 	}
-	s := &Snapshot{Version: int64(r.u64()), CacheCapacity: int(int32(r.u32()))}
+	s := &Snapshot{Version: int64(r.u64()), CacheCapacity: int(int32(r.u32())), formatV1: version == formatVersionV1}
 	if s.Version < 0 || s.CacheCapacity < 0 {
 		return nil, fmt.Errorf("%w: negative version or cache capacity", ErrCorrupt)
+	}
+
+	if version == formatVersion {
+		switch hasStats := r.take(1); {
+		case r.err != nil:
+			return nil, fmt.Errorf("%w: truncated stats flag", ErrCorrupt)
+		case hasStats[0] > 1:
+			return nil, fmt.Errorf("%w: bad stats flag %d", ErrCorrupt, hasStats[0])
+		case hasStats[0] == 1:
+			st := &TableStatsRecord{
+				SkyFrac:  math.Float64frombits(r.u64()),
+				SkyFracN: int64(r.u64()),
+			}
+			nAlgos := int(r.u32())
+			if r.err == nil && nAlgos > maxDim {
+				return nil, fmt.Errorf("%w: implausible stats algo count %d", ErrCorrupt, nAlgos)
+			}
+			for i := 0; i < nAlgos && r.err == nil; i++ {
+				st.Algos = append(st.Algos, AlgoCostRecord{
+					Name: r.str(), Mult: math.Float64frombits(r.u64()), N: int64(r.u64()),
+				})
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("%w: truncated stats", ErrCorrupt)
+			}
+			// The same structural rules the encoder enforces (sorted
+			// names for canonicality, finite in-range floats so hostile
+			// bytes cannot plant NaNs in the planner).
+			if err := st.check(); err != nil {
+				return nil, err
+			}
+			s.Stats = st
+		}
 	}
 
 	nTO := int(r.u32())

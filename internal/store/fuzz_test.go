@@ -14,9 +14,15 @@ import (
 // so the fuzzer starts from both sides of the accept/reject boundary.
 func snapshotSeeds() [][]byte {
 	var seeds [][]byte
+	withStats := sampleSnapshot(5, 4)
+	withStats.Stats = &TableStatsRecord{
+		SkyFrac: 0.125, SkyFracN: 9,
+		Algos: []AlgoCostRecord{{Name: "bnl", Mult: 1.5, N: 3}, {Name: "stss", Mult: 0.75, N: 12}},
+	}
 	for _, s := range []*Snapshot{
 		sampleSnapshot(0, 0),
 		sampleSnapshot(3, 8),
+		withStats,
 		{Version: 1, Schema: Schema{TOColumns: []string{"x"}}, Rows: Rows{TO: [][]int64{{1, 2, 3}}}},
 	} {
 		img, err := EncodeSnapshot(s)
@@ -28,6 +34,9 @@ func snapshotSeeds() [][]byte {
 		flipped := append([]byte(nil), img...)
 		flipped[len(flipped)/3] ^= 0x40
 		seeds = append(seeds, flipped)
+		if s.Stats == nil {
+			seeds = append(seeds, asV1Snapshot(img)) // pre-planner format
+		}
 	}
 	return seeds
 }
@@ -43,6 +52,7 @@ func walSeeds() [][]byte {
 		w,
 		w[:len(w)-5],
 		flipped,
+		v1WALImage(w), // pre-planner header, identical records
 	}
 }
 
@@ -119,7 +129,9 @@ func FuzzWALReplay(f *testing.F) {
 			}
 			return
 		}
-		out := walHeader()
+		// Re-frame under the input's own header (format 1 WALs are
+		// accepted and must round-trip byte-identically too).
+		out := append([]byte(nil), b[:6]...)
 		for _, m := range muts {
 			out = AppendWALRecord(out, m)
 		}

@@ -21,6 +21,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrNotFound is returned when a table has no persisted state.
@@ -90,6 +91,55 @@ func (r *Rows) check(s *Schema) error {
 	return nil
 }
 
+// AlgoCostRecord is one persisted query-planner cost correction: the
+// observed/predicted multiplier EWMA for a named algorithm and the
+// number of observations behind it.
+type AlgoCostRecord struct {
+	Name string
+	Mult float64
+	N    int64
+}
+
+// TableStatsRecord persists the query planner's *learned* statistics —
+// the skyline-fraction EWMA and the per-algorithm cost corrections
+// observed from past runs. The derivable statistics (row counts,
+// min/max, distinct estimates) are recomputed from the rows on load;
+// only the feedback, which cannot be rederived, is stored. The record
+// is advisory: WAL replay does not advance it (mutations carry no
+// observations), it simply resumes learning from the checkpointed
+// state. Algos must be sorted by strictly ascending name — the
+// canonical-encoding requirement.
+type TableStatsRecord struct {
+	SkyFrac  float64
+	SkyFracN int64
+	Algos    []AlgoCostRecord
+}
+
+// check validates a stats record structurally: strictly name-sorted
+// algos (the canonical-encoding requirement), non-negative counts, and
+// finite in-range floats — a hostile snapshot must not be able to
+// plant a NaN skyline fraction in the planner.
+func (st *TableStatsRecord) check() error {
+	if st.SkyFracN < 0 {
+		return fmt.Errorf("%w: negative stats observation count", ErrCorrupt)
+	}
+	if math.IsNaN(st.SkyFrac) || st.SkyFrac < 0 || st.SkyFrac > 1 {
+		return fmt.Errorf("%w: stats skyline fraction %v outside [0, 1]", ErrCorrupt, st.SkyFrac)
+	}
+	for i, a := range st.Algos {
+		if a.N < 0 {
+			return fmt.Errorf("%w: negative stats observation count", ErrCorrupt)
+		}
+		if math.IsNaN(a.Mult) || math.IsInf(a.Mult, 0) || a.Mult < 0 {
+			return fmt.Errorf("%w: stats multiplier %v for %q out of range", ErrCorrupt, a.Mult, a.Name)
+		}
+		if i > 0 && st.Algos[i-1].Name >= a.Name {
+			return fmt.Errorf("%w: stats algos not strictly sorted by name", ErrCorrupt)
+		}
+	}
+	return nil
+}
+
 // Snapshot is a table's full state at one version.
 type Snapshot struct {
 	Version int64
@@ -98,6 +148,14 @@ type Snapshot struct {
 	// CacheCapacity preserves the table's dynamic-cache sizing across
 	// restarts (0 = server default).
 	CacheCapacity int
+	// Stats carries the query planner's learned feedback, when any (see
+	// TableStatsRecord).
+	Stats *TableStatsRecord
+	// formatV1 marks a snapshot decoded from the pre-planner format 1
+	// (no stats section). Re-encoding reproduces the original bytes —
+	// the canonical-encoding contract — while fresh snapshots always
+	// write format 2; a checkpoint therefore upgrades the file.
+	formatV1 bool
 }
 
 // Mutation is one WAL record: the batch that produced Version from the

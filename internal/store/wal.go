@@ -65,7 +65,9 @@ func replayWAL(b []byte, fn func(*Mutation) error, recover bool) (droppedTail in
 	if string(b[:4]) != walMagic {
 		return 0, fmt.Errorf("%w: bad WAL magic", ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != formatVersion {
+	// Format 1 WALs are readable as-is: the record encoding never
+	// changed, only the snapshot grew its stats section.
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != formatVersion && v != formatVersionV1 {
 		return 0, fmt.Errorf("%w: unsupported WAL format %d", ErrCorrupt, v)
 	}
 	b = b[len(hdr):]

@@ -1,0 +1,227 @@
+package tss
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// queryTestTable builds a small mixed table: price/stops TO columns and
+// one diamond-ordered PO column a→{b,c}→d.
+func queryTestTable(t *testing.T) *Table {
+	t.Helper()
+	o := NewOrder("a", "b", "c", "d")
+	o.Prefer("a", "b").Prefer("a", "c").Prefer("b", "d").Prefer("c", "d")
+	table := NewTable([]string{"price", "stops"}, o)
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < 80; i++ {
+		table.MustAdd([]int64{int64((i * 37) % 100), int64((i*11 + 5) % 60)}, labels[i%4])
+	}
+	return table
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryFullMatchesSkyline: the zero query is the full skyline.
+func TestQueryFullMatchesSkyline(t *testing.T) {
+	table := queryTestTable(t)
+	res, ex, err := table.Query(plan.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Variant != "full" {
+		t.Fatalf("variant %q", ex.Variant)
+	}
+	if !equalInts(sortedInts(res.Rows), sortedInts(table.Skyline())) {
+		t.Fatalf("full query %v != Skyline %v", sortedInts(res.Rows), sortedInts(table.Skyline()))
+	}
+	if ex.Algorithm == "" || ex.EstSeconds < 0 || ex.ObservedSeconds < 0 {
+		t.Fatalf("explain not filled: %+v", ex)
+	}
+}
+
+// TestQueryConstrainedMatchesFilter: a constrained skyline equals the
+// skyline of the Filter()ed table mapped back to original row indexes —
+// an oracle entirely at the tss layer (the plan package's own oracle is
+// exercised by its fuzz harness).
+func TestQueryConstrainedMatchesFilter(t *testing.T) {
+	table := queryTestTable(t)
+	for _, pred := range []plan.Predicate{
+		{Kind: plan.TORange, Dim: 0, HasHi: true, Hi: 40},
+		{Kind: plan.TORange, Dim: 0, HasLo: true, Lo: 60},
+		{Kind: plan.POIn, Dim: 0, In: []int32{0, 1}},
+	} {
+		keep := func(row int) bool {
+			to, po := table.RowValues(row)
+			switch pred.Kind {
+			case plan.TORange:
+				v := to[pred.Dim]
+				if pred.HasHi && v > pred.Hi {
+					return false
+				}
+				if pred.HasLo && v < pred.Lo {
+					return false
+				}
+				return true
+			default:
+				for _, a := range pred.In {
+					if po[pred.Dim] == table.orders[pred.Dim].labels[a] {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		var keptRows []int
+		for i := 0; i < table.Len(); i++ {
+			if keep(i) {
+				keptRows = append(keptRows, i)
+			}
+		}
+		var want []int
+		for _, r := range table.Filter(keep).Skyline() {
+			want = append(want, keptRows[r])
+		}
+		res, _, err := table.Query(plan.Query{Where: []plan.Predicate{pred}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(sortedInts(res.Rows), sortedInts(want)) {
+			t.Fatalf("pred %+v: got %v want %v", pred, sortedInts(res.Rows), sortedInts(want))
+		}
+	}
+}
+
+// TestQuerySubspaceMatchesRebuiltTable: a subspace skyline equals the
+// skyline of a table built from only the kept columns.
+func TestQuerySubspaceMatchesRebuiltTable(t *testing.T) {
+	table := queryTestTable(t)
+	sub := NewTable([]string{"price"})
+	for i := 0; i < table.Len(); i++ {
+		to, _ := table.RowValues(i)
+		sub.MustAdd([]int64{to[0]})
+	}
+	want := sub.Skyline()
+	res, ex, err := table.Query(plan.Query{Subspace: &plan.Subspace{TO: []int{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Variant != "subspace" {
+		t.Fatalf("variant %q", ex.Variant)
+	}
+	if !equalInts(sortedInts(res.Rows), sortedInts(want)) {
+		t.Fatalf("subspace: got %v want %v", sortedInts(res.Rows), sortedInts(want))
+	}
+}
+
+// TestQueryTopK: ranked top-k returns K skyline members; unranked top-k
+// takes the cursor route.
+func TestQueryTopK(t *testing.T) {
+	table := queryTestTable(t)
+	full := table.Skyline()
+	member := make(map[int]bool, len(full))
+	for _, r := range full {
+		member[r] = true
+	}
+	for _, q := range []plan.Query{
+		{TopK: 3},
+		{TopK: 3, Rank: plan.RankDomCount},
+		{TopK: 3, Rank: plan.RankIdeal, Ideal: []int64{0, 0}},
+	} {
+		res, ex, err := table.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3
+		if len(full) < want {
+			want = len(full)
+		}
+		if len(res.Rows) != want {
+			t.Fatalf("rank %q: %d rows, want %d", q.Rank, len(res.Rows), want)
+		}
+		for _, r := range res.Rows {
+			if !member[r] {
+				t.Fatalf("rank %q: row %d not in the skyline", q.Rank, r)
+			}
+		}
+		if q.Rank == plan.RankNone && ex.Route != plan.RouteCursor {
+			t.Fatalf("unranked top-k took route %q", ex.Route)
+		}
+	}
+}
+
+// TestQueryStatsMaintainedByApplyBatch: batches advance the planner
+// statistics without a fresh full scan being observable (bounds stay
+// exact through adds and boundary removals).
+func TestQueryStatsMaintainedByApplyBatch(t *testing.T) {
+	table := queryTestTable(t)
+	s := table.Stats()
+	if s.Rows != table.Len() {
+		t.Fatalf("stats rows %d, table %d", s.Rows, table.Len())
+	}
+	next, _, err := table.ApplyBatch(nil, []TableRow{{TO: []int64{5000, 1}, PO: []string{"a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := next.Stats()
+	if s2.Rows != table.Len()+1 || s2.TO[0].Max != 5000 {
+		t.Fatalf("advanced stats %+v", s2.TO[0])
+	}
+	// Remove the outlier again: the boundary removal forces a rescan
+	// back to the true maximum.
+	back, _, err := next.ApplyBatch([]int{table.Len()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Stats().TO[0].Max, s.TO[0].Max; got != want {
+		t.Fatalf("max after boundary removal %d, want %d", got, want)
+	}
+	if table.Learned() != back.Learned() {
+		t.Fatal("learned store not shared across ApplyBatch")
+	}
+}
+
+// TestQueryCacheOnTable: an attached query cache serves the repeat full
+// skyline without recomputation and keeps answers exact.
+func TestQueryCacheOnTable(t *testing.T) {
+	table := queryTestTable(t)
+	table.SetQueryCache(plan.NewMemoCache())
+	first, ex1, err := table.Query(plan.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex1.CacheHit {
+		t.Fatal("cold query hit the cache")
+	}
+	second, ex2, err := table.Query(plan.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex2.CacheHit || !second.CacheHit {
+		t.Fatalf("repeat full query missed the cache: %+v", ex2)
+	}
+	if !equalInts(sortedInts(first.Rows), sortedInts(second.Rows)) {
+		t.Fatal("cached answer differs")
+	}
+}
+
+// TestQueryContextCancel: a canceled context aborts before work.
+func TestQueryContextCancel(t *testing.T) {
+	table := queryTestTable(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := table.QueryContext(ctx, plan.Query{}); err == nil {
+		t.Fatal("canceled query succeeded")
+	}
+}

@@ -38,11 +38,15 @@
 package tss
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/poset"
 )
 
@@ -186,12 +190,25 @@ type Table struct {
 	toNames []string
 	orders  []*Order
 	ds      *core.Dataset
+
+	// stats holds the planner's table statistics: maintained
+	// incrementally by ApplyBatch, computed lazily on first Query
+	// otherwise, invalidated by Add. Atomic so lazily computing it may
+	// race concurrent queries on a shared (sealed) table.
+	stats atomic.Pointer[plan.Stats]
+	// learned is the planner's cost-feedback store, shared by every
+	// table derived through Clone/Filter/ApplyBatch — it describes the
+	// data's behavior, not one row-set version.
+	learned *plan.Learned
+	// queryCache optionally memoises the full skyline for the planner's
+	// cache routing (see SetQueryCache).
+	queryCache plan.Cache
 }
 
 // NewTable creates a table with the given TO column names followed by
 // one PO column per Order. Orders are compiled (and frozen) here.
 func NewTable(toNames []string, orders ...*Order) *Table {
-	t := &Table{toNames: toNames, orders: orders, ds: &core.Dataset{}}
+	t := &Table{toNames: toNames, orders: orders, ds: &core.Dataset{}, learned: plan.NewLearned()}
 	for _, o := range orders {
 		dom, err := o.compile()
 		if err != nil {
@@ -230,6 +247,7 @@ func (t *Table) Add(to []int64, po ...string) error {
 		}
 	}
 	t.ds.Pts = append(t.ds.Pts, p)
+	t.stats.Store(nil) // row set changed; recomputed lazily
 	return nil
 }
 
@@ -281,11 +299,14 @@ func (t *Table) RowValues(i int) (to []int64, po []string) {
 func (t *Table) Clone() *Table {
 	pts := make([]core.Point, len(t.ds.Pts))
 	copy(pts, t.ds.Pts)
-	return &Table{
+	nt := &Table{
 		toNames: t.toNames,
 		orders:  t.orders,
 		ds:      &core.Dataset{Pts: pts, Domains: t.ds.Domains},
+		learned: t.learned,
 	}
+	nt.stats.Store(t.stats.Load()) // same rows, same statistics
+	return nt
 }
 
 // Filter returns a copy-on-write snapshot containing only the rows the
@@ -298,6 +319,7 @@ func (t *Table) Filter(keep func(row int) bool) *Table {
 		toNames: t.toNames,
 		orders:  t.orders,
 		ds:      &core.Dataset{Domains: t.ds.Domains},
+		learned: t.learned,
 	}
 	for i := range t.ds.Pts {
 		if !keep(i) {
@@ -368,6 +390,7 @@ func (t *Table) ApplyBatch(removes []int, adds []TableRow) (*Table, *BatchDelta,
 		toNames: t.toNames,
 		orders:  t.orders,
 		ds:      &core.Dataset{Domains: t.ds.Domains},
+		learned: t.learned,
 	}
 	nt.ds.Pts = make([]core.Point, 0, oldLen-countTrue(drop)+len(adds))
 	for i := range t.ds.Pts {
@@ -386,6 +409,13 @@ func (t *Table) ApplyBatch(removes []int, adds []TableRow) (*Table, *BatchDelta,
 		}
 	}
 	delta.NewLen = len(nt.ds.Pts)
+	// Planner statistics ride along incrementally: appended rows widen
+	// the maintained bounds in O(batch); only boundary removals or the
+	// periodic sampled-statistics refresh re-scan (see plan.Stats.Advance).
+	// nt.Add above cleared the fresh table's stats, so store last.
+	if old := t.stats.Load(); old != nil {
+		nt.stats.Store(old.Advance(t.ds, nt.ds, delta.OldToNew, delta.Added))
+	}
 	return nt, delta, nil
 }
 
@@ -507,17 +537,17 @@ func lookupAlgo(name string) (core.Algorithm, error) {
 
 // SkylineWith runs the named registered algorithm (see Algorithms) and
 // returns the skyline with its run statistics. TO-only algorithms
-// return an error when the table has PO columns.
+// return an error when the table has PO columns. It is a thin wrapper
+// over Query with the algorithm forced, a sequential run pinned and
+// cache routing disabled — exactly the historical behavior.
 func (t *Table) SkylineWith(algo string) (*SkylineResult, error) {
-	a, err := lookupAlgo(algo)
-	if err != nil {
+	if _, err := lookupAlgo(algo); err != nil {
 		return nil, err
 	}
-	res, err := a.Run(t.ds, core.Options{UseMemTree: true})
-	if err != nil {
-		return nil, err
-	}
-	return wrapResult(res), nil
+	res, _, err := t.Query(plan.Query{Hints: plan.Hints{
+		Algorithm: algo, Parallelism: -1, NoCache: true,
+	}})
+	return res, err
 }
 
 // SkylineParallel runs the named algorithm behind the partition-and-
@@ -525,18 +555,83 @@ func (t *Table) SkylineWith(algo string) (*SkylineResult, error) {
 // per CPU), local skylines are computed concurrently and merged with a
 // final t-dominance elimination pass. The result set always equals the
 // sequential one; on multi-core hosts and large tables the wall-clock
-// time drops.
+// time drops. Like SkylineWith, it is a Query wrapper with the
+// algorithm and shard count forced.
 func (t *Table) SkylineParallel(algo string, parallelism int) (*SkylineResult, error) {
-	a, err := lookupAlgo(algo)
-	if err != nil {
+	if _, err := lookupAlgo(algo); err != nil {
 		return nil, err
 	}
-	res, err := core.Parallel(a).Run(t.ds, core.Options{UseMemTree: true, Parallelism: parallelism})
-	if err != nil {
-		return nil, err
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return wrapResult(res), nil
+	res, _, err := t.Query(plan.Query{Hints: plan.Hints{
+		Algorithm: algo, Parallelism: parallelism, NoCache: true,
+	}})
+	return res, err
 }
+
+// Query plans and executes a logical skyline query — full, subspace,
+// constrained, top-k, in any combination (see plan.Query for the exact
+// semantics) — through the cost-based optimizer: per-table statistics
+// and the registry's capability metadata pick the algorithm,
+// parallelism, predicate placement and cache routing, and the run's
+// observed cost feeds the statistics for the next query. The returned
+// Explain documents every decision.
+func (t *Table) Query(q plan.Query) (*SkylineResult, *plan.Explain, error) {
+	return t.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cooperative cancellation: ctx is checked
+// between pipeline stages and inside the executor's scan loops (an
+// algorithm already running is not interrupted mid-run).
+func (t *Table) QueryContext(ctx context.Context, q plan.Query) (*SkylineResult, *plan.Explain, error) {
+	env := plan.Env{Stats: t.Stats(), Learned: t.learned, Cache: t.queryCache}
+	p, err := plan.New(t.ds, q, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := p.Run(ctx, t.ds, env)
+	if err != nil {
+		return nil, &p.Explain, err
+	}
+	return wrapResult(res), &p.Explain, nil
+}
+
+// Stats returns the planner's statistics for the current rows,
+// computing them on first use (ApplyBatch maintains them incrementally
+// across batches). The returned value is immutable.
+func (t *Table) Stats() *plan.Stats {
+	if s := t.stats.Load(); s != nil {
+		return s
+	}
+	s := plan.Analyze(t.ds)
+	// A concurrent query may have raced the computation; either result
+	// describes the same rows.
+	t.stats.CompareAndSwap(nil, s)
+	return s
+}
+
+// Learned returns the planner's cost-feedback store — shared across
+// every table derived by Clone, Filter or ApplyBatch, and safe for
+// concurrent use. Expose it for persistence (see SetLearned).
+func (t *Table) Learned() *plan.Learned { return t.learned }
+
+// SetLearned replaces the feedback store — the recovery hook for
+// serving layers that persist Export()ed planner feedback across
+// restarts. Call before the table is shared across goroutines.
+func (t *Table) SetLearned(l *plan.Learned) {
+	if l != nil {
+		t.learned = l
+	}
+}
+
+// SetQueryCache attaches a full-skyline cache for the planner's cache
+// routing: Query memoises the full-table skyline there and answers
+// repeat full queries — and provably-sound post-filter constrained
+// queries — from it. The cache must describe this table's exact row
+// set; attach it before the table is shared across goroutines, and
+// never after rows change (derived tables do not inherit it).
+func (t *Table) SetQueryCache(c plan.Cache) { t.queryCache = c }
 
 // SkylineResult is the outcome of a skyline computation.
 type SkylineResult struct {
