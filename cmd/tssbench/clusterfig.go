@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+// ClusterRow is one measurement of the scatter/gather experiment: a
+// query workload against an in-process cluster of N tssserve shard
+// nodes behind a coordinator (real HTTP round trips over loopback).
+type ClusterRow struct {
+	Dist      string  // data distribution
+	Shards    int     // shard fan-out
+	Partition string  // hash | range
+	Workload  string  // full | subspace | constrained | topk
+	Queries   int     // queries issued
+	Skyline   int     // merged skyline size of the last query
+	AvgMs     float64 // wall-clock mean latency per query
+	QPS       float64 // wall-clock queries per second
+	Pruned    int64   // shard legs skipped by statistics pruning, total
+}
+
+// FigureCluster measures the tssserve cluster scenario: per-workload
+// latency of scatter/gather queries as the shard fan-out grows
+// (hash-partitioned, independent data), plus the shard-pruning cell —
+// correlated data range-partitioned on to_0, where the low shard's
+// rows dominate the high shard's entire key range, so the coordinator
+// answers without contacting it.
+func figureCluster(scale float64) []ClusterRow {
+	cfg := exp.StaticDefaults(scale)
+	const queries = 8
+	var rows []ClusterRow
+
+	indep := exp.BuildDataset(cfg)
+	for _, shards := range []int{1, 2, 4} {
+		spec := serve.SpecFromDataset("bench", indep)
+		rows = append(rows, runClusterCell(cfg.Dist.String(), shards, "hash", spec, queries)...)
+	}
+
+	// Pruning cells: correlated data, range-partitioned on to_0 — the
+	// BENCH acceptance rows demonstrating a dominated shard skipped.
+	// With PO columns, pruning needs a gathered candidate whose PO
+	// values top every preference order, so it reliably fires once the
+	// query projects the PO columns away (the subspace workload); the
+	// TO-only cell shows it firing on every workload.
+	corrCfg := cfg
+	corrCfg.Dist = data.Correlated
+	corrCfg.Seed = 7
+	corr := exp.BuildDataset(corrCfg)
+	spec := serve.SpecFromDataset("bench", corr)
+	spec.Partition = &serve.PartitionSpec{By: "range", Column: "to_0"}
+	rows = append(rows, runClusterCell("Correlated", 2, "range", spec, queries)...)
+
+	toOnly := corrCfg
+	toOnly.PO = 0
+	spec = serve.SpecFromDataset("bench", exp.BuildDataset(toOnly))
+	spec.Partition = &serve.PartitionSpec{By: "range", Column: "to_0"}
+	rows = append(rows, runClusterCell("Correlated/TO-only", 2, "range", spec, queries)...)
+	return rows
+}
+
+// runClusterCell boots the cluster, loads the table and sweeps the
+// workloads.
+func runClusterCell(dist string, shards int, partition string, spec serve.TableSpec, queries int) []ClusterRow {
+	servers := make([]*httptest.Server, shards)
+	urls := make([]string, shards)
+	for i := range servers {
+		servers[i] = httptest.NewServer(serve.NewWithConfig(serve.Config{
+			Shard: &serve.ShardIdentity{Index: i, Count: shards},
+		}).Handler())
+		urls[i] = servers[i].URL
+	}
+	co, err := cluster.New(cluster.Config{Shards: urls})
+	if err != nil {
+		panic(err)
+	}
+	front := httptest.NewServer(co.Handler(serve.New(8).Handler()))
+	defer func() {
+		front.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	postJSON(front.URL+"/tables", spec, nil)
+
+	le := int64(3000)
+	workloads := []struct {
+		name string
+		req  serve.QueryRequest
+	}{
+		{"full", serve.QueryRequest{Explain: true}},
+		{"subspace", serve.QueryRequest{Subspace: []string{"to_0", "to_1"}}},
+		{"constrained", serve.QueryRequest{Where: []serve.WhereSpec{{Col: "to_0", Le: &le}}}},
+		{"topk", serve.QueryRequest{TopK: 10, Rank: "ideal", Ideal: make([]int64, len(spec.TOColumns))}},
+	}
+	var rows []ClusterRow
+	for _, wl := range workloads {
+		var pruned int64
+		var last serve.QueryResponse
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			postJSON(front.URL+"/tables/"+spec.Name+"/query", wl.req, &last)
+			if last.Cluster != nil {
+				pruned += int64(len(last.Cluster.Pruned))
+			}
+		}
+		wall := time.Since(start)
+		rows = append(rows, ClusterRow{
+			Dist: dist, Shards: shards, Partition: partition, Workload: wl.name,
+			Queries: queries,
+			Skyline: last.Count,
+			AvgMs:   wall.Seconds() / float64(queries) * 1000,
+			QPS:     float64(queries) / wall.Seconds(),
+			Pruned:  pruned,
+		})
+	}
+	return rows
+}
+
+func postJSON(url string, body, out any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		panic(fmt.Sprintf("POST %s: HTTP %d: %s", url, resp.StatusCode, e.Error))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// WriteClusterRows renders the scatter/gather experiment: per-workload
+// coordinator latency by shard fan-out, plus the range-partition
+// pruning cell (pruned = shard legs skipped by statistics pruning).
+func writeClusterRows(w io.Writer, rows []ClusterRow) {
+	fmt.Fprintln(w, "Cluster — scatter/gather latency by shard fan-out (in-process HTTP)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dist\tshards\tpartition\tworkload\tqueries\tskyline\tavg(ms)\tqps\tpruned")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%d\t%d\t%.3f\t%.0f\t%d\n",
+			r.Dist, r.Shards, r.Partition, r.Workload, r.Queries, r.Skyline,
+			r.AvgMs, r.QPS, r.Pruned)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

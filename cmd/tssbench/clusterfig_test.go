@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestFigureClusterSmoke keeps the scatter/gather figure from
+// bit-rotting and pins the acceptance property: the range-partitioned
+// correlated cells must demonstrate shard pruning.
+func TestFigureClusterSmoke(t *testing.T) {
+	rows := figureCluster(0.002)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	prunedSomewhere := false
+	for _, r := range rows {
+		if r.Queries <= 0 || r.AvgMs < 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.Partition == "range" && r.Pruned > 0 {
+			prunedSomewhere = true
+		}
+	}
+	if !prunedSomewhere {
+		t.Fatal("no range cell demonstrated shard pruning")
+	}
+}

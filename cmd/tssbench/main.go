@@ -66,6 +66,8 @@ func run(w io.Writer, fig string, scale float64) error {
 			exp.WritePlanRows(w, exp.FigurePlan(scale))
 		case "serve":
 			exp.WriteServeRows(w, exp.FigureServe(scale))
+		case "cluster":
+			writeClusterRows(w, figureCluster(scale))
 		case "store":
 			exp.WriteStoreRows(w, exp.FigureStore(scale))
 		case "table3":
@@ -81,7 +83,7 @@ func run(w io.Writer, fig string, scale float64) error {
 		return nil
 	}
 	if fig == "all" {
-		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "parallel", "plan", "serve", "store"} {
+		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "cluster", "parallel", "plan", "serve", "store"} {
 			fmt.Fprintf(os.Stderr, "running figure %s (scale %.3g)...\n", name, scale)
 			if err := runOne(name); err != nil {
 				return err

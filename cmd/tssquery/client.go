@@ -198,11 +198,21 @@ func (c *client) planQuery(cfg clientConfig) error {
 	return nil
 }
 
-// printResponse mirrors the local mode's report format.
+// printResponse mirrors the local mode's report format. Coordinator
+// responses additionally report the scatter fan-out and annotate each
+// row with its shard — the (shard, row) pair is the handle a
+// removeSharded batch needs.
 func printResponse(out *serve.QueryResponse, limit int) {
 	fmt.Printf("rows=%d skyline=%d version=%d", out.Rows, out.Count, out.Version)
 	if out.CacheHit {
 		fmt.Printf(" (cache hit)")
+	}
+	if c := out.Cluster; c != nil {
+		fmt.Printf(" [cluster: %d shards, versions=%v", c.Shards, c.Versions)
+		if len(c.Pruned) > 0 {
+			fmt.Printf(", pruned=%v", c.Pruned)
+		}
+		fmt.Printf("]")
 	}
 	fmt.Println()
 	m := &out.Metrics
@@ -213,6 +223,10 @@ func printResponse(out *serve.QueryResponse, limit int) {
 		n = limit
 	}
 	for _, row := range out.Skyline[:n] {
+		if row.Shard != nil {
+			fmt.Printf("  shard %d row %d: TO=%v PO=%v\n", *row.Shard, row.Row, row.TO, row.PO)
+			continue
+		}
 		fmt.Printf("  row %d: TO=%v PO=%v\n", row.Row, row.TO, row.PO)
 	}
 	if n < out.Count {

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestClusterIntegration is the end-to-end multi-process test behind
+// the CI cluster job: real tssserve binaries — two shard nodes, one
+// coordinator, one single-node reference — a generated table loaded
+// through the coordinator, and scatter/gather results asserted equal
+// to the single node for all four query variants, before and after a
+// batch mutation routed through the coordinator.
+func TestClusterIntegration(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("process signalling differs on windows")
+	}
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "tssserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	start := func(args ...string) (*exec.Cmd, string) {
+		t.Helper()
+		addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+		cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Signal(syscall.SIGTERM)
+			cmd.Wait()
+		})
+		waitHealthy(t, "http://"+addr)
+		return cmd, "http://" + addr
+	}
+
+	_, shard0 := start("-shard-of", "0/2")
+	_, shard1 := start("-shard-of", "1/2")
+	_, coord := start("-coordinator", shard0+","+shard1)
+	_, single := start()
+
+	// A generated mixed TO/PO table, loaded through the coordinator
+	// (hash-partitioned) and verbatim into the single node.
+	rng := rand.New(rand.NewSource(42))
+	spec := serve.TableSpec{
+		Name:      "it",
+		TOColumns: []string{"x", "y"},
+		Orders: []serve.OrderSpec{{
+			Name:   "cls",
+			Values: []string{"a", "b", "c", "d"},
+			Edges:  [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}},
+		}},
+	}
+	for i := 0; i < 150; i++ {
+		spec.Rows = append(spec.Rows, serve.RowSpec{
+			TO: []int64{int64(rng.Intn(500)), int64(rng.Intn(500))},
+			PO: []string{spec.Orders[0].Values[rng.Intn(4)]},
+		})
+	}
+	postJSON(t, coord+"/tables", spec, nil)
+	postJSON(t, single+"/tables", spec, nil)
+
+	le := int64(200)
+	variants := []struct {
+		name string
+		req  serve.QueryRequest
+	}{
+		{"full", serve.QueryRequest{Explain: true}},
+		{"subspace", serve.QueryRequest{Subspace: []string{"x", "cls"}}},
+		{"constrained", serve.QueryRequest{Where: []serve.WhereSpec{{Col: "x", Le: &le}}}},
+		{"topk", serve.QueryRequest{TopK: 5, Rank: "ideal", Ideal: []int64{250, 250}}},
+	}
+	sweep := func(phase string) {
+		t.Helper()
+		for _, v := range variants {
+			var c, s serve.QueryResponse
+			postJSON(t, coord+"/tables/it/query", v.req, &c)
+			postJSON(t, single+"/tables/it/query", v.req, &s)
+			if c.Count != s.Count {
+				t.Fatalf("%s/%s: coordinator count %d, single %d", phase, v.name, c.Count, s.Count)
+			}
+			ck, sk := valueKeys(c.Skyline), valueKeys(s.Skyline)
+			for i := range ck {
+				if ck[i] != sk[i] {
+					t.Fatalf("%s/%s: results diverge:\n coord:  %v\n single: %v", phase, v.name, ck, sk)
+				}
+			}
+			if c.Cluster == nil || c.Cluster.Shards != 2 || len(c.Cluster.Versions) != 2 {
+				t.Fatalf("%s/%s: missing/short cluster metadata: %+v", phase, v.name, c.Cluster)
+			}
+		}
+	}
+	sweep("initial")
+
+	// Mutation through the coordinator: remove two skyline rows by
+	// shard handle, add two fresh rows; mirror on the single node by
+	// matching values.
+	var full serve.QueryResponse
+	postJSON(t, coord+"/tables/it/query", serve.QueryRequest{Algo: "stss"}, &full)
+	if len(full.Skyline) < 2 {
+		t.Fatalf("skyline too small to mutate: %d", len(full.Skyline))
+	}
+	batch := serve.BatchRequest{Add: []serve.RowSpec{
+		{TO: []int64{1, 499}, PO: []string{"d"}},
+		{TO: []int64{499, 1}, PO: []string{"a"}},
+	}}
+	removedKeys := map[string]int{}
+	for _, r := range full.Skyline[:2] {
+		batch.RemoveSharded = append(batch.RemoveSharded, serve.ShardRef{Shard: *r.Shard, Row: r.Row})
+		removedKeys[fmt.Sprintf("%v|%v", r.TO, r.PO)]++
+	}
+	var bresp serve.BatchResponse
+	postJSON(t, coord+"/tables/it/rows:batch", batch, &bresp)
+	if len(bresp.Versions) != 2 || bresp.Removed != 2 || bresp.Added != 2 {
+		t.Fatalf("coordinator batch response %+v", bresp)
+	}
+
+	// Single node: find the same rows by value and remove by index.
+	next := spec
+	next.Rows = nil
+	for _, r := range spec.Rows {
+		k := fmt.Sprintf("%v|%v", r.TO, r.PO)
+		if removedKeys[k] > 0 {
+			removedKeys[k]--
+			continue
+		}
+		next.Rows = append(next.Rows, r)
+	}
+	next.Rows = append(next.Rows, batch.Add...)
+	deleteTable(t, single+"/tables/it")
+	postJSON(t, single+"/tables", next, nil)
+
+	sweep("post-batch")
+}
+
+// waitHealthy blocks until the server's /healthz answers.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server %s never became healthy", base)
+}
+
+func deleteTable(t *testing.T, url string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("DELETE %s: HTTP %d", url, resp.StatusCode)
+	}
+}
+
+func valueKeys(rows []serve.SkylineRow) []string {
+	keys := make([]string, len(rows))
+	for i := range rows {
+		keys[i] = fmt.Sprintf("%v|%v", rows[i].TO, rows[i].PO)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -8,6 +8,8 @@
 //
 //	tssserve -addr :8080 -table flights=./work -cache 128
 //	tssserve -addr :8080 -data-dir ./tss-data -checkpoint-every 4194304
+//	tssserve -addr :8081 -shard-of 0/2                       # shard node
+//	tssserve -addr :8080 -coordinator http://h1:8081,http://h2:8081
 //
 // With -data-dir the catalog is durable: every batch is appended to a
 // CRC-checked write-ahead log *before* its snapshot is published, logs
@@ -16,21 +18,36 @@
 // recovered to its last acknowledged version (snapshot + WAL replay).
 // -no-fsync trades power-failure durability for append latency.
 //
+// With -coordinator the node fronts a cluster: POST /tables partitions
+// rows over the listed shard nodes (hash by default, range via the
+// spec's "partition" field), queries are planned once against merged
+// per-shard statistics, fanned out, and merged with a t-dominance
+// elimination pass (dominated shards pruned via their /stats corners),
+// and batches are routed by the partitioner with a per-shard version
+// vector in every response. -shard-of i/n declares a shard's identity,
+// surfaced in /statsz and checked against the coordinator's routing
+// assertion (mismatch = 409). One process may carry both flags — the
+// coordinator's scatter traffic bypasses its own cluster layer.
+//
 // Preload tables from tssgen output directories with repeated -table
 // name=dir flags, or create them over HTTP (POST /tables). Endpoints:
 //
 //	GET    /healthz                     liveness
 //	GET    /statsz                      catalog + traffic statistics
+//	GET    /clusterz                    cluster topology (coordinator only)
 //	GET    /tables                      list tables
 //	POST   /tables                      create a table
 //	GET    /tables/{name}               table info
 //	DELETE /tables/{name}               drop a table
 //	GET    /tables/{name}/skyline       static skyline (?algo=, ?parallel=, ?limit=)
+//	GET    /tables/{name}/stats         planner statistics + learned state
 //	POST   /tables/{name}/rows:batch    batched mutation
 //	POST   /tables/{name}/query         dynamic query (per-request DAGs)
+//	POST   /tables/{name}/domcount      dominance counts for candidate rows
 //
-// tssquery -serve <url> is the matching thin client. SIGINT/SIGTERM
-// drain in-flight requests before exit (graceful shutdown).
+// tssquery -serve <url> is the matching thin client and works
+// unchanged against a coordinator. SIGINT/SIGTERM drain in-flight
+// requests before exit (graceful shutdown).
 package main
 
 import (
@@ -45,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -64,7 +82,11 @@ func main() {
 	cache := flag.Int("cache", serve.DefaultCacheCapacity, "per-table dynamic result cache capacity")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	requestTimeout := flag.Duration("request-timeout", 0,
-		"per-request time budget: planned queries are canceled cooperatively via the request context; dynamic (orders) queries check it only before starting (0 = unlimited)")
+		"per-request time budget: planned and dynamic (orders) queries are canceled cooperatively mid-run via the request context; only baseline (SDC+) dynamic queries still check it before starting only (0 = unlimited)")
+	shardOf := flag.String("shard-of", "",
+		"this node's cluster identity as index/count (e.g. 0/2): shown in /statsz and enforced against the coordinator's routing assertion")
+	coordinator := flag.String("coordinator", "",
+		"comma-separated shard base URLs: serve as the cluster coordinator over them (scatter/gather; may combine with -shard-of on one process)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	checkpointEvery := flag.Int64("checkpoint-every", serve.DefaultCheckpointEvery,
 		"WAL bytes after which a batch checkpoints its table into a fresh snapshot")
@@ -74,6 +96,14 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{CacheCapacity: *cache, CheckpointEvery: *checkpointEvery}
+	if *shardOf != "" {
+		var idx, count int
+		if n, err := fmt.Sscanf(*shardOf, "%d/%d", &idx, &count); n != 2 || err != nil ||
+			idx < 0 || count < 1 || idx >= count {
+			fatalf("bad -shard-of %q (want index/count, e.g. 0/2)", *shardOf)
+		}
+		cfg.Shard = &serve.ShardIdentity{Index: idx, Count: count}
+	}
 	if *dataDir != "" {
 		st, err := store.OpenDisk(*dataDir, store.DiskOptions{NoFsync: *noFsync})
 		if err != nil {
@@ -110,6 +140,15 @@ func main() {
 	}
 
 	handler := s.Handler()
+	var co *cluster.Coordinator
+	if *coordinator != "" {
+		co, err = cluster.New(cluster.Config{Shards: strings.Split(*coordinator, ",")})
+		if err != nil {
+			fatalf("coordinator: %v", err)
+		}
+		handler = co.Handler(handler)
+		fmt.Printf("coordinating %d shards\n", co.NumShards())
+	}
 	if *requestTimeout > 0 {
 		handler = withRequestTimeout(handler, *requestTimeout)
 	}
@@ -126,6 +165,30 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("tssserve listening on %s\n", *addr)
+	if co != nil {
+		// Rebuild the cluster catalog from the shards: tables created
+		// before a coordinator restart resume serving (with the default
+		// hash router — placement affects balance, never results). This
+		// must run *after* the listener is up — a dual-role node's shard
+		// list includes its own address — and retries while peers are
+		// still starting. Until adoption completes, requests for
+		// not-yet-adopted tables fall through to the local catalog.
+		go func() {
+			for attempt := 0; attempt < 20; attempt++ {
+				adoptCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				adopted, err := co.Adopt(adoptCtx)
+				cancel()
+				if err == nil {
+					for _, name := range adopted {
+						fmt.Printf("adopted cluster table %q\n", name)
+					}
+					return
+				}
+				time.Sleep(500 * time.Millisecond)
+			}
+			fmt.Println("coordinator: shard catalog not adopted (shards unreachable); serving new tables only")
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -145,11 +208,13 @@ func main() {
 	}
 }
 
-// withRequestTimeout bounds each request's context. Planned queries
-// check it cooperatively (the executor between pipeline stages and
-// inside its scan loops) and answer 503 on expiry, releasing the
-// worker; dynamic dTSS queries do not take a context, so they check
-// the budget only before starting and run to completion once begun.
+// withRequestTimeout bounds each request's context. Planned and
+// dynamic (dTSS, fully dynamic) queries check it cooperatively —
+// the executor between pipeline stages and inside its scan loops, the
+// dynamic cursor between point groups and inside each group's index
+// traversal — and answer 503 on expiry, releasing the worker. Only the
+// baseline (SDC+) dynamic path still checks the budget before starting
+// and then runs to completion.
 func withRequestTimeout(h http.Handler, d time.Duration) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), d)

@@ -1,6 +1,7 @@
 package tss
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -98,11 +99,21 @@ func (d *Dynamic) CacheStats() (hits, misses int64) { return d.db.CacheStats() }
 // the column's original Order). The orders may be freshly built per
 // query — compiling them is the only per-query preprocessing needed.
 func (d *Dynamic) Query(orders ...*Order) (*SkylineResult, error) {
+	return d.QueryContext(context.Background(), orders...)
+}
+
+// QueryContext is Query with cooperative cancellation: ctx is checked
+// between point groups and periodically inside each group's index
+// traversal, so a server-side request timeout cancels a long dynamic
+// run mid-flight instead of only refusing to start it. A canceled query
+// returns an error wrapping the context's and stores nothing in the
+// result cache.
+func (d *Dynamic) QueryContext(ctx context.Context, orders ...*Order) (*SkylineResult, error) {
 	domains, err := d.compileQueryOrders(orders)
 	if err != nil {
 		return nil, err
 	}
-	res, err := d.db.QueryTSS(domains, core.Options{UseMemTree: true})
+	res, err := d.db.QueryTSSContext(ctx, domains, core.Options{UseMemTree: true})
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +127,12 @@ func (d *Dynamic) Query(orders ...*Order) (*SkylineResult, error) {
 // grouping and per-group indexes are still reused; only the precomputed
 // local skylines are unusable for this query class.
 func (d *Dynamic) QueryAt(ideal []int64, orders ...*Order) (*SkylineResult, error) {
+	return d.QueryAtContext(context.Background(), ideal, orders...)
+}
+
+// QueryAtContext is QueryAt with cooperative cancellation (the same
+// contract as QueryContext).
+func (d *Dynamic) QueryAtContext(ctx context.Context, ideal []int64, orders ...*Order) (*SkylineResult, error) {
 	domains, err := d.compileQueryOrders(orders)
 	if err != nil {
 		return nil, err
@@ -131,7 +148,7 @@ func (d *Dynamic) QueryAt(ideal []int64, orders ...*Order) (*SkylineResult, erro
 		}
 		q[i] = int32(v)
 	}
-	res, err := d.db.QueryTSSFull(q, domains, core.Options{UseMemTree: true})
+	res, err := d.db.QueryTSSFullContext(ctx, q, domains, core.Options{UseMemTree: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// ShardDirectHeader marks a request as coordinator→shard traffic. A
+// dual-role node (coordinator and shard in one process) routes requests
+// carrying it to its local catalog instead of back into the cluster
+// layer — without it, a coordinator listing itself as a shard would
+// scatter to itself forever.
+const ShardDirectHeader = "X-Tss-Shard-Direct"
+
+// shardClient talks to one shard node's HTTP API.
+type shardClient struct {
+	base  string // base URL, no trailing slash
+	index int    // shard index within the cluster
+	count int
+	http  *http.Client
+}
+
+// do issues one JSON round trip. Every request carries the shard-direct
+// marker and the expected-identity assertion, and rides the caller's
+// context so a coordinator-side timeout cancels the whole scatter.
+func (c *shardClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(ShardDirectHeader, "1")
+	req.Header.Set(serve.ExpectShardHeader, fmt.Sprintf("%d/%d", c.index, c.count))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard %d (%s): %w", c.index, c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &shardError{shard: c.index, status: resp.StatusCode, msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// shardError preserves the shard's HTTP status so the coordinator can
+// relay client errors (4xx) as such instead of flattening everything
+// into a 502.
+type shardError struct {
+	shard  int
+	status int
+	msg    string
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard %d: %s (HTTP %d)", e.shard, e.msg, e.status)
+}
+
+func (c *shardClient) tablePath(name string, suffix string) string {
+	return "/tables/" + url.PathEscape(name) + suffix
+}

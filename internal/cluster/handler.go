@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// Handler mounts the coordinator over a fallback handler (the node's
+// own single-node serve API). External clients hit the same paths as
+// against a single node — the coordinator answers for its cluster
+// tables and defers everything else — so tssquery -serve works against
+// either transparently. Requests carrying ShardDirectHeader always go
+// to the fallback: that is coordinator→shard traffic, and on a
+// dual-role node it must reach the local catalog, not recurse into the
+// cluster layer.
+//
+//	GET  /clusterz                       topology + cluster catalog
+//	POST /tables                         create a *cluster* table (partitioned over the shards)
+//	GET  /tables                         list cluster tables
+//	*    /tables/{name}...               cluster table → scatter/gather, else fallback
+func (co *Coordinator) Handler(fallback http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ShardDirectHeader) != "" {
+			fallback.ServeHTTP(w, r)
+			return
+		}
+		path := strings.TrimSuffix(r.URL.Path, "/")
+		switch {
+		case path == "/clusterz" && r.Method == http.MethodGet:
+			co.handleClusterz(w, r)
+			return
+		case path == "/tables" && r.Method == http.MethodPost:
+			co.handleCreate(w, r)
+			return
+		case path == "/tables" && r.Method == http.MethodGet:
+			co.handleList(w, r)
+			return
+		case strings.HasPrefix(path, "/tables/"):
+			rawName, rest, _ := strings.Cut(strings.TrimPrefix(path, "/tables/"), "/")
+			name, err := url.PathUnescape(rawName)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad table name: %w", err))
+				return
+			}
+			if ct := co.table(name); ct != nil {
+				co.serveTable(w, r, ct, rest)
+				return
+			}
+		}
+		fallback.ServeHTTP(w, r)
+	})
+}
+
+// serveTable routes one cluster table's sub-path.
+func (co *Coordinator) serveTable(w http.ResponseWriter, r *http.Request, ct *ctable, rest string) {
+	ctx := r.Context()
+	switch {
+	case rest == "" && r.Method == http.MethodGet:
+		info, err := co.Info(ctx, ct)
+		if err != nil {
+			writeError(w, statusForCluster(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	case rest == "" && r.Method == http.MethodDelete:
+		ok, err := co.DropTable(ctx, ct.name)
+		if err != nil {
+			writeError(w, statusForCluster(err), err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", ct.name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"dropped": ct.name})
+	case rest == "skyline" && r.Method == http.MethodGet:
+		resp, err := co.Skyline(ctx, ct, r.URL.Query())
+		if err != nil {
+			writeError(w, statusForCluster(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case rest == "stats" && r.Method == http.MethodGet:
+		co.handleStats(w, r, ct)
+	case rest == "rows:batch" && r.Method == http.MethodPost:
+		var req serve.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch: %w", err))
+			return
+		}
+		resp, err := co.Batch(ctx, ct, req)
+		if err != nil {
+			writeError(w, statusForCluster(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case rest == "query" && r.Method == http.MethodPost:
+		var req serve.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
+			return
+		}
+		resp, err := co.Query(ctx, ct, req)
+		if err != nil {
+			writeError(w, statusForCluster(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case rest == "domcount" && r.Method == http.MethodPost:
+		var req serve.DomCountRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad domcount request: %w", err))
+			return
+		}
+		resp, err := co.DomCount(ctx, ct, req)
+		if err != nil {
+			writeError(w, statusForCluster(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cluster route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+func (co *Coordinator) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec serve.TableSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad table spec: %w", err))
+		return
+	}
+	info, err := co.CreateTable(r.Context(), spec)
+	if err != nil {
+		if errors.Is(err, serve.ErrTableExists) {
+			writeError(w, http.StatusConflict, fmt.Errorf("table %q already exists", spec.Name))
+			return
+		}
+		writeError(w, statusForCluster(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (co *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	infos := []any{}
+	for _, name := range co.tableNames() {
+		ct := co.table(name)
+		if ct == nil {
+			continue
+		}
+		info, err := co.Info(r.Context(), ct)
+		if err != nil {
+			writeError(w, statusForCluster(err), err)
+			return
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleStats merges the shards' planner statistics and attaches the
+// per-shard bodies.
+func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request, ct *ctable) {
+	stats, err := co.ShardStats(r.Context(), ct)
+	if err != nil {
+		writeError(w, statusForCluster(err), err)
+		return
+	}
+	out := struct {
+		Table    string `json:"table"`
+		Version  int64  `json:"version"`
+		Rows     int    `json:"rows"`
+		Stats    any    `json:"stats"`
+		PerShard any    `json:"perShard"`
+	}{Table: ct.name, Stats: MergedStats(stats), PerShard: stats}
+	for _, s := range stats {
+		out.Version += s.Version
+		out.Rows += s.Rows
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ClusterzInfo is the GET /clusterz body.
+type ClusterzInfo struct {
+	Shards  []string       `json:"shards"`
+	Tables  []ClusterTable `json:"tables"`
+	Queries int64          `json:"queries"`
+	// PrunedShards counts scatter legs skipped by statistics-driven
+	// pruning since startup.
+	PrunedShards int64 `json:"prunedShards"`
+}
+
+// ClusterTable is one catalog entry of /clusterz.
+type ClusterTable struct {
+	Name      string `json:"name"`
+	Partition any    `json:"partition"`
+}
+
+func (co *Coordinator) handleClusterz(w http.ResponseWriter, _ *http.Request) {
+	info := ClusterzInfo{
+		Queries:      co.queries.Load(),
+		PrunedShards: co.pruned.Load(),
+		Tables:       []ClusterTable{},
+	}
+	for _, sc := range co.shards {
+		info.Shards = append(info.Shards, sc.base)
+	}
+	for _, name := range co.tableNames() {
+		if ct := co.table(name); ct != nil {
+			info.Tables = append(info.Tables, ClusterTable{Name: name, Partition: ct.part.spec()})
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// statusForCluster maps a coordinator error to its HTTP status: shard
+// client errors (4xx) relay as-is, shard 5xx and transport failures
+// become 502 (the coordinator itself is fine; a dependency is not),
+// context expiry keeps the single-node 499/503 mapping, and everything
+// else is a client error.
+func statusForCluster(err error) int {
+	var se *shardError
+	switch {
+	case errors.As(err, &se):
+		if se.status/100 == 4 {
+			return se.status
+		}
+		return http.StatusBadGateway
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return 499
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

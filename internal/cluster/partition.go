@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/serve"
+)
+
+// partitioner routes rows of one cluster table to shards. Placement is
+// a performance decision, not a correctness one: the scatter/gather
+// merge is sound under any placement (the union of shard-local
+// skylines always contains the global skyline), so a router mismatch —
+// say, after a coordinator restart adopted a range-partitioned table
+// as hash-partitioned — degrades balance and shard pruning, never
+// results.
+type partitioner struct {
+	shards  int
+	byHash  bool
+	col     int     // TO column index (range partitioning)
+	colName string  // the split column's wire name, for spec()
+	bounds  []int64 // ascending split points, len shards-1
+}
+
+// newPartitioner compiles a wire PartitionSpec against a schema. A nil
+// spec is the uniform hash default. Range bounds left empty are derived
+// from the create's rows by equal frequency on the split column.
+func newPartitioner(spec *serve.PartitionSpec, schema *serve.Schema, rows []serve.RowSpec, shards int) (*partitioner, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: no shards")
+	}
+	if spec == nil || spec.By == "" || spec.By == "hash" {
+		if spec != nil && (spec.Column != "" || len(spec.Bounds) > 0) {
+			return nil, fmt.Errorf("cluster: hash partitioning takes no column/bounds")
+		}
+		return &partitioner{shards: shards, byHash: true}, nil
+	}
+	if spec.By != "range" {
+		return nil, fmt.Errorf("cluster: unknown partitioning %q (want hash or range)", spec.By)
+	}
+	col := 0
+	if spec.Column != "" {
+		dim, isTO, err := schema.LookupCol(spec.Column)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: partition column: %w", err)
+		}
+		if !isTO {
+			return nil, fmt.Errorf("cluster: range partitioning needs a TO column, %q is partially ordered", spec.Column)
+		}
+		col = dim
+	}
+	bounds := append([]int64(nil), spec.Bounds...)
+	if len(bounds) == 0 {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("cluster: range partitioning needs explicit bounds or initial rows to derive them")
+		}
+		vals := make([]int64, len(rows))
+		for i, r := range rows {
+			if col >= len(r.TO) {
+				return nil, fmt.Errorf("cluster: row %d has no TO column %d", i, col)
+			}
+			vals[i] = r.TO[col]
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for i := 1; i < shards; i++ {
+			bounds = append(bounds, vals[i*len(vals)/shards])
+		}
+	}
+	if len(bounds) != shards-1 {
+		return nil, fmt.Errorf("cluster: %d range bounds for %d shards (want %d)", len(bounds), shards, shards-1)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] > bounds[i] {
+			return nil, fmt.Errorf("cluster: range bounds must be ascending")
+		}
+	}
+	return &partitioner{shards: shards, col: col, colName: schema.TOColumns()[col], bounds: bounds}, nil
+}
+
+// route places one row.
+func (p *partitioner) route(r serve.RowSpec) int {
+	if p.byHash {
+		return int(hashRow(r) % uint64(p.shards))
+	}
+	v := int64(0)
+	if p.col < len(r.TO) {
+		v = r.TO[p.col]
+	}
+	for i, b := range p.bounds {
+		if v < b {
+			return i
+		}
+	}
+	return p.shards - 1
+}
+
+// spec renders the partitioner back to wire form (for /clusterz).
+func (p *partitioner) spec() serve.PartitionSpec {
+	if p.byHash {
+		return serve.PartitionSpec{By: "hash"}
+	}
+	return serve.PartitionSpec{By: "range", Column: p.colName, Bounds: append([]int64(nil), p.bounds...)}
+}
+
+// hashRow hashes a row's values (length-prefixed, so label boundaries
+// cannot collide) — the deterministic placement function of hash
+// partitioning.
+func hashRow(r serve.RowSpec) uint64 {
+	h := fnv.New64a()
+	var b [10]byte
+	writeInt := func(v int64) {
+		n := 0
+		u := uint64(v)
+		for {
+			b[n] = byte(u)
+			n++
+			u >>= 8
+			if u == 0 {
+				break
+			}
+		}
+		h.Write([]byte{byte(n)})
+		h.Write(b[:n])
+	}
+	for _, v := range r.TO {
+		writeInt(v)
+	}
+	for _, s := range r.PO {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/poset"
+)
+
+// countdownCtx is a deterministic cancellation source: Err returns the
+// configured error after a fixed number of calls, so tests can cancel
+// a query mid-run without timing races.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+	err   error
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return c.err
+	}
+	return nil
+}
+
+// cancelFixture builds a dynamic database with several PO groups so a
+// query visits multiple group-loop iterations (each one a cooperative
+// cancellation point).
+func cancelFixture(t *testing.T) (*DynamicDB, []*poset.Domain) {
+	t.Helper()
+	dag := poset.NewDAG(6)
+	dag.MustEdge(0, 1)
+	dag.MustEdge(1, 2)
+	dag.MustEdge(0, 3)
+	dag.MustEdge(3, 4)
+	dag.MustEdge(4, 5)
+	dom, err := poset.NewDomain(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &Dataset{Domains: []*poset.Domain{dom}}
+	for i := 0; i < 600; i++ {
+		ds.Pts = append(ds.Pts, Point{
+			ID: int32(i),
+			TO: []int32{int32((i * 31) % 997), int32((i*57 + 11) % 997)},
+			PO: []int32{int32(i % 6)},
+		})
+	}
+	return NewDynamicDB(ds, Options{}), []*poset.Domain{dom}
+}
+
+// TestQueryTSSContextCancelMidRun proves a dynamic query is abandoned
+// between groups — not just refused before starting — and that the
+// aborted run leaves nothing in the past-result cache.
+func TestQueryTSSContextCancelMidRun(t *testing.T) {
+	db, domains := cancelFixture(t)
+	db.EnableCache(4)
+
+	// after=2 passes the first group checks and cancels on a later one:
+	// strictly mid-run.
+	ctx := &countdownCtx{Context: context.Background(), after: 2, err: context.Canceled}
+	res, err := db.QueryTSSContext(ctx, domains, Options{UseMemTree: true})
+	if err == nil {
+		t.Fatalf("canceled query succeeded with %d rows", len(res.SkylineIDs))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if ctx.calls.Load() <= 2 {
+		t.Fatalf("cancellation checked only %d times — not mid-run", ctx.calls.Load())
+	}
+
+	// The aborted run must not have poisoned the cache: the same query
+	// now runs fine and reports a miss.
+	res, err = db.QueryTSS(domains, Options{UseMemTree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromCache {
+		t.Fatal("first complete run served from cache — the canceled run stored a partial result")
+	}
+	if len(res.SkylineIDs) == 0 {
+		t.Fatal("complete run returned no skyline")
+	}
+}
+
+// TestQueryTSSFullContextCancelMidRun is the fully dynamic analogue.
+func TestQueryTSSFullContextCancelMidRun(t *testing.T) {
+	db, domains := cancelFixture(t)
+	ctx := &countdownCtx{Context: context.Background(), after: 2, err: context.DeadlineExceeded}
+	_, err := db.QueryTSSFullContext(ctx, []int32{500, 500}, domains, Options{UseMemTree: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	// A nil/background context still completes and agrees with the
+	// naive oracle.
+	res, err := db.QueryTSSFull([]int32{500, 500}, domains, Options{UseMemTree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FullyDynamicNaive(db.ds, []int32{500, 500}, domains)
+	if len(res.SkylineIDs) != len(want) {
+		t.Fatalf("full-dynamic run after cancellation test: %d rows, oracle %d", len(res.SkylineIDs), len(want))
+	}
+}

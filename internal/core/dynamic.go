@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -8,6 +9,23 @@ import (
 	"repro/internal/poset"
 	"repro/internal/rtree"
 )
+
+// dynCtxCheckEvery is how many traversal steps pass between cooperative
+// context checks inside a dynamic query's group-search loops.
+const dynCtxCheckEvery = 4096
+
+// dynCtxErr reports a canceled/expired context as a wrapped error so
+// callers can errors.Is against context.Canceled/DeadlineExceeded. A
+// nil context never cancels.
+func dynCtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: dynamic query canceled: %w", err)
+	}
+	return nil
+}
 
 // DynamicDB is the persistent structure behind dTSS (§V): the points
 // partitioned into groups by their PO value combination, with one
@@ -192,7 +210,17 @@ func (db *DynamicDB) NumGroups() int {
 // coordinates are recomputed and no index is rebuilt.
 //
 // The query-phase metrics include the domain preprocessing CPU.
-func (db *DynamicDB) QueryTSS(domains []*poset.Domain, opt Options) (resOut *Result, errOut error) {
+func (db *DynamicDB) QueryTSS(domains []*poset.Domain, opt Options) (*Result, error) {
+	return db.QueryTSSContext(context.Background(), domains, opt)
+}
+
+// QueryTSSContext is QueryTSS with cooperative cancellation: ctx is
+// checked between groups and periodically inside each group's BBS
+// traversal, so a server-side request timeout releases its worker
+// mid-run instead of paying for the whole skyline. A canceled run
+// returns an error wrapping the context's and stores nothing in the
+// past-result cache.
+func (db *DynamicDB) QueryTSSContext(ctx context.Context, domains []*poset.Domain, opt Options) (resOut *Result, errOut error) {
 	opt = opt.withDefaults()
 	ds := db.ds
 	if len(domains) != ds.NumPO() {
@@ -237,12 +265,17 @@ func (db *DynamicDB) QueryTSS(domains []*poset.Domain, opt Options) (resOut *Res
 		extra += db.packedRootPages()
 	}
 	for _, gi := range order {
+		if err := dynCtxErr(ctx); err != nil {
+			return nil, err
+		}
 		g := &db.groups[gi]
 		if opt.PrecomputedLocal {
 			db.scanLocal(g, domains, checker, clock, res, &extra)
 			continue
 		}
-		db.searchGroup(g, domains, checker, clock, io, buf, opt.PackedRoots, res)
+		if err := db.searchGroup(ctx, g, domains, checker, clock, io, buf, opt.PackedRoots, res); err != nil {
+			return nil, err
+		}
 	}
 
 	res.Metrics.DomChecks = checker.checks()
@@ -261,7 +294,7 @@ func (db *DynamicDB) QueryTSS(domains []*poset.Domain, opt Options) (resOut *Res
 // The tree is traversed through a per-query rtree.Reader so that
 // concurrent queries against the same DynamicDB never touch shared
 // mutable state — the property the serving layer's snapshots rely on.
-func (db *DynamicDB) searchGroup(g *dynGroup, domains []*poset.Domain, checker tChecker, clock *emitClock, io *rtree.IOCounter, buf *rtree.Buffer, packedRoots bool, res *Result) {
+func (db *DynamicDB) searchGroup(ctx context.Context, g *dynGroup, domains []*poset.Domain, checker tChecker, clock *emitClock, io *rtree.IOCounter, buf *rtree.Buffer, packedRoots bool, res *Result) error {
 	ds := db.ds
 	rd := g.tree.NewReader(io, buf)
 	var root *rtree.Node
@@ -271,18 +304,23 @@ func (db *DynamicDB) searchGroup(g *dynGroup, domains []*poset.Domain, checker t
 		root = rd.Root()
 	}
 	if len(root.Entries) == 0 {
-		return
+		return nil
 	}
 	corner := groupCorner(root, ds.NumTO())
 	if checker.dominatedPoint(corner, g.vals) {
 		res.Metrics.NodesPruned++
-		return
+		return nil
 	}
 	var h bbsHeap
 	for _, e := range root.Entries {
 		h.push(e)
 	}
-	for h.len() > 0 {
+	for steps := 0; h.len() > 0; steps++ {
+		if steps%dynCtxCheckEvery == dynCtxCheckEvery-1 {
+			if err := dynCtxErr(ctx); err != nil {
+				return err
+			}
+		}
 		it := h.pop()
 		if it.isPoint {
 			p := &ds.Pts[db.row(it.e.ID)]
@@ -311,6 +349,7 @@ func (db *DynamicDB) searchGroup(g *dynGroup, domains []*poset.Domain, checker t
 			h.push(e)
 		}
 	}
+	return nil
 }
 
 // scanLocal answers from the precomputed local skyline (§V-B): only the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -70,6 +71,13 @@ func sumInt32(xs []int32) int64 {
 // to q; the precomputed local skylines cannot be used (they presume the
 // original TO order), exactly as §V-B notes.
 func (db *DynamicDB) QueryTSSFull(q []int32, domains []*poset.Domain, opt Options) (*Result, error) {
+	return db.QueryTSSFullContext(context.Background(), q, domains, opt)
+}
+
+// QueryTSSFullContext is QueryTSSFull with cooperative cancellation,
+// checked between groups and periodically inside each group's
+// best-first traversal (the same contract as QueryTSSContext).
+func (db *DynamicDB) QueryTSSFullContext(ctx context.Context, q []int32, domains []*poset.Domain, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	ds := db.ds
 	if len(q) != ds.NumTO() {
@@ -109,6 +117,9 @@ func (db *DynamicDB) QueryTSSFull(q []int32, domains []*poset.Domain, opt Option
 
 	order := db.groupOrder(domains)
 	for _, gi := range order {
+		if err := dynCtxErr(ctx); err != nil {
+			return nil, err
+		}
 		g := &db.groups[gi]
 		rd := g.tree.NewReader(io, buf)
 		var root *rtree.Node
@@ -131,7 +142,12 @@ func (db *DynamicDB) QueryTSSFull(q []int32, domains []*poset.Domain, opt Option
 		for _, e := range root.Entries {
 			h.pushMind(e, sumInt32(boxMinDist(e.Lo, e.Hi, q)))
 		}
-		for h.len() > 0 {
+		for steps := 0; h.len() > 0; steps++ {
+			if steps%dynCtxCheckEvery == dynCtxCheckEvery-1 {
+				if err := dynCtxErr(ctx); err != nil {
+					return nil, err
+				}
+			}
 			it := h.pop()
 			if it.isPoint {
 				p := &ds.Pts[db.row(it.e.ID)]
@@ -327,7 +343,9 @@ func (db *DynamicDB) lookupCache(domains []*poset.Domain) (*Result, string) {
 }
 
 func (db *DynamicDB) storeCache(sig string, res *Result) {
-	if db.cache == nil || sig == "" {
+	// res is nil when the query erred or was canceled mid-run — there is
+	// no (complete) skyline to memoise.
+	if db.cache == nil || sig == "" || res == nil {
 		return
 	}
 	db.cache.put(sig, append([]int32(nil), res.SkylineIDs...))

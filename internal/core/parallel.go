@@ -192,9 +192,46 @@ type mergeCand struct {
 // copies of a duplicated skyline point survive, matching
 // NaiveSkylineUnder. Returns the number of dominance checks performed.
 func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, emit func(*Point)) int64 {
+	dominated, checks := eliminateDominated(domains, cands, workers)
+	for i, mc := range cands {
+		if !dominated[i] {
+			emit(mc.p)
+		}
+	}
+	return checks
+}
+
+// MergeSurvivors is the same elimination pass over arbitrary tagged
+// candidates, returning the indexes of survivors in input order — the
+// cluster coordinator's cross-process merge reuses the in-process pass
+// (and its worker parallelism) instead of re-deriving it. pts[i]
+// originates from shard[i]; same-shard pairs are skipped, so each
+// shard's list must itself be a skyline (mutually non-dominated), which
+// shard query responses are by construction.
+func MergeSurvivors(domains []*poset.Domain, pts []Point, shard []int, workers int) []int {
+	cands := make([]mergeCand, len(pts))
+	for i := range pts {
+		cands[i] = mergeCand{p: &pts[i], shard: shard[i]}
+	}
+	dominated, _ := eliminateDominated(domains, cands, workers)
+	out := make([]int, 0, len(pts))
+	for i := range cands {
+		if !dominated[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// eliminateDominated marks the candidates dominated by a candidate from
+// another shard, returning the flags plus the dominance-check count.
+func eliminateDominated(domains []*poset.Domain, cands []mergeCand, workers int) ([]bool, int64) {
 	n := len(cands)
 	if n == 0 {
-		return 0
+		return nil, 0
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	if workers > n {
 		workers = n
@@ -227,10 +264,5 @@ func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, emi
 	for _, c := range checks {
 		total += c
 	}
-	for i, mc := range cands {
-		if !dominated[i] {
-			emit(mc.p)
-		}
-	}
-	return total
+	return dominated, total
 }

@@ -1,14 +1,24 @@
 package plan
 
-import "sync/atomic"
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
 
 // MemoCache is a ready-made Cache: an atomically published memo of the
-// full skyline of one immutable row set. The serving layer binds one to
-// each table snapshot; tss.Table.SetQueryCache accepts one directly.
-// Concurrent racing Puts are benign — every writer stores the same
-// skyline set.
+// full skyline of one immutable row set, plus a keyed memo of subspace
+// skylines (one entry per kept-dimension set). The serving layer binds
+// one to each table snapshot; tss.Table.SetQueryCache accepts one
+// directly. Concurrent racing Puts are benign — for any given key every
+// writer stores the same skyline set, because the row set the memo
+// describes never changes.
 type MemoCache struct {
 	full atomic.Pointer[[]int32]
+
+	mu  sync.RWMutex
+	sub map[string][]int32 // kept-dimension key -> subspace skyline
 }
 
 // NewMemoCache returns an empty memo.
@@ -25,3 +35,51 @@ func (c *MemoCache) GetFull() ([]int32, bool) {
 // PutFull publishes the full skyline. The caller must not mutate ids
 // afterwards.
 func (c *MemoCache) PutFull(ids []int32) { c.full.Store(&ids) }
+
+// GetSubspace returns the memoised skyline of the kept-dimension set
+// named by key (see SubspaceKey), if any.
+func (c *MemoCache) GetSubspace(key string) ([]int32, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids, ok := c.sub[key]
+	return ids, ok
+}
+
+// PutSubspace memoises the skyline of one kept-dimension set. The
+// caller must not mutate ids afterwards. Entries are never evicted —
+// a table has few queried subspaces and the memo dies with its
+// snapshot (the serving layer attaches a fresh one per publish).
+func (c *MemoCache) PutSubspace(key string, ids []int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sub == nil {
+		c.sub = make(map[string][]int32)
+	}
+	c.sub[key] = ids
+}
+
+// SubspaceKey canonically names a kept-dimension set — the memo key of
+// subspace entries and the Learned skyline-fraction variant key. The
+// dimension lists must be in Validate's canonical form (ascending,
+// duplicate-free); nil yields FullVariant.
+func SubspaceKey(s *Subspace) string {
+	if s == nil {
+		return FullVariant
+	}
+	var b strings.Builder
+	b.WriteString("to:")
+	for i, d := range s.TO {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	b.WriteString("|po:")
+	for i, d := range s.PO {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	return b.String()
+}

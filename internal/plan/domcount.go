@@ -1,0 +1,84 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DomCounts counts, for each candidate point, how many rows of R — the
+// dataset filtered by q.Where — it dominates on q.Subspace's kept
+// dimensions (all of them when nil). Candidates are full-dimensional
+// points identified by value, not by row id: this is the shard-side
+// scoring primitive of distributed top-k by dominance count, where the
+// coordinator holds merged skyline rows whose ids are shard-scoped and
+// needs every shard's partial count for each. A row with values equal
+// to a candidate is never counted (dominance is strict), matching the
+// single-node executor's self-exclusion. O(len(cands)·|R|) with the
+// exact dominance oracle; ctx is checked cooperatively.
+func DomCounts(ctx context.Context, ds *core.Dataset, q Query, cands []core.Point) ([]int64, error) {
+	sizes := make([]int, len(ds.Domains))
+	for d, dom := range ds.Domains {
+		sizes[d] = dom.Size()
+	}
+	if err := q.Validate(ds.NumTO(), ds.NumPO(), sizes); err != nil {
+		return nil, err
+	}
+	keptTO, keptPO := resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
+	doms := keptPODomains(ds, keptPO)
+	proj := make([]core.Point, len(cands))
+	for i := range cands {
+		c := &cands[i]
+		if len(c.TO) != ds.NumTO() || len(c.PO) != ds.NumPO() {
+			return nil, fmt.Errorf("plan: candidate %d has %d/%d dims, table has %d/%d",
+				i, len(c.TO), len(c.PO), ds.NumTO(), ds.NumPO())
+		}
+		proj[i] = projectInto(c, keptTO, keptPO)
+	}
+	counts := make([]int64, len(cands))
+	for i := range ds.Pts {
+		if i%ctxCheckEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		row := &ds.Pts[i]
+		if len(q.Where) > 0 && !matchesAllPreds(q.Where, row) {
+			continue
+		}
+		rp := projectInto(row, keptTO, keptPO)
+		for j := range proj {
+			if core.DominatesUnder(doms, &proj[j], &rp) {
+				counts[j]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+// matchesAllPreds reports whether a row satisfies every predicate.
+func matchesAllPreds(where []Predicate, pt *core.Point) bool {
+	for i := range where {
+		if !where[i].matches(pt) {
+			return false
+		}
+	}
+	return true
+}
+
+// projectInto maps a full-dimensional point into the kept dimensions.
+func projectInto(pt *core.Point, keptTO, keptPO []int) core.Point {
+	np := core.Point{ID: pt.ID}
+	np.TO = make([]int32, len(keptTO))
+	for j, d := range keptTO {
+		np.TO[j] = pt.TO[d]
+	}
+	if len(keptPO) > 0 {
+		np.PO = make([]int32, len(keptPO))
+		for j, d := range keptPO {
+			np.PO[j] = pt.PO[d]
+		}
+	}
+	return np
+}

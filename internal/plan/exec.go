@@ -63,15 +63,16 @@ func (p *Plan) Run(ctx context.Context, ds *core.Dataset, env Env) (*core.Result
 		if res, err = algo.Run(eff, opt); err != nil {
 			return nil, err
 		}
-		// Feedback, with two guards. The skyline-fraction EWMA describes
-		// the table's full-dimensional skyline, so projected or filtered
-		// runs must not feed it (a stream of 1-D subspace queries would
-		// otherwise drag the estimate toward ~1/n for everyone). The cost
-		// multiplier corrects the *sequential* model, so parallel runs —
-		// whose wall-clock is divided across cores the model knows
-		// nothing about — are excluded too.
-		if p.route == RouteDirect && p.Query.Subspace == nil {
-			env.Learned.ObserveSkyline(len(eff.Pts), len(res.SkylineIDs))
+		// Feedback, with two guards. Skyline fractions are learned per
+		// variant (kept-dimension key), so subspace runs feed their own
+		// EWMA rather than dragging the full-dimensional estimate toward
+		// ~1/n; filtered runs still feed nothing — their fraction
+		// conflates selectivity with skyline density. The cost multiplier
+		// corrects the *sequential* model, so parallel runs — whose
+		// wall-clock is divided across cores the model knows nothing
+		// about — are excluded too.
+		if p.route == RouteDirect {
+			env.Learned.ObserveSkyline(p.variant, len(eff.Pts), len(res.SkylineIDs))
 		}
 		if p.shards == 0 {
 			// Train the multiplier on the model's *shape* error alone:
@@ -89,9 +90,13 @@ func (p *Plan) Run(ctx context.Context, ds *core.Dataset, env Env) (*core.Result
 				env.Cache.PutFull(append([]int32(nil), res.SkylineIDs...))
 			}
 			res.SkylineIDs = p.filterIDs(ds, res.SkylineIDs)
-		} else if p.route == RouteDirect && p.Query.Subspace == nil &&
-			env.Cache != nil && !p.Query.Hints.NoCache {
-			env.Cache.PutFull(append([]int32(nil), res.SkylineIDs...))
+		} else if p.route == RouteDirect && env.Cache != nil && !p.Query.Hints.NoCache {
+			ids := append([]int32(nil), res.SkylineIDs...)
+			if p.Query.Subspace == nil {
+				env.Cache.PutFull(ids)
+			} else {
+				env.Cache.PutSubspace(p.variant, ids)
+			}
 		}
 	}
 	if err := ctxErr(ctx); err != nil {
@@ -189,12 +194,7 @@ func (p *Plan) effective(ctx context.Context, ds *core.Dataset) (*core.Dataset, 
 
 // matchesAll reports whether a row satisfies every predicate.
 func (p *Plan) matchesAll(pt *core.Point) bool {
-	for i := range p.Query.Where {
-		if !p.Query.Where[i].matches(pt) {
-			return false
-		}
-	}
-	return true
+	return matchesAllPreds(p.Query.Where, pt)
 }
 
 // filterIDs keeps the result ids whose rows satisfy the predicates —
@@ -290,18 +290,7 @@ type projected struct {
 
 // projectPoint maps a full-dimensional row into the kept dimensions.
 func (p *Plan) projectPoint(pt *core.Point) core.Point {
-	np := core.Point{ID: pt.ID}
-	np.TO = make([]int32, len(p.keptTO))
-	for j, d := range p.keptTO {
-		np.TO[j] = pt.TO[d]
-	}
-	if len(p.keptPO) > 0 {
-		np.PO = make([]int32, len(p.keptPO))
-		for j, d := range p.keptPO {
-			np.PO[j] = pt.PO[d]
-		}
-	}
-	return np
+	return projectInto(pt, p.keptTO, p.keptPO)
 }
 
 // idealDepths precomputes, per kept PO column, each value's depth: the

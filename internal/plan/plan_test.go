@@ -79,6 +79,7 @@ func equal32(a, b []int32) bool {
 type memCache struct {
 	mu   sync.Mutex
 	full []int32
+	sub  map[string][]int32
 }
 
 func (c *memCache) GetFull() ([]int32, bool) {
@@ -91,6 +92,22 @@ func (c *memCache) PutFull(ids []int32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.full = ids
+}
+
+func (c *memCache) GetSubspace(key string) ([]int32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, ok := c.sub[key]
+	return ids, ok
+}
+
+func (c *memCache) PutSubspace(key string, ids []int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sub == nil {
+		c.sub = make(map[string][]int32)
+	}
+	c.sub[key] = ids
 }
 
 // runPlan plans and runs q, returning the result ids and the explain.
@@ -484,9 +501,16 @@ func TestLearnedFeedback(t *testing.T) {
 	if m := l.CostMultiplier("stss"); m != 3 {
 		t.Fatalf("first observation multiplier %f, want 3", m)
 	}
-	l.ObserveSkyline(1000, 100)
-	if f, ok := l.SkylineFrac(); !ok || f != 0.1 {
+	l.ObserveSkyline(FullVariant, 1000, 100)
+	if f, ok := l.SkylineFrac(FullVariant); !ok || f != 0.1 {
 		t.Fatalf("skyline frac %f ok=%v", f, ok)
+	}
+	l.ObserveSkyline("to:0|po:", 1000, 10)
+	if f, ok := l.SkylineFrac("to:0|po:"); !ok || f != 0.01 {
+		t.Fatalf("subspace variant frac %f ok=%v", f, ok)
+	}
+	if f, _ := l.SkylineFrac(FullVariant); f != 0.1 {
+		t.Fatalf("full variant polluted by subspace observation: %f", f)
 	}
 
 	st := l.Export()
@@ -494,8 +518,14 @@ func TestLearnedFeedback(t *testing.T) {
 	if m := l2.CostMultiplier("stss"); m != 3 {
 		t.Fatalf("round-trip multiplier %f", m)
 	}
-	if f, ok := l2.SkylineFrac(); !ok || f != 0.1 {
+	if f, ok := l2.SkylineFrac(FullVariant); !ok || f != 0.1 {
 		t.Fatalf("round-trip frac %f ok=%v", f, ok)
+	}
+	if f, ok := l2.SkylineFrac("to:0|po:"); !ok || f != 0.01 {
+		t.Fatalf("round-trip variant frac %f ok=%v", f, ok)
+	}
+	if len(st.Variants) != 2 {
+		t.Fatalf("exported %d variants, want 2", len(st.Variants))
 	}
 	if len(st.Algos) != 1 || st.Algos[0].Name != "stss" {
 		t.Fatalf("export %+v", st)
@@ -583,5 +613,191 @@ func TestNormalizeDims(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("got %v want %v", got, want)
 		}
+	}
+}
+
+// TestSubspaceCacheRouting proves the memo's subspace half: a repeat
+// subspace query on the same snapshot is a cache hit keyed by its
+// kept-dimension set, distinct subspaces do not collide, and the
+// explain reports the route.
+func TestSubspaceCacheRouting(t *testing.T) {
+	ds := sampleDS(t, 150)
+	env := Env{Cache: NewMemoCache(), Learned: NewLearned()}
+	subA := Query{Subspace: &Subspace{TO: []int{0}, PO: []int{0}}}
+	subB := Query{Subspace: &Subspace{TO: []int{1}}}
+
+	idsA, exA := runPlan(t, ds, subA, env)
+	if exA.CacheHit {
+		t.Fatal("cold subspace run reported a cache hit")
+	}
+	idsA2, exA2 := runPlan(t, ds, subA, env)
+	if !exA2.CacheHit {
+		t.Fatal("repeat subspace query missed the memo")
+	}
+	if !strings.Contains(exA2.RouteReason, "subspace skyline cached") {
+		t.Fatalf("explain does not report the subspace cache route: %q", exA2.RouteReason)
+	}
+	if !equal32(sorted32(idsA), sorted32(idsA2)) {
+		t.Fatalf("cached subspace result diverges: %v vs %v", idsA, idsA2)
+	}
+	// A different kept-dimension set must not be served from A's entry.
+	idsB, exB := runPlan(t, ds, subB, env)
+	if exB.CacheHit {
+		t.Fatal("distinct subspace served from the wrong memo entry")
+	}
+	want, err := Naive(ds, subB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal32(sorted32(idsB), sorted32(want)) {
+		t.Fatalf("subspace B result wrong: %v want %v", idsB, want)
+	}
+	// The full-skyline half stays independent of subspace entries.
+	if _, ok := env.Cache.GetFull(); ok {
+		t.Fatal("subspace runs must not populate the full-skyline memo")
+	}
+	if _, ex := runPlan(t, ds, Query{}, env); ex.CacheHit {
+		t.Fatal("full query served from a subspace entry")
+	}
+	if _, ex := runPlan(t, ds, Query{}, env); !ex.CacheHit {
+		t.Fatal("repeat full query missed the memo")
+	}
+}
+
+// TestPerVariantSkylineFrac shows the planner follow-up motivating the
+// split: under a mixed workload alternating full-dimensional and
+// subspace queries, per-variant EWMAs converge each variant's skyline-
+// size estimate to its own truth, where the old single global EWMA was
+// dragged to whichever variant ran last.
+func TestPerVariantSkylineFrac(t *testing.T) {
+	ds := sampleDS(t, 400)
+	full := Query{Hints: Hints{NoCache: true}}
+	sub := Query{Subspace: &Subspace{TO: []int{0}}, Hints: Hints{NoCache: true}}
+	fullIDs, err := Naive(ds, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subIDs, err := Naive(ds, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueFull, trueSub := len(fullIDs), len(subIDs)
+	if trueFull == trueSub {
+		t.Fatalf("degenerate fixture: both variants have %d skyline rows", trueFull)
+	}
+
+	env := Env{Learned: NewLearned()}
+	// Warm up: alternate the two variants so a shared EWMA would end up
+	// tracking a blend of two very different fractions.
+	for i := 0; i < 6; i++ {
+		runPlan(t, ds, full, env)
+		runPlan(t, ds, sub, env)
+	}
+	cases := []struct {
+		name string
+		q    Query
+		want int
+	}{
+		{"full", full, trueFull},
+		{"subspace", sub, trueSub},
+	}
+	for _, tc := range cases {
+		p, err := New(ds, tc.q, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Explain.SkyFracFrom != "observed" {
+			t.Fatalf("%s: estimate not from the observed EWMA (%s)", tc.name, p.Explain.SkyFracFrom)
+		}
+		est := p.Explain.EstSkyline
+		relErr := math.Abs(float64(est-tc.want)) / float64(tc.want)
+		if relErr > 0.15 {
+			t.Errorf("%s: estimated %d skyline rows, true %d (rel err %.2f > 0.15)",
+				tc.name, est, tc.want, relErr)
+		}
+		// The estimate a single global EWMA would produce for both
+		// variants — the mean of the two fractions, i.e. the mean of the
+		// two true sizes in rows — must be a strictly worse estimate:
+		// that is the regression the split fixes.
+		blendErr := math.Abs((float64(trueFull)+float64(trueSub))/2 - float64(tc.want))
+		if math.Abs(float64(est-tc.want)) >= blendErr {
+			t.Errorf("%s: per-variant estimate (err %d) no better than a blended global one (err %.0f)",
+				tc.name, est-tc.want, blendErr)
+		}
+	}
+}
+
+// TestMergeStats checks the coordinator-side union of per-shard
+// statistics: summed rows, unioned bounds, row-weighted correlation,
+// and zero-row parts skipped.
+func TestMergeStats(t *testing.T) {
+	a := &Stats{Rows: 100, TO: []ColStats{{Min: 5, Max: 40, Distinct: 30}}, CorrSign: 0.5}
+	b := &Stats{Rows: 300, TO: []ColStats{{Min: 0, Max: 25, Distinct: 20}}, CorrSign: -0.5}
+	empty := &Stats{TO: []ColStats{}}
+	got := MergeStats(a, empty, nil, b)
+	if got.Rows != 400 {
+		t.Fatalf("rows %d, want 400", got.Rows)
+	}
+	if got.TO[0].Min != 0 || got.TO[0].Max != 40 || got.TO[0].Distinct != 30 {
+		t.Fatalf("TO bounds %+v", got.TO[0])
+	}
+	if want := (0.5*100 - 0.5*300) / 400; math.Abs(got.CorrSign-want) > 1e-12 {
+		t.Fatalf("corr %f, want %f", got.CorrSign, want)
+	}
+	if MergeStats(nil, empty) != nil {
+		t.Fatal("merge of empty parts must be nil")
+	}
+	// Shape mismatch is an error signalled by nil, not a panic.
+	if MergeStats(a, &Stats{Rows: 1, TO: []ColStats{{}, {}}}) != nil {
+		t.Fatal("shape mismatch must yield nil")
+	}
+}
+
+// TestDomCounts cross-checks the shard-side scoring primitive against
+// the executor's own ranked top-k: scoring the full skyline by value
+// must reproduce the domcount order the planner computes by id.
+func TestDomCounts(t *testing.T) {
+	ds := sampleDS(t, 150)
+	for _, q := range []Query{
+		{},
+		{Subspace: &Subspace{TO: []int{0}, PO: []int{0}}},
+		{Where: []Predicate{{Kind: TORange, Dim: 0, HasHi: true, Hi: 30}}},
+	} {
+		sky, err := Naive(ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := make([]core.Point, len(sky))
+		for i, id := range sky {
+			cands[i] = ds.Pts[id]
+		}
+		counts, err := DomCounts(context.Background(), ds, q, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: count dominated rows of R per skyline member directly.
+		keptTO, keptPO := resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
+		doms := keptPODomains(ds, keptPO)
+		for i, id := range sky {
+			var want int64
+			cp := projectInto(&ds.Pts[id], keptTO, keptPO)
+			for r := range ds.Pts {
+				row := &ds.Pts[r]
+				if len(q.Where) > 0 && !matchesAllPreds(q.Where, row) {
+					continue
+				}
+				rp := projectInto(row, keptTO, keptPO)
+				if core.DominatesUnder(doms, &cp, &rp) {
+					want++
+				}
+			}
+			if counts[i] != want {
+				t.Fatalf("query %+v: candidate %d count %d, want %d", q, id, counts[i], want)
+			}
+		}
+	}
+	// Dimension mismatch is rejected.
+	if _, err := DomCounts(context.Background(), ds, Query{}, []core.Point{{TO: []int32{1}}}); err == nil {
+		t.Fatal("mis-dimensioned candidate accepted")
 	}
 }

@@ -9,14 +9,17 @@ import (
 	"repro/internal/core"
 )
 
-// Cache is the full-skyline result cache the executor may route
-// through: it stores the skyline of the full table (all rows, all
-// dimensions) for the table state the cache belongs to. Implementations
-// must be safe for concurrent use; the serving layer binds one to each
-// immutable snapshot.
+// Cache is the skyline result cache the executor may route through: it
+// stores the skyline of the full table (all rows, all dimensions) plus
+// one entry per queried subspace (keyed by SubspaceKey), all describing
+// the table state the cache belongs to. Implementations must be safe
+// for concurrent use; the serving layer binds one to each immutable
+// snapshot.
 type Cache interface {
 	GetFull() ([]int32, bool)
 	PutFull([]int32)
+	GetSubspace(key string) ([]int32, bool)
+	PutSubspace(key string, ids []int32)
 }
 
 // Env is the planning context: the table's statistics, the feedback
@@ -71,9 +74,10 @@ type Plan struct {
 	shards    int // partition-and-merge shard count; 0 = sequential
 	route     Route
 	earlyExit bool    // RouteCursor: stop the progressive cursor after TopK
-	cached    []int32 // full skyline served from Env.Cache, nil on miss
+	cached    []int32 // full or subspace skyline served from Env.Cache, nil on miss
 	keptTO    []int   // resolved subspace (identity when Query.Subspace == nil)
 	keptPO    []int
+	variant   string // kept-dimension key (SubspaceKey): memo + learned-frac key
 	estRows   int
 	estSky    int
 	predBase  float64   // static model prediction before the learned multiplier
@@ -142,24 +146,34 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 
 	p := &Plan{Query: q, Explain: Explain{Variant: q.Variant()}}
 	p.keptTO, p.keptPO = resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
+	p.variant = SubspaceKey(q.Subspace)
 
 	// Route: push-down is the definition; post-filter needs the
 	// anti-monotonicity proof and pays off only when the full skyline is
 	// already cached (the filtered run reads fewer rows otherwise).
 	antiMono, proofReason := allAntiMonotone(ds, q)
 	p.Explain.AntiMonotone = antiMono
-	useCache := env.Cache != nil && !q.Hints.NoCache && q.Subspace == nil
+	useCache := env.Cache != nil && !q.Hints.NoCache
 	var cachedFull []int32
 	cacheHas := false
-	if useCache {
+	if useCache && q.Subspace == nil {
 		cachedFull, cacheHas = env.Cache.GetFull()
 	}
 	switch {
 	case len(q.Where) == 0:
 		p.route = RouteDirect
-		if cacheHas && q.Subspace == nil {
+		switch {
+		case q.Subspace == nil && cacheHas:
 			p.cached = cachedFull
 			p.Explain.RouteReason = "full skyline cached"
+		case q.Subspace != nil && useCache:
+			// Subspace-keyed memo: repeated subspace queries on the same
+			// snapshot are served without recomputation, exactly like
+			// repeated full queries.
+			if ids, ok := env.Cache.GetSubspace(p.variant); ok {
+				p.cached = ids
+				p.Explain.RouteReason = fmt.Sprintf("subspace skyline cached (key %s)", p.variant)
+			}
 		}
 	case q.Hints.Route == RoutePostFilter:
 		if !antiMono {
@@ -197,7 +211,7 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	if p.route == RoutePushdown {
 		p.estRows = int(math.Ceil(sel * float64(n)))
 	}
-	frac, fracSrc := skylineFrac(stats, env.Learned, len(p.keptTO)+len(p.keptPO))
+	frac, fracSrc := skylineFrac(stats, env.Learned, p.variant, len(p.keptTO)+len(p.keptPO))
 	p.Explain.SkyFracFrom = fracSrc
 	p.estSky = int(math.Ceil(frac * float64(p.estRows)))
 	if p.estSky < 1 && p.estRows > 0 {
@@ -409,10 +423,14 @@ func selectivity(stats *Stats, where []Predicate) float64 {
 	return clamp01(sel)
 }
 
-// skylineFrac estimates |skyline|/n: the observed EWMA when available,
-// otherwise a correlation-sign default scaled by dimensionality.
-func skylineFrac(stats *Stats, learned *Learned, dims int) (float64, string) {
-	if f, ok := learned.SkylineFrac(); ok {
+// skylineFrac estimates |skyline|/n: the variant's observed EWMA when
+// available, otherwise a correlation-sign default scaled by
+// dimensionality. Each variant (kept-dimension set) learns its own
+// fraction — a 2-dim subspace skyline and the full skyline of the same
+// table differ by orders of magnitude, so sharing one EWMA across a
+// mixed workload would misestimate both.
+func skylineFrac(stats *Stats, learned *Learned, variant string, dims int) (float64, string) {
+	if f, ok := learned.SkylineFrac(variant); ok {
 		return clampFrac(f), "observed"
 	}
 	var f float64

@@ -17,20 +17,22 @@ const statsSample = 4096
 // from scratch.
 const statsRefreshEvery = 16
 
-// ColStats summarises one totally ordered column.
+// ColStats summarises one totally ordered column. The JSON tags are the
+// GET /tables/{t}/stats wire contract.
 type ColStats struct {
-	Min, Max int64
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
 	// Distinct is the number of distinct values seen, saturating at
 	// statsSample (an exact count below it, a floor above).
-	Distinct int
+	Distinct int `json:"distinct"`
 }
 
 // POStats summarises one partially ordered column.
 type POStats struct {
 	// Distinct is the number of domain values actually used by rows.
-	Distinct int
+	Distinct int `json:"distinct"`
 	// DomainSize is the column's full domain size.
-	DomainSize int
+	DomainSize int `json:"domainSize"`
 }
 
 // Stats are the planner's per-table statistics: exact row count and
@@ -39,13 +41,13 @@ type POStats struct {
 // immutable once built — Advance returns a fresh value — so snapshots
 // can share them across goroutines.
 type Stats struct {
-	Rows int
-	TO   []ColStats
-	PO   []POStats
+	Rows int        `json:"rows"`
+	TO   []ColStats `json:"to"`
+	PO   []POStats  `json:"po,omitempty"`
 	// CorrSign is the mean pairwise Pearson correlation over the
 	// sampled TO columns: near -1 anti-correlated (large skylines),
 	// near +1 correlated (tiny skylines).
-	CorrSign float64
+	CorrSign float64 `json:"corrSign"`
 	// batches counts Advance steps since the last full Analyze, driving
 	// the sampled-statistics refresh policy.
 	batches int
@@ -235,39 +237,60 @@ func (e *ewma) observe(x float64) {
 	e.v = (1-ewmaAlpha)*e.v + ewmaAlpha*x
 }
 
-// Learned is the feedback half of the statistics: the skyline fraction
-// and per-algorithm cost-model correction observed from past runs. One
-// Learned is shared across a table's snapshots (it describes the table,
-// not one version) and is safe for concurrent use.
+// FullVariant is the variant key of full-dimensional queries — the key
+// ObserveSkyline and SkylineFrac use when no subspace is involved.
+const FullVariant = "full"
+
+// Learned is the feedback half of the statistics: per-variant skyline
+// fractions and per-algorithm cost-model corrections observed from past
+// runs. One Learned is shared across a table's snapshots (it describes
+// the table, not one version) and is safe for concurrent use.
+//
+// Skyline fractions are kept per *variant* — one EWMA per kept-
+// dimension set (FullVariant for full-dimensional queries) — because a
+// 2-dim subspace skyline and the full skyline of the same table can
+// differ by orders of magnitude; a single global EWMA under a mixed
+// workload drags every estimate toward whichever variant ran last.
 type Learned struct {
 	mu      sync.Mutex
-	skyFrac ewma
+	skyFrac map[string]*ewma // variant key -> skyline-fraction EWMA
 	algo    map[string]*ewma
 }
 
 // NewLearned returns an empty feedback store.
-func NewLearned() *Learned { return &Learned{algo: make(map[string]*ewma)} }
+func NewLearned() *Learned {
+	return &Learned{skyFrac: make(map[string]*ewma), algo: make(map[string]*ewma)}
+}
 
-// ObserveSkyline records a completed skyline computation over n rows
-// yielding m skyline rows.
-func (l *Learned) ObserveSkyline(n, m int) {
+// ObserveSkyline records a completed skyline computation of the given
+// variant (a kept-dimension key; FullVariant for full-dimensional
+// queries) over n rows yielding m skyline rows.
+func (l *Learned) ObserveSkyline(variant string, n, m int) {
 	if l == nil || n <= 0 {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.skyFrac.observe(float64(m) / float64(n))
+	e := l.skyFrac[variant]
+	if e == nil {
+		e = &ewma{}
+		l.skyFrac[variant] = e
+	}
+	e.observe(float64(m) / float64(n))
 }
 
-// SkylineFrac returns the observed skyline fraction EWMA; ok is false
-// before the first observation.
-func (l *Learned) SkylineFrac() (frac float64, ok bool) {
+// SkylineFrac returns the observed skyline fraction EWMA of the given
+// variant; ok is false before the variant's first observation.
+func (l *Learned) SkylineFrac(variant string) (frac float64, ok bool) {
 	if l == nil {
 		return 0, false
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.skyFrac.v, l.skyFrac.n > 0
+	if e := l.skyFrac[variant]; e != nil && e.n > 0 {
+		return e.v, true
+	}
+	return 0, false
 }
 
 // ObserveCost records a run of algo whose static model predicted
@@ -303,17 +326,31 @@ func (l *Learned) CostMultiplier(algo string) float64 {
 
 // AlgoCost is one persisted cost-correction entry.
 type AlgoCost struct {
-	Name string
-	Mult float64
-	N    int64
+	Name string  `json:"name"`
+	Mult float64 `json:"mult"`
+	N    int64   `json:"n"`
+}
+
+// VariantFrac is one per-variant skyline-fraction entry of the portable
+// form.
+type VariantFrac struct {
+	Key  string  `json:"key"`
+	Frac float64 `json:"frac"`
+	N    int64   `json:"n"`
 }
 
 // LearnedState is the portable form of Learned, as persisted in store
-// snapshots. Algos are sorted by name so the encoding is canonical.
+// snapshots and served by /tables/{t}/stats. SkyFrac/SkyFracN carry the
+// FullVariant EWMA — the storage snapshot format persists only that one
+// (the format predates per-variant fractions; other variants are
+// relearned after recovery) — while Variants lists every variant,
+// sorted by key, for JSON consumers. Algos are sorted by name so the
+// binary encoding is canonical.
 type LearnedState struct {
-	SkyFrac  float64
-	SkyFracN int64
-	Algos    []AlgoCost
+	SkyFrac  float64       `json:"skyFrac"`
+	SkyFracN int64         `json:"skyFracN"`
+	Variants []VariantFrac `json:"variants,omitempty"`
+	Algos    []AlgoCost    `json:"algos,omitempty"`
 }
 
 // Export snapshots the feedback store.
@@ -323,7 +360,16 @@ func (l *Learned) Export() LearnedState {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	st := LearnedState{SkyFrac: l.skyFrac.v, SkyFracN: l.skyFrac.n}
+	var st LearnedState
+	if e := l.skyFrac[FullVariant]; e != nil {
+		st.SkyFrac, st.SkyFracN = e.v, e.n
+	}
+	for key, e := range l.skyFrac {
+		if e.n > 0 {
+			st.Variants = append(st.Variants, VariantFrac{Key: key, Frac: e.v, N: e.n})
+		}
+	}
+	sort.Slice(st.Variants, func(i, j int) bool { return st.Variants[i].Key < st.Variants[j].Key })
 	for name, e := range l.algo {
 		if e.n > 0 {
 			st.Algos = append(st.Algos, AlgoCost{Name: name, Mult: e.v, N: e.n})
@@ -336,9 +382,64 @@ func (l *Learned) Export() LearnedState {
 // ImportLearned rebuilds a feedback store from its portable form.
 func ImportLearned(st LearnedState) *Learned {
 	l := NewLearned()
-	l.skyFrac = ewma{v: st.SkyFrac, n: st.SkyFracN}
+	if st.SkyFracN > 0 {
+		l.skyFrac[FullVariant] = &ewma{v: st.SkyFrac, n: st.SkyFracN}
+	}
+	for _, v := range st.Variants {
+		l.skyFrac[v.Key] = &ewma{v: v.Frac, n: v.N}
+	}
 	for _, a := range st.Algos {
 		l.algo[a.Name] = &ewma{v: a.Mult, n: a.N}
 	}
 	return l
+}
+
+// MergeStats combines per-partition statistics into statistics of the
+// union of the partitions' rows — the cluster coordinator's view over
+// its shards. Bounds union, distinct counts take the maximum (a floor:
+// value sets may overlap arbitrarily), and the correlation sign is the
+// row-weighted mean. Partitions with zero rows are skipped (their
+// zeroed bounds describe no rows). Returns nil when no partition
+// carries rows or the shapes disagree.
+func MergeStats(parts ...*Stats) *Stats {
+	var out *Stats
+	for _, p := range parts {
+		if p == nil || p.Rows == 0 {
+			continue
+		}
+		if out == nil {
+			out = &Stats{
+				Rows:     p.Rows,
+				TO:       append([]ColStats(nil), p.TO...),
+				PO:       append([]POStats(nil), p.PO...),
+				CorrSign: p.CorrSign * float64(p.Rows),
+			}
+			continue
+		}
+		if len(p.TO) != len(out.TO) || len(p.PO) != len(out.PO) {
+			return nil
+		}
+		for d, c := range p.TO {
+			if c.Min < out.TO[d].Min {
+				out.TO[d].Min = c.Min
+			}
+			if c.Max > out.TO[d].Max {
+				out.TO[d].Max = c.Max
+			}
+			if c.Distinct > out.TO[d].Distinct {
+				out.TO[d].Distinct = c.Distinct
+			}
+		}
+		for d, c := range p.PO {
+			if c.Distinct > out.PO[d].Distinct {
+				out.PO[d].Distinct = c.Distinct
+			}
+		}
+		out.CorrSign += p.CorrSign * float64(p.Rows)
+		out.Rows += p.Rows
+	}
+	if out != nil {
+		out.CorrSign /= float64(out.Rows)
+	}
+	return out
 }

@@ -14,13 +14,13 @@ import (
 
 // storeSchema renders the entry's schema in storage form.
 func (e *tableEntry) storeSchema() store.Schema {
-	sch := store.Schema{TOColumns: append([]string(nil), e.toCols...)}
-	for d, spec := range e.orderSpecs {
+	sch := store.Schema{TOColumns: append([]string(nil), e.schema.toCols...)}
+	for d, spec := range e.schema.orderSpecs {
 		o := store.OrderSchema{Name: spec.Name, Values: append([]string(nil), spec.Values...)}
 		for _, edge := range spec.Edges {
 			o.Edges = append(o.Edges, [2]int32{
-				int32(e.poIndex[d][edge[0]]),
-				int32(e.poIndex[d][edge[1]]),
+				int32(e.schema.poIndex[d][edge[0]]),
+				int32(e.schema.poIndex[d][edge[1]]),
 			})
 		}
 		sch.Orders = append(sch.Orders, o)
@@ -33,8 +33,8 @@ func (e *tableEntry) storeSchema() store.Schema {
 // accepted these rows).
 func (e *tableEntry) storeRows(rows []RowSpec) (store.Rows, error) {
 	out := store.Rows{
-		TO: make([][]int64, len(e.toCols)),
-		PO: make([][]int32, len(e.orderSpecs)),
+		TO: make([][]int64, len(e.schema.toCols)),
+		PO: make([][]int32, len(e.schema.orderSpecs)),
 	}
 	for c := range out.TO {
 		out.TO[c] = make([]int64, 0, len(rows))
@@ -43,15 +43,15 @@ func (e *tableEntry) storeRows(rows []RowSpec) (store.Rows, error) {
 		out.PO[c] = make([]int32, 0, len(rows))
 	}
 	for i, r := range rows {
-		if len(r.TO) != len(e.toCols) || len(r.PO) != len(e.orderSpecs) {
+		if len(r.TO) != len(e.schema.toCols) || len(r.PO) != len(e.schema.orderSpecs) {
 			return store.Rows{}, fmt.Errorf("row %d: %d TO / %d PO values, schema has %d / %d",
-				i, len(r.TO), len(r.PO), len(e.toCols), len(e.orderSpecs))
+				i, len(r.TO), len(r.PO), len(e.schema.toCols), len(e.schema.orderSpecs))
 		}
 		for c, v := range r.TO {
 			out.TO[c] = append(out.TO[c], v)
 		}
 		for c, label := range r.PO {
-			id, ok := e.poIndex[c][label]
+			id, ok := e.schema.poIndex[c][label]
 			if !ok {
 				return store.Rows{}, fmt.Errorf("row %d: unknown PO value %q", i, label)
 			}

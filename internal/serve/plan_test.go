@@ -219,7 +219,7 @@ func TestLearnedStatsPersistAcrossRestart(t *testing.T) {
 	if _, _, err := e.current().table.Query(plan.Query{}); err != nil {
 		t.Fatal(err)
 	}
-	if frac, ok := e.current().table.Learned().SkylineFrac(); !ok || frac <= 0 {
+	if frac, ok := e.current().table.Learned().SkylineFrac(plan.FullVariant); !ok || frac <= 0 {
 		t.Fatalf("no skyline fraction observed (ok=%v frac=%f)", ok, frac)
 	}
 	// ...and a checkpoint persists it.
@@ -242,11 +242,11 @@ func TestLearnedStatsPersistAcrossRestart(t *testing.T) {
 	if !ok {
 		t.Fatal("table not recovered")
 	}
-	frac, ok := e2.current().table.Learned().SkylineFrac()
+	frac, ok := e2.current().table.Learned().SkylineFrac(plan.FullVariant)
 	if !ok || frac <= 0 {
 		t.Fatalf("recovered table lost its learned stats (ok=%v frac=%f)", ok, frac)
 	}
-	want, _ := e.current().table.Learned().SkylineFrac()
+	want, _ := e.current().table.Learned().SkylineFrac(plan.FullVariant)
 	if frac != want {
 		t.Fatalf("recovered skyline fraction %f, want %f", frac, want)
 	}

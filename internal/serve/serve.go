@@ -38,6 +38,13 @@ type Config struct {
 	// CheckpointEvery is the WAL byte size past which a batch
 	// checkpoints its table (0 = DefaultCheckpointEvery).
 	CheckpointEvery int64
+	// Shard, when non-nil, declares this node's cluster identity
+	// (tssserve -shard-of). It is surfaced in /statsz and enforced
+	// against the coordinator's X-Tss-Expect-Shard routing assertion,
+	// so a mis-wired topology (shard URLs in the wrong order, or a node
+	// from another cluster) is a hard 409 instead of silently wrong
+	// partitions.
+	Shard *ShardIdentity
 }
 
 // Server is the catalog of named skyline tables plus the HTTP handlers
@@ -50,6 +57,7 @@ type Server struct {
 	cacheCap        int
 	store           store.Store // nil = ephemeral
 	checkpointEvery int64
+	shard           *ShardIdentity
 	checkpointErrs  atomic.Int64
 	started         time.Time
 	queries         atomic.Int64
@@ -77,6 +85,7 @@ func NewWithConfig(cfg Config) *Server {
 		cacheCap:        cfg.CacheCapacity,
 		store:           cfg.Store,
 		checkpointEvery: cfg.CheckpointEvery,
+		shard:           cfg.Shard,
 		started:         time.Now(),
 	}
 }
@@ -247,7 +256,28 @@ func (s *Server) Stats() StatsResponse {
 		Algorithms:       core.AlgorithmNames(),
 		Durable:          s.store != nil,
 		CheckpointErrors: s.checkpointErrs.Load(),
+		Shard:            s.shard,
 	}
+}
+
+// ExpectShardHeader is the coordinator's routing assertion: every
+// scatter request names the shard identity ("index/count") it believes
+// it is talking to, and a node started with -shard-of rejects a
+// mismatch with 409 — catching mis-ordered shard URL lists before they
+// corrupt partitions.
+const ExpectShardHeader = "X-Tss-Expect-Shard"
+
+// checkShardIdentity enforces ExpectShardHeader when both sides declare
+// an identity. Requests without the header (plain clients) always pass.
+func (s *Server) checkShardIdentity(r *http.Request) error {
+	want := r.Header.Get(ExpectShardHeader)
+	if want == "" || s.shard == nil {
+		return nil
+	}
+	if got := fmt.Sprintf("%d/%d", s.shard.Index, s.shard.Count); got != want {
+		return fmt.Errorf("shard identity mismatch: this node is %s, coordinator expected %s", got, want)
+	}
+	return nil
 }
 
 // ErrTableExists is returned by CreateTable when the name is taken.
@@ -308,8 +338,10 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"dropped": r.PathValue("name")})
 	})
 	mux.HandleFunc("GET /tables/{name}/skyline", s.withTable(s.handleSkyline))
+	mux.HandleFunc("GET /tables/{name}/stats", s.withTable(s.handleTableStats))
 	mux.HandleFunc("POST /tables/{name}/rows:batch", s.withTable(s.handleBatch))
 	mux.HandleFunc("POST /tables/{name}/query", s.withTable(s.handleQuery))
+	mux.HandleFunc("POST /tables/{name}/domcount", s.withTable(s.handleDomCount))
 	return mux
 }
 
@@ -330,6 +362,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var spec TableSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad table spec: %w", err))
+		return
+	}
+	// Partitioning is the coordinator's concern; a single node serving
+	// it unpartitioned would silently defeat the request's intent.
+	if spec.Partition != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("partition spec is only valid against a cluster coordinator"))
+		return
+	}
+	if err := s.checkShardIdentity(r); err != nil {
+		writeError(w, http.StatusConflict, err)
 		return
 	}
 	info, err := s.CreateTable(spec)
@@ -400,6 +443,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *tableEnt
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch: %w", err))
 		return
 	}
+	if len(req.RemoveSharded) > 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("removeSharded is only valid against a cluster coordinator (row indexes here are plain `remove`)"))
+		return
+	}
+	if err := s.checkShardIdentity(r); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	resp, err := s.applyBatch(e, req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -420,20 +472,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEnt
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
 		return
 	}
-	if req.planMode() {
+	if req.PlanMode() {
 		s.handlePlanQuery(w, r, e, req)
 		return
 	}
 	// A request that mixes both modes would otherwise silently drop its
 	// planner fields — refuse instead.
-	if req.hasPlanFields() {
+	if req.HasPlanFields() {
 		writeError(w, http.StatusBadRequest, fmt.Errorf(
 			"subspace/where/topK/rank/algo/parallel/explain cannot combine with orders/baseline (dynamic queries run dTSS as-is)"))
 		return
 	}
-	// The dynamic path runs to completion once started (dTSS does not
-	// take a context); at least refuse work whose budget already
-	// expired while the request was queued or being read.
+	// Refuse work whose budget already expired while the request was
+	// queued or being read; dTSS and fully-dynamic runs additionally
+	// check the context cooperatively mid-run (the baseline rebuilds
+	// everything per query and still runs to completion once started).
 	if err := r.Context().Err(); err != nil {
 		writeError(w, statusFor(err), fmt.Errorf("query canceled before start: %w", err))
 		return
@@ -452,12 +505,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEnt
 	case req.Baseline:
 		res, err = snap.dyn.QueryBaseline(orders...)
 	case req.Ideal != nil:
-		res, err = snap.dyn.QueryAt(req.Ideal, orders...)
+		res, err = snap.dyn.QueryAtContext(r.Context(), req.Ideal, orders...)
 	default:
-		res, err = snap.dyn.Query(orders...)
+		res, err = snap.dyn.QueryContext(r.Context(), orders...)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	s.countQuery(e)
@@ -516,6 +569,50 @@ func (s *Server) handlePlanQuery(w http.ResponseWriter, r *http.Request, e *tabl
 		resp.Plan = explain
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTableStats answers GET /tables/{name}/stats: the planner's
+// statistics for the serving snapshot plus the learned feedback state.
+// Computing the stats is lazy-cached on the snapshot's table, so
+// polling this endpoint is cheap; the cluster coordinator reads it per
+// query to plan once over merged statistics and to prune shards.
+func (s *Server) handleTableStats(w http.ResponseWriter, r *http.Request, e *tableEntry) {
+	snap := e.current()
+	writeJSON(w, http.StatusOK, TableStatsInfo{
+		Table:   e.name,
+		Version: snap.version,
+		Rows:    snap.table.Len(),
+		Stats:   snap.table.Stats(),
+		Learned: snap.table.Learned().Export(),
+	})
+}
+
+// handleDomCount answers POST /tables/{name}/domcount: per candidate
+// row (value-addressed), the number of rows of the Where-filtered table
+// it dominates on the Subspace dimensions. This is the shard-side half
+// of distributed top-k by dominance count.
+func (s *Server) handleDomCount(w http.ResponseWriter, r *http.Request, e *tableEntry) {
+	var req DomCountRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad domcount request: %w", err))
+		return
+	}
+	q, err := e.planQuery(QueryRequest{Subspace: req.Subspace, Where: req.Where})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := e.current()
+	rows := make([]tss.TableRow, len(req.Rows))
+	for i, rw := range req.Rows {
+		rows[i] = tss.TableRow{TO: rw.TO, PO: rw.PO}
+	}
+	counts, err := snap.table.DomCounts(r.Context(), q, rows)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DomCountResponse{Table: e.name, Version: snap.version, Counts: counts})
 }
 
 func (s *Server) countQuery(e *tableEntry) {

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestTableStatsEndpoint covers GET /tables/{t}/stats: derivable
+// statistics for the serving snapshot, learned state after feedback,
+// and version tracking across a mutation.
+func TestTableStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var info TableStatsInfo
+	if status := doJSON(t, http.MethodGet, ts.URL+"/tables/flights/stats", nil, &info); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if info.Table != "flights" || info.Version != 0 || info.Rows != 10 {
+		t.Fatalf("header wrong: %+v", info)
+	}
+	st := info.Stats
+	if st == nil || st.Rows != 10 || len(st.TO) != 2 || len(st.PO) != 1 {
+		t.Fatalf("stats shape wrong: %+v", st)
+	}
+	// flights prices span 500..2000, stops 0..2.
+	if st.TO[0].Min != 500 || st.TO[0].Max != 2000 || st.TO[1].Min != 0 || st.TO[1].Max != 2 {
+		t.Fatalf("bounds wrong: %+v", st.TO)
+	}
+	if st.PO[0].DomainSize != 4 {
+		t.Fatalf("PO domain size %d, want 4", st.PO[0].DomainSize)
+	}
+	if info.Learned.SkyFracN != 0 {
+		t.Fatalf("fresh table reports learned observations: %+v", info.Learned)
+	}
+
+	// A planned full query feeds the learned state; the endpoint
+	// reflects it, keyed under the full variant.
+	if status := doJSON(t, http.MethodPost, ts.URL+"/tables/flights/query",
+		map[string]any{"explain": true}, nil); status != http.StatusOK {
+		t.Fatalf("warm-up query status %d", status)
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/tables/flights/stats", nil, &info); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if info.Learned.SkyFracN == 0 || info.Learned.SkyFrac <= 0 {
+		t.Fatalf("learned state not reflected: %+v", info.Learned)
+	}
+	if len(info.Learned.Variants) != 1 || info.Learned.Variants[0].Key != plan.FullVariant {
+		t.Fatalf("variant list wrong: %+v", info.Learned.Variants)
+	}
+
+	// A batch advances the version and the row count.
+	if status := doJSON(t, http.MethodPost, ts.URL+"/tables/flights/rows:batch",
+		BatchRequest{Add: []RowSpec{{TO: []int64{100, 0}, PO: []string{"d"}}}}, nil); status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/tables/flights/stats", nil, &info); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if info.Version != 1 || info.Rows != 11 || info.Stats.Rows != 11 || info.Stats.TO[0].Min != 100 {
+		t.Fatalf("post-batch stats stale: %+v / %+v", info, info.Stats)
+	}
+}
+
+// TestDomCountEndpoint covers POST /tables/{t}/domcount: value-
+// addressed candidates scored against the (optionally filtered,
+// projected) table.
+func TestDomCountEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Row (500,2,"d") dominates nothing PO-wise except worse-or-equal
+	// airlines with worse TO; count it exactly: candidates are the
+	// paper's p9 (500,2,d) and an ideal row dominating everything.
+	req := DomCountRequest{Rows: []RowSpec{
+		{TO: []int64{500, 2}, PO: []string{"d"}},
+		{TO: []int64{0, 0}, PO: []string{"a"}},
+	}}
+	var resp DomCountResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/tables/flights/domcount", req, &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(resp.Counts) != 2 {
+		t.Fatalf("got %d counts", len(resp.Counts))
+	}
+	// The synthetic ideal row (0,0,"a") dominates all 10 rows.
+	if resp.Counts[1] != 10 {
+		t.Fatalf("ideal candidate count %d, want 10", resp.Counts[1])
+	}
+	// A where-filter shrinks R: only rows with price <= 1000 count.
+	le := int64(1000)
+	req.Where = []WhereSpec{{Col: "price", Le: &le}}
+	if status := doJSON(t, http.MethodPost, ts.URL+"/tables/flights/domcount", req, &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Counts[1] != 3 {
+		t.Fatalf("filtered ideal candidate count %d, want 3 (rows priced <= 1000)", resp.Counts[1])
+	}
+	// Unknown labels and columns are 400s.
+	bad := DomCountRequest{Rows: []RowSpec{{TO: []int64{1, 1}, PO: []string{"z"}}}}
+	if status := doJSON(t, http.MethodPost, ts.URL+"/tables/flights/domcount", bad, nil); status != http.StatusBadRequest {
+		t.Fatalf("bad label status %d", status)
+	}
+}
+
+// TestSingleNodeRejectsClusterFields pins the single-node guardrails:
+// partition specs and sharded removals belong to a coordinator.
+func TestSingleNodeRejectsClusterFields(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := flightsSpec("partitioned")
+	spec.Partition = &PartitionSpec{By: "hash"}
+	if status := doJSON(t, http.MethodPost, ts.URL+"/tables", spec, nil); status != http.StatusBadRequest {
+		t.Fatalf("partitioned create status %d, want 400", status)
+	}
+	req := BatchRequest{RemoveSharded: []ShardRef{{Shard: 0, Row: 1}}}
+	if status := doJSON(t, http.MethodPost, ts.URL+"/tables/flights/rows:batch", req, nil); status != http.StatusBadRequest {
+		t.Fatalf("removeSharded status %d, want 400", status)
+	}
+}

@@ -17,7 +17,6 @@ package serve
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -38,11 +37,9 @@ type snapshot struct {
 // tableEntry is a catalog slot: the current snapshot behind an atomic
 // pointer (readers), a mutation lock (writers), and traffic counters.
 type tableEntry struct {
-	name       string
-	toCols     []string
-	orderSpecs []OrderSpec
-	orders     []*tss.Order     // compiled base orders, shared by all snapshots
-	poIndex    []map[string]int // per order: value label -> id (storage encoding)
+	name   string
+	schema *Schema      // column names, label indexes, query translation
+	orders []*tss.Order // compiled base orders, shared by all snapshots
 
 	// specCacheCap preserves the table spec's cache sizing (0 = server
 	// default) for persistence across restarts.
@@ -98,40 +95,21 @@ func newTableEntry(spec TableSpec, cacheCap int, version int64) (*tableEntry, er
 	if err != nil {
 		return nil, err
 	}
+	// Schema construction also enforces the shared column namespace
+	// (TO names, order names, "po<d>" fallbacks): a collision would make
+	// one column silently unaddressable at query time.
+	schema, err := NewSchema(spec.TOColumns, spec.Orders)
+	if err != nil {
+		return nil, err
+	}
 	e := &tableEntry{
 		name:         spec.Name,
-		toCols:       append([]string(nil), spec.TOColumns...),
-		orderSpecs:   append([]OrderSpec(nil), spec.Orders...),
+		schema:       schema,
 		orders:       orders,
 		specCacheCap: spec.CacheCapacity,
 	}
 	if spec.CacheCapacity > 0 {
 		cacheCap = spec.CacheCapacity
-	}
-	for _, spec := range e.orderSpecs {
-		idx := make(map[string]int, len(spec.Values))
-		for i, v := range spec.Values {
-			idx[v] = i
-		}
-		e.poIndex = append(e.poIndex, idx)
-	}
-	// Planner-mode queries address columns by name across one shared
-	// namespace (TO names, order names, "po<d>" fallbacks); a collision
-	// would make one column silently unaddressable, so refuse it here
-	// rather than at query time.
-	seen := make(map[string]bool, len(e.toCols)+len(e.orderSpecs))
-	for _, c := range e.toCols {
-		if seen[c] {
-			return nil, fmt.Errorf("duplicate column name %q", c)
-		}
-		seen[c] = true
-	}
-	for d := range e.orderSpecs {
-		name := e.poColName(d)
-		if seen[name] {
-			return nil, fmt.Errorf("column name %q is used by more than one column", name)
-		}
-		seen[name] = true
 	}
 	table, err := e.freshTable()
 	if err != nil {
@@ -154,7 +132,7 @@ func (e *tableEntry) freshTable() (t *tss.Table, err error) {
 			t, err = nil, fmt.Errorf("%v", r)
 		}
 	}()
-	return tss.NewTable(e.toCols, e.orders...), nil
+	return tss.NewTable(e.schema.toCols, e.orders...), nil
 }
 
 // publish seals table, prepares its dynamic database, attaches a fresh
@@ -231,8 +209,8 @@ func (e *tableEntry) info() TableInfo {
 		Version:   s.version,
 		Rows:      s.table.Len(),
 		Groups:    s.dyn.Groups(),
-		TOColumns: append([]string(nil), e.toCols...),
-		Orders:    append([]OrderSpec(nil), e.orderSpecs...),
+		TOColumns: e.schema.TOColumns(),
+		Orders:    e.schema.Orders(),
 		Stats: TableStats{
 			Queries:     e.queries.Load(),
 			Mutations:   e.mutations.Load(),
@@ -245,115 +223,21 @@ func (e *tableEntry) info() TableInfo {
 // queryOrders builds per-request preference Orders over the table's
 // value labels, converting label/cycle panics into errors.
 func (e *tableEntry) queryOrders(reqOrders []QueryOrder) ([]*tss.Order, error) {
-	if len(reqOrders) != len(e.orderSpecs) {
+	if len(reqOrders) != len(e.schema.orderSpecs) {
 		return nil, fmt.Errorf("query has %d orders, table has %d PO columns",
-			len(reqOrders), len(e.orderSpecs))
+			len(reqOrders), len(e.schema.orderSpecs))
 	}
 	specs := make([]OrderSpec, len(reqOrders))
 	for d, q := range reqOrders {
-		specs[d] = OrderSpec{Values: e.orderSpecs[d].Values, Edges: q.Edges}
+		specs[d] = OrderSpec{Values: e.schema.orderSpecs[d].Values, Edges: q.Edges}
 	}
 	return buildOrders(specs)
 }
 
-// poColName returns the display/lookup name of PO column d: the
-// OrderSpec's name, or the positional fallback "po<d>".
-func (e *tableEntry) poColName(d int) string {
-	if n := e.orderSpecs[d].Name; n != "" {
-		return n
-	}
-	return fmt.Sprintf("po%d", d)
-}
-
-// lookupCol resolves a column name: TO columns by their declared name,
-// PO columns by their OrderSpec name or "po<d>" fallback.
-func (e *tableEntry) lookupCol(name string) (dim int, isTO bool, err error) {
-	for d, c := range e.toCols {
-		if c == name {
-			return d, true, nil
-		}
-	}
-	for d := range e.orderSpecs {
-		if e.poColName(d) == name {
-			return d, false, nil
-		}
-	}
-	return 0, false, fmt.Errorf("unknown column %q", name)
-}
-
-// planQuery translates a planner-mode request into the plan package's
-// logical query, resolving column names and PO value labels. The wire
-// parallelism contract matches the CLI flag: > 0 forces that many
-// shards, < 0 forces one shard per *server* CPU, 0 lets the planner
-// decide — so `tssquery -parallel -1` means the same thing locally and
-// against a server.
+// planQuery translates a planner-mode request through the schema (see
+// Schema.PlanQuery).
 func (e *tableEntry) planQuery(req QueryRequest) (plan.Query, error) {
-	par := req.Parallel
-	if par < 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	q := plan.Query{
-		TopK:  req.TopK,
-		Rank:  plan.Rank(req.Rank),
-		Ideal: req.Ideal,
-		Hints: plan.Hints{Algorithm: req.Algo, Parallelism: par},
-	}
-	if len(req.Subspace) > 0 {
-		s := &plan.Subspace{}
-		for _, name := range req.Subspace {
-			dim, isTO, err := e.lookupCol(name)
-			if err != nil {
-				return plan.Query{}, fmt.Errorf("subspace: %w", err)
-			}
-			if isTO {
-				s.TO = append(s.TO, dim)
-			} else {
-				s.PO = append(s.PO, dim)
-			}
-		}
-		s.TO = plan.NormalizeDims(s.TO)
-		s.PO = plan.NormalizeDims(s.PO)
-		q.Subspace = s
-	}
-	for i, w := range req.Where {
-		dim, isTO, err := e.lookupCol(w.Col)
-		if err != nil {
-			return plan.Query{}, fmt.Errorf("where[%d]: %w", i, err)
-		}
-		switch {
-		case len(w.In) > 0:
-			if isTO {
-				return plan.Query{}, fmt.Errorf("where[%d]: `in` needs a PO column, %q is totally ordered", i, w.Col)
-			}
-			if w.Le != nil || w.Ge != nil {
-				return plan.Query{}, fmt.Errorf("where[%d]: `in` cannot combine with le/ge", i)
-			}
-			pr := plan.Predicate{Kind: plan.POIn, Dim: dim}
-			for _, label := range w.In {
-				id, ok := e.poIndex[dim][label]
-				if !ok {
-					return plan.Query{}, fmt.Errorf("where[%d]: unknown value %q for column %q", i, label, w.Col)
-				}
-				pr.In = append(pr.In, int32(id))
-			}
-			q.Where = append(q.Where, pr)
-		case w.Le != nil || w.Ge != nil:
-			if !isTO {
-				return plan.Query{}, fmt.Errorf("where[%d]: le/ge need a TO column, %q is partially ordered", i, w.Col)
-			}
-			pr := plan.Predicate{Kind: plan.TORange, Dim: dim}
-			if w.Ge != nil {
-				pr.HasLo, pr.Lo = true, *w.Ge
-			}
-			if w.Le != nil {
-				pr.HasHi, pr.Hi = true, *w.Le
-			}
-			q.Where = append(q.Where, pr)
-		default:
-			return plan.Query{}, fmt.Errorf("where[%d]: no le/ge/in on column %q", i, w.Col)
-		}
-	}
-	return q, nil
+	return e.schema.PlanQuery(req)
 }
 
 // skylineRows renders result row indexes with their values from the

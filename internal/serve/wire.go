@@ -33,9 +33,33 @@ type TableSpec struct {
 	// CacheCapacity sizes the table's dynamic-query result cache
 	// (0 = the server default).
 	CacheCapacity int `json:"cacheCapacity,omitempty"`
+	// Partition selects how a cluster coordinator spreads rows over its
+	// shards. Only meaningful against a coordinator; a single-node
+	// server rejects it rather than silently serving an unpartitioned
+	// table.
+	Partition *PartitionSpec `json:"partition,omitempty"`
+}
+
+// PartitionSpec configures a cluster table's row placement.
+type PartitionSpec struct {
+	// By is "hash" (default: FNV over the row's values, uniform) or
+	// "range" (contiguous slices of one TO column — the sorted
+	// partitioning that makes statistics-driven shard pruning bite).
+	By string `json:"by,omitempty"`
+	// Column names the TO column range partitioning splits on (default:
+	// the first TO column).
+	Column string `json:"column,omitempty"`
+	// Bounds are the N-1 ascending split points of an N-shard range
+	// partition: shard i serves values < Bounds[i], the last shard the
+	// rest. Empty bounds are derived from the create's rows by equal
+	// frequency.
+	Bounds []int64 `json:"bounds,omitempty"`
 }
 
 // TableInfo describes a table (GET /tables/{name}, /tables, /statsz).
+// Coordinator responses aggregate over shards: Version is the sum of
+// the shard versions (monotonic under mutations) and Versions carries
+// the per-shard version vector.
 type TableInfo struct {
 	Name      string      `json:"name"`
 	Version   int64       `json:"version"`
@@ -44,6 +68,7 @@ type TableInfo struct {
 	TOColumns []string    `json:"toColumns"`
 	Orders    []OrderSpec `json:"orders,omitempty"`
 	Stats     TableStats  `json:"stats"`
+	Versions  []int64     `json:"versions,omitempty"`
 }
 
 // TableStats carries a table's served-traffic counters. Cache counters
@@ -66,15 +91,30 @@ type TableStats struct {
 type BatchRequest struct {
 	Add    []RowSpec `json:"add,omitempty"`
 	Remove []int     `json:"remove,omitempty"`
+	// RemoveSharded addresses rows of a *cluster* table: row indexes are
+	// shard-scoped, so cluster removals name the shard too (both halves
+	// taken from a coordinator query response). Single-node servers
+	// reject it.
+	RemoveSharded []ShardRef `json:"removeSharded,omitempty"`
 }
 
-// BatchResponse reports the snapshot the batch produced.
+// ShardRef addresses one row of one shard of a cluster table, as
+// returned (shard, row) in coordinator query responses.
+type ShardRef struct {
+	Shard int `json:"shard"`
+	Row   int `json:"row"`
+}
+
+// BatchResponse reports the snapshot the batch produced. Coordinator
+// responses carry the per-shard version vector in Versions (every
+// shard is listed, mutated or not) and sum it into Version.
 type BatchResponse struct {
-	Table   string `json:"table"`
-	Version int64  `json:"version"`
-	Rows    int    `json:"rows"`
-	Added   int    `json:"added"`
-	Removed int    `json:"removed"`
+	Table    string  `json:"table"`
+	Version  int64   `json:"version"`
+	Rows     int     `json:"rows"`
+	Added    int     `json:"added"`
+	Removed  int     `json:"removed"`
+	Versions []int64 `json:"versions,omitempty"`
 }
 
 // QueryOrder is a per-request preference DAG over one PO column's value
@@ -129,27 +169,29 @@ type QueryRequest struct {
 	Explain  bool `json:"explain,omitempty"`
 }
 
-// hasPlanFields reports whether any planner-mode field is set.
-func (r *QueryRequest) hasPlanFields() bool {
+// HasPlanFields reports whether any planner-mode field is set.
+func (r *QueryRequest) HasPlanFields() bool {
 	return len(r.Subspace) > 0 || len(r.Where) > 0 || r.TopK > 0 || r.Rank != "" ||
 		r.Algo != "" || r.Parallel != 0 || r.Explain
 }
 
-// planMode reports whether the request takes the planner path: no
+// PlanMode reports whether the request takes the planner path: no
 // per-request preference DAGs, and at least one planner-mode field (a
 // bare `{}` keeps its historical dTSS meaning). Mixing orders with
 // planner fields is rejected by the handler rather than silently
 // ignoring either half.
-func (r *QueryRequest) planMode() bool {
-	return len(r.Orders) == 0 && !r.Baseline && r.hasPlanFields()
+func (r *QueryRequest) PlanMode() bool {
+	return len(r.Orders) == 0 && !r.Baseline && r.HasPlanFields()
 }
 
 // SkylineRow is one skyline member with its snapshot-scoped row index
-// and raw values.
+// and raw values. Coordinator responses set Shard: together with Row it
+// forms the ShardRef a cluster removal needs.
 type SkylineRow struct {
-	Row int      `json:"row"`
-	TO  []int64  `json:"to"`
-	PO  []string `json:"po,omitempty"`
+	Row   int      `json:"row"`
+	TO    []int64  `json:"to"`
+	PO    []string `json:"po,omitempty"`
+	Shard *int     `json:"shard,omitempty"`
 }
 
 // QueryResponse answers skyline and query requests. Version identifies
@@ -166,6 +208,19 @@ type QueryResponse struct {
 	// Plan is the optimizer's explain output (planner-mode requests
 	// with "explain": true).
 	Plan *plan.Explain `json:"plan,omitempty"`
+	// Cluster carries scatter/gather metadata on coordinator responses.
+	Cluster *ClusterMeta `json:"cluster,omitempty"`
+}
+
+// ClusterMeta describes how a coordinator answered a query: the shard
+// fan-out, the per-shard snapshot version vector (index = shard;
+// pruned shards report the version their statistics were read at), and
+// which shards were skipped because their best possible row (the
+// statistics min-corner) was already dominated by a gathered candidate.
+type ClusterMeta struct {
+	Shards   int     `json:"shards"`
+	Versions []int64 `json:"versions"`
+	Pruned   []int   `json:"pruned,omitempty"`
 }
 
 // StatsResponse is the /statsz body.
@@ -180,6 +235,51 @@ type StatsResponse struct {
 	// CheckpointErrors counts failed best-effort checkpoints (the WAL
 	// still holds the batches; only log compaction was deferred).
 	CheckpointErrors int64 `json:"checkpointErrors,omitempty"`
+	// Shard reports the node's cluster identity when started with
+	// -shard-of (observability; also enforced against the coordinator's
+	// routing header).
+	Shard *ShardIdentity `json:"shard,omitempty"`
+}
+
+// ShardIdentity is a node's position in a cluster: shard Index out of
+// Count.
+type ShardIdentity struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// TableStatsInfo is the GET /tables/{t}/stats body: the planner's
+// derivable statistics for the serving snapshot plus the learned
+// feedback state. The cluster coordinator reads it from every shard to
+// plan queries once (merged stats) and to prune shards whose
+// statistics min-corner is dominated. Coordinator responses carry the
+// merged view with the per-shard bodies in PerShard.
+type TableStatsInfo struct {
+	Table    string            `json:"table"`
+	Version  int64             `json:"version"`
+	Rows     int               `json:"rows"`
+	Stats    *plan.Stats       `json:"stats"`
+	Learned  plan.LearnedState `json:"learned"`
+	PerShard []TableStatsInfo  `json:"perShard,omitempty"`
+}
+
+// DomCountRequest (POST /tables/{t}/domcount) asks for the number of
+// rows of R — the table filtered by Where — each candidate row
+// dominates on the Subspace dimensions. Candidates are value-addressed
+// (not row-addressed): the cluster coordinator scores merged skyline
+// rows whose ids are shard-scoped, and every shard contributes its
+// partial count toward the global dominance-count rank.
+type DomCountRequest struct {
+	Rows     []RowSpec   `json:"rows"`
+	Subspace []string    `json:"subspace,omitempty"`
+	Where    []WhereSpec `json:"where,omitempty"`
+}
+
+// DomCountResponse carries one count per candidate, in request order.
+type DomCountResponse struct {
+	Table   string  `json:"table"`
+	Version int64   `json:"version"`
+	Counts  []int64 `json:"counts"`
 }
 
 // errorResponse is every non-2xx body.

@@ -597,6 +597,46 @@ func (t *Table) QueryContext(ctx context.Context, q plan.Query) (*SkylineResult,
 	return wrapResult(res), &p.Explain, nil
 }
 
+// DomCounts counts, per candidate row, how many rows of R — the table
+// filtered by q.Where — the candidate dominates on q.Subspace's kept
+// dimensions. Candidates are value-addressed TableRows rather than row
+// indexes: this is the shard-side scoring half of distributed top-k by
+// dominance count, where the coordinator's merged skyline rows carry no
+// usable ids for any one shard. q's TopK/Rank fields are ignored.
+func (t *Table) DomCounts(ctx context.Context, q plan.Query, rows []TableRow) ([]int64, error) {
+	cands := make([]core.Point, len(rows))
+	for i, r := range rows {
+		if len(r.TO) != len(t.toNames) {
+			return nil, fmt.Errorf("tss: candidate %d has %d TO values, table has %d columns",
+				i, len(r.TO), len(t.toNames))
+		}
+		if len(r.PO) != len(t.orders) {
+			return nil, fmt.Errorf("tss: candidate %d has %d PO values, table has %d columns",
+				i, len(r.PO), len(t.orders))
+		}
+		p := core.Point{ID: -1, TO: make([]int32, len(r.TO))}
+		for d, v := range r.TO {
+			if v < 0 || v > 1<<30 {
+				return nil, fmt.Errorf("tss: candidate %d TO value %d out of supported range [0, 2^30]", i, v)
+			}
+			p.TO[d] = int32(v)
+		}
+		if len(r.PO) > 0 {
+			p.PO = make([]int32, len(r.PO))
+			for d, label := range r.PO {
+				vi, ok := t.orders[d].index[label]
+				if !ok {
+					return nil, fmt.Errorf("tss: candidate %d: unknown value %q for PO column %d", i, label, d)
+				}
+				p.PO[d] = int32(vi)
+			}
+		}
+		cands[i] = p
+	}
+	q.TopK, q.Rank, q.Ideal = 0, plan.RankNone, nil
+	return plan.DomCounts(ctx, t.ds, q, cands)
+}
+
 // Stats returns the planner's statistics for the current rows,
 // computing them on first use (ApplyBatch maintains them incrementally
 // across batches). The returned value is immutable.
