@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+// streamK is the first-K target of the streaming experiment: the row
+// count a progressive client waits for before acting.
+const streamK = 10
+
+// StreamBenchRow is one measurement of the progressive-delivery
+// experiment: the same query answered buffered (one JSON body after the
+// full computation) and streamed (?stream=1, NDJSON), with the streamed
+// run decomposed into time-to-first-row, time-to-K and time-to-full.
+type StreamBenchRow struct {
+	Setting  string  // single | 2-shard hash | 2-shard range …
+	Workload string  // full | topk
+	Rows     int     // table rows
+	Skyline  int     // certified rows of the last streamed run
+	BufMs    float64 // buffered end-to-end latency (best of reps)
+	TTFRMs   float64 // streamed: first row on the wire
+	TTKMs    float64 // streamed: K-th row on the wire
+	TTFullMs float64 // streamed: trailer received
+}
+
+// figureStream measures what streaming buys: a progressive client sees
+// its first certified row (and its K-th) long before the buffered
+// response would even start, and a streamed unranked top-k terminates
+// the query — including a cluster scatter — as soon as K rows certify
+// instead of over-fetching every shard's full local skyline.
+func figureStream(scale float64) []StreamBenchRow {
+	cfg := exp.StaticDefaults(scale)
+	const reps = 3
+	var rows []StreamBenchRow
+
+	ds := exp.BuildDataset(cfg)
+	spec := serve.SpecFromDataset("bench", ds)
+	srv := httptest.NewServer(serve.New(8).Handler())
+	postJSON(srv.URL+"/tables", spec, nil)
+	rows = append(rows, runStreamCell("single", srv.URL, spec, reps)...)
+	srv.Close()
+
+	rows = append(rows, runStreamClusterCell("2-shard hash", 2, spec, reps)...)
+
+	// Range-partitioned correlated data: the incremental merge certifies
+	// the low shard's rows while the high shard is still streaming, so
+	// first-K latency tracks the best shard, not the gather barrier.
+	corrCfg := cfg
+	corrCfg.Dist = data.Correlated
+	corrCfg.Seed = 7
+	corrSpec := serve.SpecFromDataset("bench", exp.BuildDataset(corrCfg))
+	corrSpec.Partition = &serve.PartitionSpec{By: "range", Column: "to_0"}
+	rows = append(rows, runStreamClusterCell("2-shard range corr", 2, corrSpec, reps)...)
+	return rows
+}
+
+// runStreamClusterCell boots an in-process cluster and runs the cell
+// against the coordinator.
+func runStreamClusterCell(setting string, shards int, spec serve.TableSpec, reps int) []StreamBenchRow {
+	servers := make([]*httptest.Server, shards)
+	urls := make([]string, shards)
+	for i := range servers {
+		servers[i] = httptest.NewServer(serve.NewWithConfig(serve.Config{
+			Shard: &serve.ShardIdentity{Index: i, Count: shards},
+		}).Handler())
+		urls[i] = servers[i].URL
+	}
+	co, err := cluster.New(cluster.Config{Shards: urls})
+	if err != nil {
+		panic(err)
+	}
+	front := httptest.NewServer(co.Handler(serve.New(8).Handler()))
+	defer func() {
+		front.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	postJSON(front.URL+"/tables", spec, nil)
+	return runStreamCell(setting, front.URL, spec, reps)
+}
+
+// runStreamCell measures the full-skyline and unranked top-K workloads,
+// buffered and streamed, best-of-reps per metric.
+func runStreamCell(setting, base string, spec serve.TableSpec, reps int) []StreamBenchRow {
+	skylineURL := base + "/tables/" + spec.Name + "/skyline"
+	queryURL := base + "/tables/" + spec.Name + "/query"
+	topkReq := serve.QueryRequest{TopK: streamK}
+
+	cell := func(workload string, buffered func() int, streamed func() (time.Duration, time.Duration, time.Duration, int)) StreamBenchRow {
+		row := StreamBenchRow{Setting: setting, Workload: workload, Rows: len(spec.Rows)}
+		// Streamed reps first: an early-terminated or NoCache streamed run
+		// fills no memo, so every rep — and the buffered run after them —
+		// measures a cold query, the latency a fresh client sees.
+		var count int
+		for rep := 0; rep < reps; rep++ {
+			ttfr, ttk, ttfull, n := streamed()
+			row.TTFRMs = minMs(row.TTFRMs, ttfr)
+			row.TTKMs = minMs(row.TTKMs, ttk)
+			row.TTFullMs = minMs(row.TTFullMs, ttfull)
+			count = n
+		}
+		start := time.Now()
+		row.Skyline = buffered()
+		row.BufMs = minMs(row.BufMs, time.Since(start))
+		if workload == "full" {
+			row.Skyline = count
+		}
+		return row
+	}
+
+	// topk first: its buffered over-fetch then runs against cold shard
+	// caches, like a fresh client would see (the full workload's scatter
+	// would otherwise warm every shard's memo).
+	topk := cell("topk",
+		func() int {
+			var out serve.QueryResponse
+			postJSON(queryURL, topkReq, &out)
+			return out.Count
+		},
+		func() (time.Duration, time.Duration, time.Duration, int) {
+			return streamTimes(http.MethodPost, queryURL+"?stream=1", topkReq)
+		})
+	full := cell("full",
+		func() int {
+			var out serve.QueryResponse
+			getJSONBench(skylineURL, &out)
+			return out.Count
+		},
+		func() (time.Duration, time.Duration, time.Duration, int) {
+			return streamTimes(http.MethodGet, skylineURL+"?stream=1", nil)
+		})
+	return []StreamBenchRow{topk, full}
+}
+
+func minMs(cur float64, d time.Duration) float64 {
+	ms := d.Seconds() * 1000
+	if cur == 0 || ms < cur {
+		return ms
+	}
+	return cur
+}
+
+// streamTimes issues one streamed request and clocks the frames.
+func streamTimes(method, url string, body any) (ttfr, ttk, ttfull time.Duration, count int) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			panic(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	start := time.Now()
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		panic(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("%s %s: HTTP %d", method, url, resp.StatusCode))
+	}
+	dec := json.NewDecoder(resp.Body)
+	rows := 0
+	for {
+		var rec serve.StreamRecord
+		if err := dec.Decode(&rec); err != nil {
+			panic(err)
+		}
+		switch rec.Type {
+		case "row":
+			rows++
+			if rows == 1 {
+				ttfr = time.Since(start)
+			}
+			if rows == streamK {
+				ttk = time.Since(start)
+			}
+		case "error":
+			panic(rec.Error)
+		case "trailer":
+			ttfull = time.Since(start)
+			count = rec.Count
+			if ttfr == 0 {
+				ttfr = ttfull
+			}
+			if ttk == 0 {
+				ttk = ttfull
+			}
+			return
+		}
+	}
+}
+
+func getJSONBench(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		panic(fmt.Sprintf("GET %s: HTTP %d", url, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}
+
+// writeStreamRows renders the progressive-delivery experiment.
+func writeStreamRows(w io.Writer, rows []StreamBenchRow) {
+	fmt.Fprintln(w, "Stream — progressive delivery vs buffered (in-process HTTP, K=10)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "setting\tworkload\trows\tskyline\tbuffered(ms)\tttfr(ms)\tttK(ms)\tttfull(ms)\tttfr/buf")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.BufMs > 0 {
+			ratio = r.TTFRMs / r.BufMs
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.Setting, r.Workload, r.Rows, r.Skyline,
+			r.BufMs, r.TTFRMs, r.TTKMs, r.TTFullMs, ratio)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -28,6 +28,8 @@ type clientConfig struct {
 	parallel          int
 	queryDAGs, ideal  string
 	limit             int
+	stream            bool // ?stream=1: print rows as the server certifies them
+	first             int  // stop after K streamed rows (plan mode: server-side top-k)
 	plan              planFlags
 }
 
@@ -114,8 +116,13 @@ func (c *client) staticQuery(cfg clientConfig) error {
 	if cfg.limit > 0 {
 		q.Set("limit", strconv.Itoa(cfg.limit))
 	}
+	path := "/tables/" + url.PathEscape(cfg.table) + "/skyline?"
+	if cfg.stream {
+		q.Set("stream", "1")
+		return c.runStream(http.MethodGet, path+q.Encode(), nil, cfg.first)
+	}
 	var out serve.QueryResponse
-	if err := c.getJSON("/tables/"+url.PathEscape(cfg.table)+"/skyline?"+q.Encode(), &out); err != nil {
+	if err := c.getJSON(path+q.Encode(), &out); err != nil {
 		return err
 	}
 	printResponse(&out, cfg.limit)
@@ -148,6 +155,9 @@ func (c *client) dynamicQuery(cfg clientConfig) error {
 	}
 	if cfg.limit > 0 {
 		req.Limit = cfg.limit
+	}
+	if cfg.stream {
+		return c.runStream(http.MethodPost, "/tables/"+url.PathEscape(cfg.table)+"/query?stream=1", req, cfg.first)
 	}
 	var out serve.QueryResponse
 	if err := c.postJSON("/tables/"+url.PathEscape(cfg.table)+"/query", req, &out); err != nil {
@@ -182,6 +192,15 @@ func (c *client) planQuery(cfg clientConfig) error {
 	}
 	if cfg.limit > 0 {
 		req.Limit = cfg.limit
+	}
+	if cfg.stream {
+		// -first becomes a server-side unranked top-k: the query itself
+		// stops (and a coordinator cancels its remaining shard legs) after
+		// K certified rows, instead of the client discarding over-fetch.
+		if cfg.first > 0 && req.TopK == 0 {
+			req.TopK = cfg.first
+		}
+		return c.runStream(http.MethodPost, "/tables/"+url.PathEscape(cfg.table)+"/query?stream=1", req, cfg.first)
 	}
 	var out serve.QueryResponse
 	if err := c.postJSON("/tables/"+url.PathEscape(cfg.table)+"/query", req, &out); err != nil {
@@ -231,6 +250,101 @@ func printResponse(out *serve.QueryResponse, limit int) {
 	}
 	if n < out.Count {
 		fmt.Printf("  ... %d more\n", out.Count-n)
+	}
+}
+
+// runStream issues a ?stream=1 request and prints each NDJSON record as
+// it arrives: rows the moment the server certifies them, then the
+// trailer summary. With first > 0 the client stops reading — and closes
+// the connection, cancelling the server-side query — once K rows have
+// been printed.
+func (c *client) runStream(method, path string, body any, first int) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("reach server: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeResponse(resp, nil)
+	}
+	dec := json.NewDecoder(resp.Body)
+	printed := 0
+	for {
+		var rec serve.StreamRecord
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		switch rec.Type {
+		case "header":
+			fmt.Printf("streaming %q", rec.Table)
+			if rec.Rows > 0 || rec.Version > 0 {
+				fmt.Printf(": rows=%d version=%d", rec.Rows, rec.Version)
+			}
+			fmt.Println()
+		case "row":
+			if rec.Row == nil {
+				continue
+			}
+			if rec.Row.Shard != nil {
+				fmt.Printf("  [%d] +%.1fms shard %d row %d: TO=%v PO=%v\n",
+					rec.Emission, rec.Elapsed*1e3, *rec.Row.Shard, rec.Row.Row, rec.Row.TO, rec.Row.PO)
+			} else {
+				fmt.Printf("  [%d] +%.1fms row %d: TO=%v PO=%v\n",
+					rec.Emission, rec.Elapsed*1e3, rec.Row.Row, rec.Row.TO, rec.Row.PO)
+			}
+			printed++
+			if first > 0 && printed >= first {
+				fmt.Printf("first %d rows received; closing stream\n", first)
+				return nil
+			}
+		case "heartbeat":
+			// idle keepalive — nothing to print
+		case "error":
+			return fmt.Errorf("server: %s", rec.Error)
+		case "trailer":
+			fmt.Printf("skyline=%d version=%d", rec.Count, rec.Version)
+			if rec.CacheHit {
+				fmt.Printf(" (cache hit)")
+			}
+			if cl := rec.Cluster; cl != nil {
+				fmt.Printf(" [cluster: %d shards, versions=%v", cl.Shards, cl.Versions)
+				if len(cl.Pruned) > 0 {
+					fmt.Printf(", pruned=%v", cl.Pruned)
+				}
+				fmt.Printf("]")
+			}
+			fmt.Println()
+			if m := rec.Metrics; m != nil {
+				fmt.Printf("reads=%d writes=%d checks=%d cpu=%.6fs total=%.3fs (5ms/IO)\n",
+					m.ReadIOs, m.WriteIOs, m.DomChecks, m.CPUSeconds, m.TotalSeconds)
+			}
+			if rec.Plan != nil {
+				buf, err := json.MarshalIndent(rec.Plan, "", "  ")
+				if err != nil {
+					return err
+				}
+				fmt.Printf("plan: %s\n", buf)
+			}
+			if printed < rec.Count {
+				fmt.Printf("  ... %d more certified\n", rec.Count-printed)
+			}
+			return nil
+		}
 	}
 }
 

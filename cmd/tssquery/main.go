@@ -47,6 +47,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -69,6 +70,8 @@ func main() {
 	tableName := flag.String("table", "", "server or store table name (defaults to \"default\")")
 	storeDir := flag.String("store", "", "durable store directory: with -save persist the -data workload there, without -data load the table from it")
 	save := flag.Bool("save", false, "tables:save — persist the -data workload into -store and exit")
+	stream := flag.Bool("stream", false, "progressive delivery: print each row the moment it is certified (server mode: NDJSON over ?stream=1)")
+	first := flag.Int("first", 0, "stop after the first K streamed rows (implies -stream; unranked queries terminate server-side)")
 	var pf planFlags
 	flag.StringVar(&pf.subspace, "subspace", "", "planned query: comma-separated kept columns (to_<i>/po_<i> locally, schema names against a server)")
 	flag.StringVar(&pf.where, "where", "", "planned query: comma-separated predicates, e.g. \"to_0<=500,po_0 in 1|3\"")
@@ -85,6 +88,12 @@ func main() {
 	if pf.active() && *queryDAGs != "" {
 		fatalf("-subspace/-where/-topk/-rank/-explain plan over the workload's own orders; they cannot combine with -querydags")
 	}
+	if *first > 0 {
+		*stream = true
+	}
+	if *stream && *queryDAGs != "" && *serveURL == "" {
+		fatalf("-stream with -querydags needs -serve (dTSS answers group-at-a-time; the server replays its rows as a stream)")
+	}
 
 	if *serveURL != "" {
 		if err := runClient(clientConfig{
@@ -92,6 +101,7 @@ func main() {
 			dataPath: *dataPath, dagList: *dagList,
 			method: *method, methodSet: methodSet, parallel: *parallel,
 			queryDAGs: *queryDAGs, ideal: *ideal, limit: *limit,
+			stream: *stream, first: *first,
 			plan: pf,
 		}); err != nil {
 			fatalf("%v", err)
@@ -153,6 +163,17 @@ func main() {
 			}
 			fmt.Printf("loaded table %q: version %d, %d rows\n", table, snap.Version, len(ds.Pts))
 		}
+	}
+
+	if *stream {
+		forced := ""
+		if methodSet {
+			forced = *method
+		}
+		if err := runLocalStream(ds, pf, forced, *parallel, *ideal, *first, *limit); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	var res *core.Result
@@ -270,6 +291,73 @@ func runPlanned(ds *core.Dataset, pf planFlags, forcedMethod string, parallel in
 		fmt.Printf("plan: %s\n", buf)
 	}
 	return res, nil
+}
+
+// runLocalStream answers a static or planned query through the
+// streaming executor, printing each row the moment it is certified
+// (with its elapsed-to-certify). -first K becomes an unranked top-k —
+// the traversal stops after K certified rows — unless -topk is already
+// set, and -limit only truncates what is printed.
+func runLocalStream(ds *core.Dataset, pf planFlags, forcedMethod string, parallel int, idealCSV string, first, limit int) error {
+	hint := 0
+	switch {
+	case parallel > 0:
+		hint = parallel
+	case parallel < 0:
+		hint = runtime.GOMAXPROCS(0)
+	}
+	var q plan.Query
+	if pf.active() {
+		var ideal []int64
+		if idealCSV != "" {
+			if pf.rank != string(plan.RankIdeal) {
+				return errIdealNeedsRank
+			}
+			var err error
+			if ideal, err = parseIdealCSV(idealCSV); err != nil {
+				return err
+			}
+		}
+		var err error
+		if q, err = pf.localQuery(ds.NumTO(), ds.NumPO(), forcedMethod, hint, ideal); err != nil {
+			return err
+		}
+	} else {
+		q = plan.Query{Hints: plan.Hints{Algorithm: forcedMethod, Parallelism: hint, NoCache: true}}
+	}
+	if first > 0 && q.TopK == 0 {
+		q.TopK = first
+	}
+	env := plan.Env{Learned: plan.NewLearned()}
+	p, err := plan.New(ds, q, env)
+	if err != nil {
+		return err
+	}
+	res, err := p.RunStream(context.Background(), ds, env, func(row plan.StreamRow) error {
+		if limit > 0 && row.Index >= limit {
+			return nil
+		}
+		pt := &ds.Pts[row.ID]
+		fmt.Printf("  [%d] +%v row %d: TO=%v PO=%v\n",
+			row.Index, row.Elapsed.Round(time.Microsecond), row.ID, pt.TO, pt.PO)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	m := &res.Metrics
+	fmt.Printf("rows=%d skyline=%d\n", len(ds.Pts), len(res.SkylineIDs))
+	fmt.Printf("reads=%d writes=%d checks=%d cpu=%v total=%v (5ms/IO)\n",
+		m.ReadIOs, m.WriteIOs, m.DomChecks, m.CPU.Round(1000),
+		m.TotalTime(core.DefaultIOCost).Round(1000))
+	if pf.explain {
+		buf, err := json.MarshalIndent(&p.Explain, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %s\n", buf)
+	}
+	return nil
 }
 
 // runDynamic answers a dynamic (or fully dynamic, when idealCSV is set)

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -191,4 +195,191 @@ func valueKeys(rows []serve.SkylineRow) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// TestClusterIntegrationSlowShard is the progressive-delivery half of
+// the cluster job: a 2-shard range-partitioned cluster where one shard
+// answers queries through a delaying proxy. The streamed merge must
+// certify and deliver the fast shard's rows — whose TO values the slow
+// shard's statistics min-corner provably cannot dominate — before the
+// slow shard responds at all, and the trailer must still carry the
+// complete 2-entry version vector.
+func TestClusterIntegrationSlowShard(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("process signalling differs on windows")
+	}
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "tssserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	start := func(args ...string) string {
+		t.Helper()
+		addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+		cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Signal(syscall.SIGTERM)
+			cmd.Wait()
+		})
+		waitHealthy(t, "http://"+addr)
+		return "http://" + addr
+	}
+
+	shard0 := start("-shard-of", "0/2")
+	shard1 := start("-shard-of", "1/2")
+
+	// The proxy delays only query/skyline traffic to shard 1; table
+	// management and statistics pass straight through, so the slowness
+	// hits exactly the scatter leg. forwarded records when the delayed
+	// response actually left for the coordinator.
+	const delay = 1500 * time.Millisecond
+	var forwarded atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slow := strings.HasSuffix(r.URL.Path, "/query") || strings.HasSuffix(r.URL.Path, "/skyline")
+		if slow {
+			time.Sleep(delay)
+			forwarded.Store(time.Now().UnixNano())
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, shard1+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	coord := start("-coordinator", shard0+","+proxy.URL)
+
+	// Anti-correlated rows (x+y constant: every row is in the skyline),
+	// range-partitioned on x at 500: shard 0 serves x < 500 and shard
+	// 1's statistics min-corner has x ≥ 500, so no shard-0 row can ever
+	// be dominated by an unseen shard-1 row — each one certifies the
+	// moment shard 0 streams it.
+	spec := serve.TableSpec{
+		Name:      "slow",
+		TOColumns: []string{"x", "y"},
+		Partition: &serve.PartitionSpec{By: "range", Column: "x", Bounds: []int64{500}},
+	}
+	for i := 0; i < 200; i++ {
+		x := int64(i * 5)
+		spec.Rows = append(spec.Rows, serve.RowSpec{TO: []int64{x, 1000 - x}})
+	}
+	postJSON(t, coord+"/tables", spec, nil)
+
+	// One add per shard bumps both shard versions past zero, so the
+	// trailer's version-vector completeness check below has teeth (a
+	// never-mutated table reports version 0 everywhere).
+	batch := serve.BatchRequest{Add: []serve.RowSpec{
+		{TO: []int64{3, 997}}, {TO: []int64{997, 3}},
+	}}
+	postJSON(t, coord+"/tables/slow/rows:batch", batch, nil)
+
+	var info serve.TableInfo
+	getJSON(t, coord+"/tables/slow", &info)
+	if info.Version == 0 {
+		t.Fatal("batch did not advance the cluster version")
+	}
+
+	const k = 5
+	t0 := time.Now()
+	resp, err := http.Get(coord + "/tables/slow/skyline?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed skyline: HTTP %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var kthAt time.Duration
+	rows, trailerSeen := 0, false
+	var trailer serve.StreamRecord
+	for {
+		var rec serve.StreamRecord
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		switch rec.Type {
+		case "row":
+			rows++
+			if rows == k {
+				kthAt = time.Since(t0)
+				if forwarded.Load() != 0 {
+					t.Fatalf("slow shard had already responded when row %d arrived (%.0fms)", k, kthAt.Seconds()*1000)
+				}
+			}
+			if rec.Row == nil || rec.Row.Shard == nil {
+				t.Fatalf("row %d missing payload or shard annotation", rows)
+			}
+			if rows <= k && *rec.Row.Shard != 0 {
+				t.Fatalf("early row %d came from shard %d, want the fast shard", rows, *rec.Row.Shard)
+			}
+		case "error":
+			t.Fatalf("stream error: %s", rec.Error)
+		case "trailer":
+			trailerSeen = true
+			trailer = rec
+		}
+	}
+	if !trailerSeen {
+		t.Fatal("stream ended without a trailer")
+	}
+	if rows != 202 || trailer.Count != 202 {
+		t.Fatalf("streamed %d rows, trailer count %d, want 202", rows, trailer.Count)
+	}
+	if kthAt >= delay {
+		t.Fatalf("row %d arrived after %.0fms — no earlier than the slow shard's response", k, kthAt.Seconds()*1000)
+	}
+	if forwarded.Load() == 0 {
+		t.Fatal("proxy never forwarded the slow leg — the stream cannot have exercised the merge")
+	}
+	if trailer.Cluster == nil || trailer.Cluster.Shards != 2 || len(trailer.Cluster.Versions) != 2 {
+		t.Fatalf("trailer cluster metadata %+v, want a complete 2-shard version vector", trailer.Cluster)
+	}
+	var sum int64
+	for _, v := range trailer.Cluster.Versions {
+		if v == 0 {
+			t.Fatalf("trailer version vector %v has an empty entry", trailer.Cluster.Versions)
+		}
+		sum += v
+	}
+	if sum != info.Version {
+		t.Fatalf("trailer version vector sums to %d, table info says %d", sum, info.Version)
+	}
 }

@@ -160,11 +160,18 @@ func (d *Dynamic) QueryAtContext(ctx context.Context, ideal []int64, orders ...*
 // applications (and the examples) can reproduce the paper's dynamic
 // comparison on their own data.
 func (d *Dynamic) QueryBaseline(orders ...*Order) (*SkylineResult, error) {
+	return d.QueryBaselineContext(context.Background(), orders...)
+}
+
+// QueryBaselineContext is QueryBaseline with cooperative cancellation
+// (the same contract as QueryContext): the SDC+ traversal checks ctx
+// periodically mid-run, not just before starting.
+func (d *Dynamic) QueryBaselineContext(ctx context.Context, orders ...*Order) (*SkylineResult, error) {
 	domains, err := d.compileQueryOrders(orders)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.DynamicSDCPlus(d.table.ds, domains, core.Options{})
+	res, err := core.DynamicSDCPlusContext(ctx, d.table.ds, domains, core.Options{})
 	if err != nil {
 		return nil, err
 	}

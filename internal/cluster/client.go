@@ -26,6 +26,10 @@ type shardClient struct {
 	index int    // shard index within the cluster
 	count int
 	http  *http.Client
+	// streamHTTP is http minus the overall request timeout: a streamed
+	// leg lives as long as the merge consuming it, so its lifetime is
+	// bounded by the caller's context, not a flat deadline.
+	streamHTTP *http.Client
 }
 
 // do issues one JSON round trip. Every request carries the shard-direct
@@ -69,6 +73,46 @@ func (c *shardClient) do(ctx context.Context, method, path string, body, out any
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// stream opens one streamed round trip (?stream=1 legs): like do, but
+// hands the caller the raw NDJSON body to decode frame by frame.
+// Non-2xx statuses decode into shardError exactly like buffered trips.
+func (c *shardClient) stream(ctx context.Context, method, path string, body any) (io.ReadCloser, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(ShardDirectHeader, "1")
+	req.Header.Set(serve.ExpectShardHeader, fmt.Sprintf("%d/%d", c.index, c.count))
+	resp, err := c.streamHTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d (%s): %w", c.index, c.base, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &shardError{shard: c.index, status: resp.StatusCode, msg: msg}
+	}
+	return resp.Body, nil
 }
 
 // shardError preserves the shard's HTTP status so the coordinator can

@@ -46,8 +46,12 @@ type Config struct {
 	// Shards are the shard nodes' base URLs, in shard-index order. The
 	// order is part of the cluster's identity: rows are placed by index.
 	Shards []string
-	// Client overrides the HTTP client (default: 30 s timeout).
+	// Client overrides the HTTP client (default: 30 s timeout). Streamed
+	// scatter legs reuse its transport without the overall timeout.
 	Client *http.Client
+	// StreamHeartbeat overrides the idle heartbeat interval on streamed
+	// responses (default serve.DefaultStreamHeartbeat).
+	StreamHeartbeat time.Duration
 }
 
 // Coordinator is the scatter/gather front end over a fixed set of
@@ -61,6 +65,8 @@ type Coordinator struct {
 
 	queries atomic.Int64
 	pruned  atomic.Int64 // shards skipped by statistics-driven pruning
+
+	streamHeartbeat time.Duration
 }
 
 // ctable is one cluster table: its schema, compiled base preference
@@ -81,7 +87,10 @@ func New(cfg Config) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	co := &Coordinator{tables: make(map[string]*ctable)}
+	streamClient := &http.Client{}
+	*streamClient = *client
+	streamClient.Timeout = 0
+	co := &Coordinator{tables: make(map[string]*ctable), streamHeartbeat: cfg.StreamHeartbeat}
 	for i, base := range cfg.Shards {
 		base = trimSlash(strings.TrimSpace(base))
 		// Reject malformed bases at startup — a blank element (e.g. a
@@ -96,10 +105,11 @@ func New(cfg Config) (*Coordinator, error) {
 			}
 		}
 		co.shards = append(co.shards, &shardClient{
-			base:  base,
-			index: i,
-			count: len(cfg.Shards),
-			http:  client,
+			base:       base,
+			index:      i,
+			count:      len(cfg.Shards),
+			http:       client,
+			streamHTTP: streamClient,
 		})
 	}
 	return co, nil

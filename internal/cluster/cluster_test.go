@@ -40,6 +40,31 @@ func TestHashPartitioner(t *testing.T) {
 	}
 }
 
+// TestHashPartitionerStructuredRows: FNV-1a's low bits are linear in
+// the input, so without avalanche mixing `hash % 2` is constant over
+// anti-correlated rows (i, n−i) with n even — every row would land on
+// one shard. Both shards must get a healthy share.
+func TestHashPartitionerStructuredRows(t *testing.T) {
+	sc, err := serve.NewSchema([]string{"x", "y"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := newPartitioner(nil, sc, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	seen := make(map[int]int)
+	for i := 0; i < n; i++ {
+		seen[p.route(serve.RowSpec{TO: []int64{int64(i), int64(n - i)}})]++
+	}
+	for s := 0; s < 2; s++ {
+		if seen[s] < n/4 {
+			t.Fatalf("shard %d got %d of %d structured rows (%v) — degenerate hash routing", s, seen[s], n, seen)
+		}
+	}
+}
+
 // TestRangePartitioner covers explicit and derived bounds.
 func TestRangePartitioner(t *testing.T) {
 	sc, err := serve.NewSchema([]string{"x", "y"}, nil)

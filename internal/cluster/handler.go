@@ -81,6 +81,10 @@ func (co *Coordinator) serveTable(w http.ResponseWriter, r *http.Request, ct *ct
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"dropped": ct.name})
 	case rest == "skyline" && r.Method == http.MethodGet:
+		if serve.WantsStream(r) {
+			co.HandleSkylineStream(w, r, ct)
+			return
+		}
 		resp, err := co.Skyline(ctx, ct, r.URL.Query())
 		if err != nil {
 			writeError(w, statusForCluster(err), err)
@@ -105,6 +109,10 @@ func (co *Coordinator) serveTable(w http.ResponseWriter, r *http.Request, ct *ct
 		var req serve.QueryRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
+			return
+		}
+		if serve.WantsStream(r) {
+			co.HandleQueryStream(w, r, ct, req)
 			return
 		}
 		resp, err := co.Query(ctx, ct, req)

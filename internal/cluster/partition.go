@@ -105,7 +105,13 @@ func (p *partitioner) spec() serve.PartitionSpec {
 
 // hashRow hashes a row's values (length-prefixed, so label boundaries
 // cannot collide) — the deterministic placement function of hash
-// partitioning.
+// partitioning. The FNV state is passed through an avalanche finalizer
+// before use: FNV-1a's low output bits are linear in the input bytes
+// (multiplying by the odd prime preserves parity), so routing by
+// `fnv % shards` degenerates on structured data — e.g. every
+// anti-correlated row (i, n−i) with n even lands on one shard, because
+// the two values always share parity. The fmix64 finalizer mixes every
+// input bit into the low bits.
 func hashRow(r serve.RowSpec) uint64 {
 	h := fnv.New64a()
 	var b [10]byte
@@ -130,5 +136,11 @@ func hashRow(r serve.RowSpec) uint64 {
 		writeInt(int64(len(s)))
 		h.Write([]byte(s))
 	}
-	return h.Sum64()
+	u := h.Sum64()
+	u ^= u >> 33
+	u *= 0xff51afd7ed558ccd
+	u ^= u >> 33
+	u *= 0xc4ceb9fe1a85ec53
+	u ^= u >> 33
+	return u
 }

@@ -106,3 +106,55 @@ func TestQueryTSSFullContextCancelMidRun(t *testing.T) {
 		t.Fatalf("full-dynamic run after cancellation test: %d rows, oracle %d", len(res.SkylineIDs), len(want))
 	}
 }
+
+// TestDynamicSDCPlusContextCancelMidTraversal proves the SDC+ baseline
+// honours cancellation *inside* a stratum traversal, not only at the
+// pre-start check. A single-stratum dataset larger than dynCtxCheckEvery
+// forces the heap loop past its first cooperative checkpoint; with
+// after=1 the countdown context passes the pre-start check and cancels
+// on that first in-loop checkpoint — strictly mid-traversal.
+func TestDynamicSDCPlusContextCancelMidTraversal(t *testing.T) {
+	dag := poset.NewDAG(2)
+	dag.MustEdge(0, 1)
+	dom, err := poset.NewDomain(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &Dataset{Domains: []*poset.Domain{dom}}
+	// One PO value -> one stratum holding every point, and anti-correlated
+	// TO values (x+y constant) -> no subtree is ever pruned, so the
+	// per-stratum step counter is guaranteed to cross dynCtxCheckEvery.
+	n := int32(2 * dynCtxCheckEvery)
+	for i := int32(0); i < n; i++ {
+		ds.Pts = append(ds.Pts, Point{
+			ID: i,
+			TO: []int32{i, n - i},
+			PO: []int32{0},
+		})
+	}
+	domains := []*poset.Domain{dom}
+
+	ctx := &countdownCtx{Context: context.Background(), after: 1, err: context.Canceled}
+	_, err = DynamicSDCPlusContext(ctx, ds, domains, Options{})
+	if err == nil {
+		t.Fatal("canceled SDC+ query succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if calls := ctx.calls.Load(); calls < 2 {
+		t.Fatalf("cancellation checked only %d times — the traversal loop never reached a checkpoint", calls)
+	}
+
+	// The same query under a background context completes and agrees
+	// with the naive oracle: cancellation plumbing must not change the
+	// answer.
+	res, err := DynamicSDCPlusContext(context.Background(), ds, domains, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NaiveSkylineUnder(domains, ds.Pts)
+	if !sameIDSet(res.SkylineIDs, want) {
+		t.Fatalf("SDC+ skyline %d rows, oracle %d", len(res.SkylineIDs), len(want))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/rtree"
@@ -22,6 +23,7 @@ type Cursor struct {
 	heap    bbsHeap
 	metrics Metrics
 	start   time.Time
+	lastKey int64
 	done    bool
 }
 
@@ -60,11 +62,25 @@ func NewSTSSCursor(ds *Dataset, opt Options) *Cursor {
 // is exhausted. Each returned point is definite — it will never be
 // revoked — and the ids arrive in non-decreasing mindist order.
 func (c *Cursor) Next() (id int32, ok bool) {
+	id, ok, _ = c.NextContext(nil)
+	return id, ok
+}
+
+// NextContext is Next with cooperative cancellation: the traversal loop
+// between two emissions checks ctx every dynCtxCheckEvery heap steps, so
+// a request timeout (or a disconnecting streaming client) releases the
+// cursor mid-certification. A nil ctx never cancels.
+func (c *Cursor) NextContext(ctx context.Context) (id int32, ok bool, err error) {
 	if c.done {
-		return 0, false
+		return 0, false, nil
 	}
 	nTO := c.ds.NumTO()
-	for c.heap.len() > 0 {
+	for steps := 0; c.heap.len() > 0; steps++ {
+		if steps%dynCtxCheckEvery == dynCtxCheckEvery-1 {
+			if err := dynCtxErr(ctx); err != nil {
+				return 0, false, err
+			}
+		}
 		it := c.heap.pop()
 		if it.isPoint {
 			p := &c.ds.Pts[it.e.ID]
@@ -73,12 +89,13 @@ func (c *Cursor) Next() (id int32, ok bool) {
 				continue
 			}
 			c.checker.add(p)
+			c.lastKey = it.mind
 			c.metrics.Emissions = append(c.metrics.Emissions, Emission{
 				ID:  p.ID,
 				IOs: c.io.Reads + c.io.Writes,
 				CPU: time.Since(c.start),
 			})
-			return p.ID, true
+			return p.ID, true, nil
 		}
 		if c.checker.dominatedBox(it.e.Lo[:nTO], it.e.Lo[nTO:], it.e.Hi[nTO:]) {
 			c.metrics.NodesPruned++
@@ -99,7 +116,45 @@ func (c *Cursor) Next() (id int32, ok bool) {
 		}
 	}
 	c.done = true
-	return 0, false
+	return 0, false, nil
+}
+
+// Emitted returns the number of skyline points certified so far — the
+// emission index of the next Next result.
+func (c *Cursor) Emitted() int { return len(c.metrics.Emissions) }
+
+// LastEmission returns the per-emission record of the most recent Next
+// result: the emission's IO count and elapsed-to-certify. ok is false
+// before the first emission.
+func (c *Cursor) LastEmission() (e Emission, ok bool) {
+	if len(c.metrics.Emissions) == 0 {
+		return Emission{}, false
+	}
+	return c.metrics.Emissions[len(c.metrics.Emissions)-1], true
+}
+
+// LastKey returns the L1 mindist key (sum of TO coordinates plus
+// topological ordinals) of the most recent Next result, 0 before the
+// first emission. Keys are non-decreasing across emissions, and a
+// strict t-dominator always has a strictly smaller key than the point
+// it dominates — which is what lets a consumer merging several
+// key-ordered streams rule a stream out as a dominator source once its
+// last-seen key reaches a candidate's key.
+func (c *Cursor) LastKey() int64 { return c.lastKey }
+
+// PeekBound returns the L1 mindist key of the best unexamined heap
+// entry — a lower bound on the key (sum of TO coordinates plus
+// topological ordinals) of every future emission, since Next pops in
+// non-decreasing key order. ok is false when the traversal frontier is
+// empty (no further emissions are possible). Consumers use it as a
+// sound stopping rule for score-threshold top-k: once the k-th best
+// score beats the bound (minus the ordinal/depth slack), no future
+// emission can enter the top k.
+func (c *Cursor) PeekBound() (bound int64, ok bool) {
+	if c.done || c.heap.len() == 0 {
+		return 0, false
+	}
+	return c.heap.a[0].mind, true
 }
 
 // Metrics snapshots the work done so far (IOs, checks, prunes and the

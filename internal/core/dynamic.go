@@ -408,6 +408,15 @@ func groupCorner(root *rtree.Node, dims int) []int32 {
 // the bulk-load page writes; none of this cost can be amortised across
 // queries.
 func DynamicSDCPlus(ds *Dataset, domains []*poset.Domain, opt Options) (*Result, error) {
+	return DynamicSDCPlusContext(context.Background(), ds, domains, opt)
+}
+
+// DynamicSDCPlusContext is DynamicSDCPlus with cooperative cancellation:
+// besides the pre-start check, the per-stratum traversal loop checks ctx
+// every dynCtxCheckEvery steps — the same cadence the dTSS loops use —
+// so a canceled baseline query stops paying for the rebuild it can no
+// longer amortise.
+func DynamicSDCPlusContext(ctx context.Context, ds *Dataset, domains []*poset.Domain, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if len(domains) != ds.NumPO() {
 		return nil, fmt.Errorf("core: query has %d domains, dataset has %d PO attributes",
@@ -427,11 +436,16 @@ func DynamicSDCPlus(ds *Dataset, domains []*poset.Domain, opt Options) (*Result,
 	io.Reads += 2 * pages
 	io.Writes += 2 * pages
 
+	if err := dynCtxErr(ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	strata := buildStrata(ds, domains, opt, io) // bulk-load writes on io
 	rebuildCPU := time.Since(start)
 
-	runSDCPlus(ds, domains, strata, io, res)
+	if err := runSDCPlus(ctx, ds, domains, strata, io, res); err != nil {
+		return nil, err
+	}
 	res.Metrics.CPU += rebuildCPU
 	return res, nil
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchMergeCands builds n anti-correlated TO-only candidates spread
+// round-robin over the given shard count: every point is in the skyline
+// and every cross-shard pair is checked, so the pass does maximal work
+// and the survivor set is the whole input.
+func benchMergeCands(n, shards int) ([]Point, []int) {
+	pts := make([]Point, n)
+	shard := make([]int, n)
+	for i := range pts {
+		pts[i] = Point{ID: int32(i), TO: []int32{int32(i), int32(n - i)}}
+		shard[i] = i % shards
+	}
+	return pts, shard
+}
+
+// BenchmarkMergeSurvivors measures the cross-shard elimination pass.
+// Its candidate list, dominated flags, and per-worker check counters
+// come from mergeScratchPool, so steady-state merges should allocate
+// only the survivor index slice.
+func BenchmarkMergeSurvivors(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts, shard := benchMergeCands(n, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := MergeSurvivors(nil, pts, shard, 4)
+				if len(out) != n {
+					b.Fatalf("got %d survivors, want %d", len(out), n)
+				}
+			}
+		})
+	}
+}

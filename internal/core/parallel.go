@@ -182,6 +182,57 @@ type mergeCand struct {
 	shard int
 }
 
+// mergeScratch holds the per-merge scratch slices. Merges run on every
+// parallel query and on every cluster gather, so the candidate list and
+// the elimination flags are pooled rather than reallocated per call.
+type mergeScratch struct {
+	cands     []mergeCand
+	dominated []bool
+	checks    []int64
+}
+
+var mergeScratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+func getMergeScratch() *mergeScratch { return mergeScratchPool.Get().(*mergeScratch) }
+
+// release returns the scratch to the pool. Candidate point pointers are
+// cleared first so a pooled slice never pins a retired snapshot's rows.
+func (sc *mergeScratch) release() {
+	clear(sc.cands[:cap(sc.cands)])
+	mergeScratchPool.Put(sc)
+}
+
+// candSlice returns a length-n candidate slice backed by pooled storage.
+func (sc *mergeScratch) candSlice(n int) []mergeCand {
+	if cap(sc.cands) < n {
+		sc.cands = make([]mergeCand, n)
+	}
+	sc.cands = sc.cands[:n]
+	return sc.cands
+}
+
+// boolSlice returns a zeroed length-n flag slice backed by pooled
+// storage.
+func (sc *mergeScratch) boolSlice(n int) []bool {
+	if cap(sc.dominated) < n {
+		sc.dominated = make([]bool, n)
+	}
+	sc.dominated = sc.dominated[:n]
+	clear(sc.dominated)
+	return sc.dominated
+}
+
+// int64Slice returns a zeroed length-n counter slice backed by pooled
+// storage.
+func (sc *mergeScratch) int64Slice(n int) []int64 {
+	if cap(sc.checks) < n {
+		sc.checks = make([]int64, n)
+	}
+	sc.checks = sc.checks[:n]
+	clear(sc.checks)
+	return sc.checks
+}
+
 // mergeEliminate runs the final elimination pass over the local-skyline
 // union: candidate i survives unless a candidate from another shard
 // dominates it (same-shard pairs are skipped — a shard's local skyline
@@ -192,7 +243,9 @@ type mergeCand struct {
 // copies of a duplicated skyline point survive, matching
 // NaiveSkylineUnder. Returns the number of dominance checks performed.
 func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, emit func(*Point)) int64 {
-	dominated, checks := eliminateDominated(domains, cands, workers)
+	sc := getMergeScratch()
+	defer sc.release()
+	dominated, checks := eliminateDominated(domains, cands, workers, sc)
 	for i, mc := range cands {
 		if !dominated[i] {
 			emit(mc.p)
@@ -209,11 +262,13 @@ func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, emi
 // shard's list must itself be a skyline (mutually non-dominated), which
 // shard query responses are by construction.
 func MergeSurvivors(domains []*poset.Domain, pts []Point, shard []int, workers int) []int {
-	cands := make([]mergeCand, len(pts))
+	sc := getMergeScratch()
+	defer sc.release()
+	cands := sc.candSlice(len(pts))
 	for i := range pts {
 		cands[i] = mergeCand{p: &pts[i], shard: shard[i]}
 	}
-	dominated, _ := eliminateDominated(domains, cands, workers)
+	dominated, _ := eliminateDominated(domains, cands, workers, sc)
 	out := make([]int, 0, len(pts))
 	for i := range cands {
 		if !dominated[i] {
@@ -224,8 +279,10 @@ func MergeSurvivors(domains []*poset.Domain, pts []Point, shard []int, workers i
 }
 
 // eliminateDominated marks the candidates dominated by a candidate from
-// another shard, returning the flags plus the dominance-check count.
-func eliminateDominated(domains []*poset.Domain, cands []mergeCand, workers int) ([]bool, int64) {
+// another shard, returning the flags plus the dominance-check count. The
+// returned flag slice borrows sc's pooled storage and is only valid
+// until sc is released.
+func eliminateDominated(domains []*poset.Domain, cands []mergeCand, workers int, sc *mergeScratch) ([]bool, int64) {
 	n := len(cands)
 	if n == 0 {
 		return nil, 0
@@ -236,8 +293,8 @@ func eliminateDominated(domains []*poset.Domain, cands []mergeCand, workers int)
 	if workers > n {
 		workers = n
 	}
-	dominated := make([]bool, n)
-	checks := make([]int64, workers)
+	dominated := sc.boolSlice(n)
+	checks := sc.int64Slice(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

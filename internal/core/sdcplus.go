@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/poset"
@@ -71,14 +72,18 @@ func SDCPlus(ds *Dataset, opt Options) *Result {
 	for i := range strata {
 		strata[i].tree.SetIO(io)
 	}
-	runSDCPlus(ds, ds.Domains, strata, io, res)
+	_ = runSDCPlus(nil, ds, ds.Domains, strata, io, res) // nil ctx never cancels
 	return res
 }
 
 // runSDCPlus executes the SDC+ query phase over prebuilt strata,
 // appending results and metrics to res. Reads performed on the strata
-// trees are observed as deltas on each tree's own counter.
-func runSDCPlus(ds *Dataset, domains []*poset.Domain, strata []stratumIndex, io *rtree.IOCounter, res *Result) {
+// trees are observed as deltas on each tree's own counter. ctx is
+// checked every dynCtxCheckEvery heap steps — the same cooperative
+// cadence as the dTSS traversal loops — so even the rebuild-everything
+// baseline releases its worker mid-run when the request is canceled; a
+// nil ctx never cancels.
+func runSDCPlus(ctx context.Context, ds *Dataset, domains []*poset.Domain, strata []stratumIndex, io *rtree.IOCounter, res *Result) error {
 	clock := newEmitClock(io)
 	type cand struct {
 		p  *Point
@@ -109,7 +114,12 @@ func runSDCPlus(ds *Dataset, domains []*poset.Domain, strata []stratumIndex, io 
 		for _, e := range st.tree.Root().Entries {
 			h.push(e)
 		}
-		for h.len() > 0 {
+		for steps := 0; h.len() > 0; steps++ {
+			if steps%dynCtxCheckEvery == dynCtxCheckEvery-1 {
+				if err := dynCtxErr(ctx); err != nil {
+					return err
+				}
+			}
 			it := h.pop()
 			if it.isPoint {
 				p := &ds.Pts[it.e.ID]
@@ -176,4 +186,5 @@ func runSDCPlus(ds *Dataset, domains []*poset.Domain, strata []stratumIndex, io 
 	res.Metrics.ReadIOs += io.Reads
 	res.Metrics.WriteIOs += io.Writes
 	res.Metrics.CPU += clock.elapsed()
+	return nil
 }

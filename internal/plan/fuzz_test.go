@@ -216,6 +216,27 @@ func FuzzPlanAgreement(f *testing.F) {
 				ids = res.SkylineIDs
 			}
 			check(label, ids, err, allowReject)
+
+			// Streamed leg: the same plan delivered through RunStream must
+			// produce the same rows, and the emitted sequence must equal
+			// the final result order.
+			sp, err := New(ds, fq, env)
+			if err != nil {
+				t.Fatalf("%s stream: New: %v (query %+v)", label, err, fq)
+			}
+			var emitted []int32
+			sres, serr := sp.RunStream(context.Background(), ds, env, func(r StreamRow) error {
+				emitted = append(emitted, r.ID)
+				return nil
+			})
+			var sids []int32
+			if sres != nil {
+				sids = sres.SkylineIDs
+			}
+			check(label+" streamed", sids, serr, allowReject)
+			if serr == nil && !equal32(emitted, sids) {
+				t.Fatalf("%s streamed: emissions %v, result %v (query %+v)", label, emitted, sids, fq)
+			}
 		}
 
 		env := Env{Learned: NewLearned()}

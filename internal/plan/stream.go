@@ -1,0 +1,241 @@
+package plan
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// StreamRow is one progressively delivered result row: the row id, its
+// 0-based emission index in the stream, and the elapsed wall-clock time
+// from query start to certification. Key is the cursor's L1 mindist key
+// of the emission on the progressive unranked path — non-decreasing
+// across a stream, with a strict t-dominator always holding a strictly
+// smaller key — and nil on replayed (buffered or rank-ordered) streams,
+// whose emission order carries no such bound.
+type StreamRow struct {
+	ID      int32
+	Index   int
+	Elapsed time.Duration
+	Key     *int64
+}
+
+// RunStream executes the plan like Run, but delivers result rows through
+// emit as soon as they are certified instead of materializing the whole
+// result first. An emit error aborts the run and is returned verbatim.
+//
+// Three execution shapes, chosen per plan:
+//
+//   - Progressive: unranked queries (full, subspace, constrained, and
+//     unranked top-k) run the sTSS cursor over the effective dataset —
+//     pushdown filtering and projection applied before the index build,
+//     post-filter predicates applied per emitted row — and emit each
+//     certified row immediately. An unranked top-k stops the traversal
+//     after K emissions. The stream order is the cursor's non-decreasing
+//     mindist order, so a first-K stream is a prefix of the full stream.
+//   - Score-threshold top-k: RankIdeal at the origin collects cursor
+//     emissions only until the K-th best score provably beats every
+//     future emission (cursor heap bound minus the topological-ordinal
+//     slack), then emits the top K in rank order — early termination
+//     without scanning the full skyline.
+//   - Buffered fallback: everything else (cache hits, forced non-sTSS
+//     algorithms, forced parallelism, dominance-count and off-origin
+//     ideal ranking) runs Run and replays the finished rows through
+//     emit, so the wire protocol is uniform even when progressiveness
+//     is impossible.
+//
+// Like the cursor route in Run, progressive runs feed no learned
+// feedback; a fully exhausted unranked enumeration fills the result
+// cache exactly as the buffered path would, and a canceled run stores
+// nothing.
+func (p *Plan) RunStream(ctx context.Context, ds *core.Dataset, env Env, emit func(StreamRow) error) (*core.Result, error) {
+	start := time.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	hinted := strings.ToLower(p.Query.Hints.Algorithm)
+	cursorOK := p.cached == nil && p.Query.Hints.Parallelism <= 0 &&
+		(hinted == "" || hinted == "stss")
+
+	var res *core.Result
+	var err error
+	switch {
+	case cursorOK && p.Query.Rank == RankNone:
+		res, err = p.streamCursor(ctx, ds, env, emit, start)
+	case cursorOK && p.Query.TopK > 0 && p.Query.Rank == RankIdeal && p.Query.Ideal == nil:
+		res, err = p.streamThresholdTopK(ctx, ds, emit, start)
+	default:
+		if res, err = p.Run(ctx, ds, env); err == nil {
+			for i, id := range res.SkylineIDs {
+				if err := emit(StreamRow{ID: id, Index: i, Elapsed: time.Since(start)}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return res, err
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Mirror Run's top-k emission trim: keep only the emission records of
+	// rows in the result (a post-filter cursor run certifies rows the
+	// per-row filter then drops).
+	if p.Query.TopK > 0 && len(res.Metrics.Emissions) > 0 {
+		kept := make(map[int32]bool, len(res.SkylineIDs))
+		for _, id := range res.SkylineIDs {
+			kept[id] = true
+		}
+		out := res.Metrics.Emissions[:0]
+		for _, e := range res.Metrics.Emissions {
+			if kept[e.ID] {
+				out = append(out, e)
+			}
+		}
+		res.Metrics.Emissions = out
+	}
+
+	// The progressive paths run the sequential sTSS cursor regardless of
+	// the buffered plan's algorithm and parallelism choice — reflect that
+	// in the explain output.
+	p.Explain.Algorithm = "stss"
+	p.Explain.Route = RouteCursor
+	p.Explain.Parallelism = 0
+	p.Explain.ObservedSeconds = time.Since(start).Seconds()
+	p.Explain.ObservedRows = p.cursorRows
+	p.Explain.ObservedSkyline = len(res.SkylineIDs)
+	return res, nil
+}
+
+// streamCursor is the progressive unranked path: every certified cursor
+// emission that survives the per-row post-filter is emitted immediately;
+// TopK > 0 stops after K emissions.
+func (p *Plan) streamCursor(ctx context.Context, ds *core.Dataset, env Env, emit func(StreamRow) error, start time.Time) (*core.Result, error) {
+	eff, err := p.effective(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	p.cursorRows = len(eff.Pts)
+	cur := core.NewSTSSCursor(eff, core.Options{UseMemTree: true})
+	res := &core.Result{}
+	postFilter := p.route == RoutePostFilter
+	k := p.Query.TopK
+	for k == 0 || len(res.SkylineIDs) < k {
+		// The cursor's own cooperative check fires every dynCtxCheckEvery
+		// heap steps; an extra per-emission check keeps small groups — where
+		// a whole query fits under that cadence — responsive to disconnects.
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		id, ok, err := cur.NextContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if postFilter && !p.matchesAll(&ds.Pts[id]) {
+			continue
+		}
+		res.SkylineIDs = append(res.SkylineIDs, id)
+		key := cur.LastKey()
+		if err := emit(StreamRow{ID: id, Index: len(res.SkylineIDs) - 1, Elapsed: time.Since(start), Key: &key}); err != nil {
+			return nil, err
+		}
+	}
+	res.Metrics = cur.Metrics()
+	// A fully exhausted unranked enumeration produced the exact skyline
+	// the buffered route would have cached — store it so the stream warms
+	// the same memo. Early-stopped or canceled runs store nothing.
+	if k == 0 && cur.Exhausted() && p.route == RouteDirect &&
+		env.Cache != nil && !p.Query.Hints.NoCache {
+		ids := append([]int32(nil), res.SkylineIDs...)
+		if p.Query.Subspace == nil {
+			env.Cache.PutFull(ids)
+		} else {
+			env.Cache.PutSubspace(p.variant, ids)
+		}
+	}
+	return res, nil
+}
+
+// streamThresholdTopK answers an origin-ideal ranked top-k through the
+// cursor with a sound early stop. Every future emission's ideal score
+// (Σ kept TO + Σ preference-DAG depth) is bounded below by the cursor's
+// heap bound (Σ kept TO + Σ topological ordinal of the next unexamined
+// entry) minus the per-dimension ordinal slack: an ordinal never
+// undershoots its value's depth, so key − Σ(|domain|−1) ≤ score. Once K
+// collected scores beat that bound strictly, no future emission can
+// displace them (nor tie into a different id order), and the traversal
+// stops without enumerating the rest of the skyline.
+func (p *Plan) streamThresholdTopK(ctx context.Context, ds *core.Dataset, emit func(StreamRow) error, start time.Time) (*core.Result, error) {
+	eff, err := p.effective(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	p.cursorRows = len(eff.Pts)
+	cur := core.NewSTSSCursor(eff, core.Options{UseMemTree: true})
+	depths := p.idealDepths(ds)
+	var slack int64
+	for _, d := range p.keptPO {
+		slack += int64(ds.Domains[d].Size() - 1)
+	}
+	k := p.Query.TopK
+	postFilter := p.route == RoutePostFilter
+
+	type scored struct {
+		id    int32
+		score float64
+	}
+	var cands []scored
+	best := make([]float64, 0, k) // k smallest scores so far, ascending
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		id, ok, err := cur.NextContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if postFilter && !p.matchesAll(&ds.Pts[id]) {
+			continue
+		}
+		s := p.idealScore(&ds.Pts[id], depths)
+		cands = append(cands, scored{id: id, score: s})
+		if i := sort.SearchFloat64s(best, s); i < k {
+			if len(best) < k {
+				best = append(best, 0)
+			}
+			copy(best[i+1:], best[i:])
+			best[i] = s
+		}
+		if len(best) == k {
+			if bound, ok := cur.PeekBound(); !ok || best[k-1] < float64(bound-slack) {
+				break
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score < cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	res := &core.Result{Metrics: cur.Metrics()}
+	for i, c := range cands {
+		res.SkylineIDs = append(res.SkylineIDs, c.id)
+		if err := emit(StreamRow{ID: c.id, Index: i, Elapsed: time.Since(start)}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// discardResponseWriter satisfies http.ResponseWriter without keeping
+// the body, so encode-path benchmarks measure the encoder and its
+// buffer discipline rather than the sink.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func (d *discardResponseWriter) WriteHeader(int) {}
+
+// benchResponse builds a representative buffered query response with n
+// skyline rows.
+func benchResponse(n int) *QueryResponse {
+	resp := &QueryResponse{Table: "bench", Version: 7, Rows: n * 3, Count: n}
+	for i := 0; i < n; i++ {
+		resp.Skyline = append(resp.Skyline, SkylineRow{
+			Row: i,
+			TO:  []int64{int64(i), int64(n - i), 42},
+			PO:  []string{"alpha", "beta"},
+		})
+	}
+	return resp
+}
+
+// BenchmarkWriteJSON measures the buffered response encode path —
+// writeJSON reuses encode buffers through encBufPool, so steady-state
+// encoding should not grow allocations with the response size beyond
+// the encoder's own per-call overhead.
+func BenchmarkWriteJSON(b *testing.B) {
+	for _, n := range []int{8, 256} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			resp := benchResponse(n)
+			w := &discardResponseWriter{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				writeJSON(w, http.StatusOK, resp)
+			}
+		})
+	}
+}
+
+// BenchmarkStreamSend measures the per-record streamed encode path: one
+// row record framed as NDJSON through the pooled buffer, the cost paid
+// once per emitted row on every streamed response.
+func BenchmarkStreamSend(b *testing.B) {
+	shard := 1
+	rec := &StreamRecord{
+		Type:     "row",
+		Row:      &SkylineRow{Row: 12, TO: []int64{3, 997, 42}, PO: []string{"alpha"}, Shard: &shard},
+		Emission: 12,
+		Elapsed:  0.0042,
+	}
+	sw := &streamWriter{w: &discardResponseWriter{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sw.send(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

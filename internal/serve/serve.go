@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -45,6 +46,9 @@ type Config struct {
 	// from another cluster) is a hard 409 instead of silently wrong
 	// partitions.
 	Shard *ShardIdentity
+	// StreamHeartbeat is the idle interval between heartbeat records on
+	// streamed responses (0 = DefaultStreamHeartbeat).
+	StreamHeartbeat time.Duration
 }
 
 // Server is the catalog of named skyline tables plus the HTTP handlers
@@ -58,6 +62,7 @@ type Server struct {
 	store           store.Store // nil = ephemeral
 	checkpointEvery int64
 	shard           *ShardIdentity
+	streamHeartbeat time.Duration
 	checkpointErrs  atomic.Int64
 	started         time.Time
 	queries         atomic.Int64
@@ -86,6 +91,7 @@ func NewWithConfig(cfg Config) *Server {
 		store:           cfg.Store,
 		checkpointEvery: cfg.CheckpointEvery,
 		shard:           cfg.Shard,
+		streamHeartbeat: cfg.StreamHeartbeat,
 		started:         time.Now(),
 	}
 }
@@ -409,6 +415,10 @@ func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request, e *tableE
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if WantsStream(r) {
+		s.handleSkylineStream(w, r, e, algo, parallel, limit)
+		return
+	}
 
 	snap := e.current()
 	var res *tss.SkylineResult
@@ -472,6 +482,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEnt
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
 		return
 	}
+	if WantsStream(r) {
+		s.handleQueryStream(w, r, e, req)
+		return
+	}
 	if req.PlanMode() {
 		s.handlePlanQuery(w, r, e, req)
 		return
@@ -484,9 +498,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEnt
 		return
 	}
 	// Refuse work whose budget already expired while the request was
-	// queued or being read; dTSS and fully-dynamic runs additionally
-	// check the context cooperatively mid-run (the baseline rebuilds
-	// everything per query and still runs to completion once started).
+	// queued or being read; dTSS, fully-dynamic and baseline (SDC+) runs
+	// all additionally check the context cooperatively mid-run.
 	if err := r.Context().Err(); err != nil {
 		writeError(w, statusFor(err), fmt.Errorf("query canceled before start: %w", err))
 		return
@@ -503,7 +516,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEnt
 		writeError(w, http.StatusBadRequest, fmt.Errorf("baseline does not support ideal-point queries"))
 		return
 	case req.Baseline:
-		res, err = snap.dyn.QueryBaseline(orders...)
+		res, err = snap.dyn.QueryBaselineContext(r.Context(), orders...)
 	case req.Ideal != nil:
 		res, err = snap.dyn.QueryAtContext(r.Context(), req.Ideal, orders...)
 	default:
@@ -632,10 +645,23 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
+// encBufPool pools the per-response JSON encode buffers: every request
+// (and every streamed record) encodes through one, so the hot path
+// reuses buffer storage instead of allocating a fresh encoder sink per
+// call.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -223,6 +223,51 @@ type ClusterMeta struct {
 	Pruned   []int   `json:"pruned,omitempty"`
 }
 
+// StreamRecord is one frame of a streamed query response (?stream=1 on
+// the query POST and skyline GET routes). The stream is framed as NDJSON
+// (one record per line, Content-Type application/x-ndjson) or — when the
+// client asks via `Accept: text/event-stream` or ?sse=1 — as SSE data
+// events carrying the same JSON. Frame order: exactly one "header",
+// any number of "row" and "heartbeat" records, then exactly one
+// "trailer" on success or one "error" after a mid-stream failure
+// (everything before the error is valid; the stream is incomplete).
+type StreamRecord struct {
+	Type string `json:"type"` // "header", "row", "heartbeat", "trailer", "error"
+
+	// Header fields: the serving snapshot. Version repeats on the
+	// trailer so both framing edges identify the snapshot.
+	Table   string `json:"table,omitempty"`
+	Version int64  `json:"version,omitempty"`
+	Rows    int    `json:"rows,omitempty"`
+
+	// Row fields: the emitted row, its 0-based emission index, and the
+	// elapsed seconds from query start to certification.
+	Row      *SkylineRow `json:"row,omitempty"`
+	Emission int         `json:"emission,omitempty"`
+	Elapsed  float64     `json:"elapsedSeconds,omitempty"`
+	// Key is the emission's L1 mindist key on progressive cursor rows:
+	// non-decreasing along the stream, and a strict t-dominator always
+	// has a strictly smaller key, so a consumer merging several
+	// key-ordered streams can rule this stream out as a dominator source
+	// for any candidate whose key the stream has reached. Absent on
+	// replayed (buffered, cache-hit, rank-ordered, dTSS) streams, whose
+	// emission order carries no such bound.
+	Key *int64 `json:"key,omitempty"`
+
+	// Trailer fields: the buffered QueryResponse's tail. Count is the
+	// number of rows certified by the query (matching the emitted rows
+	// unless ?limit truncated the stream).
+	Count    int                 `json:"count,omitempty"`
+	Metrics  *core.MetricsExport `json:"metrics,omitempty"`
+	CacheHit bool                `json:"cacheHit,omitempty"`
+	Algo     string              `json:"algo,omitempty"`
+	Plan     *plan.Explain       `json:"plan,omitempty"`
+	Cluster  *ClusterMeta        `json:"cluster,omitempty"`
+
+	// Error is the mid-stream failure message ("error" records).
+	Error string `json:"error,omitempty"`
+}
+
 // StatsResponse is the /statsz body.
 type StatsResponse struct {
 	UptimeSeconds float64     `json:"uptimeSeconds"`

@@ -597,6 +597,28 @@ func (t *Table) QueryContext(ctx context.Context, q plan.Query) (*SkylineResult,
 	return wrapResult(res), &p.Explain, nil
 }
 
+// QueryStream is QueryContext with progressive delivery: result rows
+// are passed to emit the moment they are certified, in stream order,
+// before the full result exists. Unranked queries stream through the
+// sTSS cursor (an unranked top-k stops the traversal after K rows, and
+// a first-K stream is a prefix of the full stream); origin-ideal ranked
+// top-k stops on a sound score threshold; everything else computes the
+// buffered result and replays it through emit. The returned
+// SkylineResult carries the same rows emit saw plus the run's metrics.
+// An emit error aborts the run and is returned verbatim.
+func (t *Table) QueryStream(ctx context.Context, q plan.Query, emit func(plan.StreamRow) error) (*SkylineResult, *plan.Explain, error) {
+	env := plan.Env{Stats: t.Stats(), Learned: t.learned, Cache: t.queryCache}
+	p, err := plan.New(t.ds, q, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := p.RunStream(ctx, t.ds, env, emit)
+	if err != nil {
+		return nil, &p.Explain, err
+	}
+	return wrapResult(res), &p.Explain, nil
+}
+
 // DomCounts counts, per candidate row, how many rows of R — the table
 // filtered by q.Where — the candidate dominates on q.Subspace's kept
 // dimensions. Candidates are value-addressed TableRows rather than row
