@@ -14,6 +14,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/exp"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // ClusterRow is one measurement of the scatter/gather experiment: a
@@ -81,7 +82,9 @@ func runClusterCell(dist string, shards int, partition string, spec serve.TableS
 		}).Handler())
 		urls[i] = servers[i].URL
 	}
-	co, err := cluster.New(cluster.Config{Shards: urls})
+	// Range-partitioned cells need a catalog; in-memory is fine for a
+	// benchmark that never restarts the coordinator.
+	co, err := cluster.New(cluster.Config{Shards: urls, Catalog: store.NewMem()})
 	if err != nil {
 		panic(err)
 	}

@@ -284,7 +284,8 @@ func TestClusterIntegrationSlowShard(t *testing.T) {
 	}))
 	t.Cleanup(proxy.Close)
 
-	coord := start("-coordinator", shard0+","+proxy.URL)
+	// Range-partitioned creates need a durable coordinator catalog.
+	coord := start("-coordinator", shard0+","+proxy.URL, "-data-dir", filepath.Join(t.TempDir(), "co"))
 
 	// Anti-correlated rows (x+y constant: every row is in the skyline),
 	// range-partitioned on x at 500: shard 0 serves x < 500 and shard

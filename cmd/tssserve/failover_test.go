@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// TestFailoverIntegration is the end-to-end replication test behind the
+// CI failover job: real tssserve processes — two shard primaries (each
+// durable), one -follower-of mirror per shard, a durable coordinator
+// wired with -replicas — a range-partitioned table populated through
+// the coordinator, then:
+//
+//  1. SIGKILL one shard primary: the coordinator must keep answering
+//     every variant identically to a single node holding the union,
+//     with the follower serving the dead shard's partition.
+//  2. SIGTERM + restart the coordinator: Adopt must recover the range
+//     partition spec (bounds intact) from the durable catalog — while
+//     the killed primary is still dead, so adoption itself exercises
+//     the failover path — and the sweep must stay identical.
+func TestFailoverIntegration(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("process signalling differs on windows")
+	}
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "tssserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	start := func(addr string, args ...string) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Signal(syscall.SIGTERM)
+			cmd.Wait()
+		})
+		waitHealthy(t, "http://"+addr)
+		return cmd
+	}
+	newAddr := func() string { return fmt.Sprintf("127.0.0.1:%d", freePort(t)) }
+
+	// Topology: primaries are durable (their WALs feed replication),
+	// followers poll fast so the test converges quickly, and the
+	// coordinator is durable so its catalog survives the restart.
+	p0Addr, p1Addr, f0Addr, f1Addr := newAddr(), newAddr(), newAddr(), newAddr()
+	p0 := start(p0Addr, "-shard-of", "0/2", "-data-dir", filepath.Join(t.TempDir(), "p0"))
+	start(p1Addr, "-shard-of", "1/2", "-data-dir", filepath.Join(t.TempDir(), "p1"))
+	start(f0Addr, "-follower-of", "http://"+p0Addr, "-follower-interval", "100ms")
+	start(f1Addr, "-follower-of", "http://"+p1Addr, "-follower-interval", "100ms")
+
+	coDir := filepath.Join(t.TempDir(), "co")
+	coAddr := newAddr()
+	coArgs := []string{
+		"-data-dir", coDir,
+		"-coordinator", "http://" + p0Addr + ",http://" + p1Addr,
+		"-replicas", "http://" + f0Addr + ",http://" + f1Addr,
+	}
+	co := start(coAddr, coArgs...)
+	coord := "http://" + coAddr
+
+	singleAddr := newAddr()
+	start(singleAddr)
+	single := "http://" + singleAddr
+
+	// A range-partitioned table (split on x at 500) created through the
+	// coordinator, mirrored verbatim on the single node.
+	rng := rand.New(rand.NewSource(7))
+	spec := serve.TableSpec{
+		Name:      "ft",
+		TOColumns: []string{"x", "y"},
+		Orders: []serve.OrderSpec{{
+			Name:   "cls",
+			Values: []string{"a", "b", "c", "d"},
+			Edges:  [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}},
+		}},
+		Partition: &serve.PartitionSpec{By: "range", Column: "x", Bounds: []int64{500}},
+	}
+	for i := 0; i < 180; i++ {
+		spec.Rows = append(spec.Rows, serve.RowSpec{
+			TO: []int64{int64(rng.Intn(1000)), int64(rng.Intn(1000))},
+			PO: []string{spec.Orders[0].Values[rng.Intn(4)]},
+		})
+	}
+	postJSON(t, coord+"/tables", spec, nil)
+	singleSpec := spec
+	singleSpec.Partition = nil // partitioning is a cluster concern
+	postJSON(t, single+"/tables", singleSpec, nil)
+
+	// Mutations through the coordinator while everything is healthy —
+	// one add per side of the split, mirrored on the single node.
+	batch := serve.BatchRequest{Add: []serve.RowSpec{
+		{TO: []int64{3, 996}, PO: []string{"a"}},
+		{TO: []int64{996, 3}, PO: []string{"d"}},
+	}}
+	postJSON(t, coord+"/tables/ft/rows:batch", batch, nil)
+	single2 := spec
+	single2.Rows = append(append([]serve.RowSpec(nil), spec.Rows...), batch.Add...)
+	deleteTable(t, single+"/tables/ft")
+	single2.Partition = nil
+	postJSON(t, single+"/tables", single2, nil)
+
+	// Followers must hold the exact pre-kill state before the kill —
+	// anything else would test replication lag, not failover.
+	var info serve.TableInfo
+	getJSON(t, coord+"/tables/ft", &info)
+	if len(info.Versions) != 2 {
+		t.Fatalf("coordinator version vector %v, want 2 entries", info.Versions)
+	}
+	for i, faddr := range []string{f0Addr, f1Addr} {
+		waitForVersion(t, "http://"+faddr+"/tables/ft", info.Versions[i])
+	}
+
+	// A follower never takes writes, even directly.
+	breq, _ := json.Marshal(serve.BatchRequest{Add: []serve.RowSpec{{TO: []int64{1, 1}, PO: []string{"a"}}}})
+	resp, err := http.Post("http://"+f0Addr+"/tables/ft/rows:batch", "application/json", bytes.NewReader(breq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("direct batch against a follower: HTTP %d, want 403", resp.StatusCode)
+	}
+
+	le := int64(400)
+	variants := []struct {
+		name string
+		req  serve.QueryRequest
+	}{
+		{"full", serve.QueryRequest{Explain: true}},
+		{"subspace", serve.QueryRequest{Subspace: []string{"x", "cls"}}},
+		{"constrained", serve.QueryRequest{Where: []serve.WhereSpec{{Col: "x", Le: &le}}}},
+		{"topk", serve.QueryRequest{TopK: 5, Rank: "ideal", Ideal: []int64{500, 500}}},
+	}
+	sweep := func(phase string) {
+		t.Helper()
+		for _, v := range variants {
+			var c, s serve.QueryResponse
+			postJSON(t, coord+"/tables/ft/query", v.req, &c)
+			postJSON(t, single+"/tables/ft/query", v.req, &s)
+			if c.Count != s.Count {
+				t.Fatalf("%s/%s: coordinator count %d, single %d", phase, v.name, c.Count, s.Count)
+			}
+			ck, sk := valueKeys(c.Skyline), valueKeys(s.Skyline)
+			for i := range ck {
+				if ck[i] != sk[i] {
+					t.Fatalf("%s/%s: results diverge:\n coord:  %v\n single: %v", phase, v.name, ck, sk)
+				}
+			}
+		}
+	}
+	sweep("healthy")
+
+	// SIGKILL shard 0's primary — no drain, no goodbye.
+	if err := p0.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p0.Wait()
+
+	sweep("post-kill")
+	var cz cluster.ClusterzInfo
+	getJSON(t, coord+"/clusterz", &cz)
+	if cz.Failovers == 0 {
+		t.Fatal("post-kill sweep passed but the coordinator counted no failovers")
+	}
+	if len(cz.Tables) != 1 || len(cz.Tables[0].Versions) != 2 || cz.Tables[0].Versions[0] != -1 {
+		t.Fatalf("clusterz after kill: %+v, want versions [-1, v] for ft", cz.Tables)
+	}
+
+	// Coordinator restart with the primary still dead: the durable
+	// catalog must restore the range spec (Adopt's probes fail over to
+	// the followers), not silently fall back to hash routing.
+	co.Process.Signal(syscall.SIGTERM)
+	co.Wait()
+	start(coAddr, coArgs...)
+
+	part := waitForAdoption(t, coord+"/clusterz")
+	if part.By != "range" || part.Column != "x" ||
+		len(part.Bounds) != 1 || part.Bounds[0] != 500 {
+		t.Fatalf("restarted coordinator adopted partition %+v, want range on x at [500]", part)
+	}
+	sweep("post-restart")
+}
+
+// waitForVersion polls a table-info URL until the served version
+// reaches at least want.
+func waitForVersion(t *testing.T, url string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			var info serve.TableInfo
+			ok := json.NewDecoder(resp.Body).Decode(&info) == nil
+			resp.Body.Close()
+			if ok && resp.StatusCode == http.StatusOK && info.Version >= want {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never reached version %d", url, want)
+}
+
+// waitForAdoption polls /clusterz until the restarted coordinator has
+// adopted its table, and returns the adopted partition spec.
+func waitForAdoption(t *testing.T, url string) serve.PartitionSpec {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var cz struct {
+			Tables []struct {
+				Name      string              `json:"name"`
+				Partition serve.PartitionSpec `json:"partition"`
+			} `json:"tables"`
+		}
+		resp, err := http.Get(url)
+		if err == nil {
+			ok := json.NewDecoder(resp.Body).Decode(&cz) == nil
+			resp.Body.Close()
+			if ok && len(cz.Tables) == 1 {
+				return cz.Tables[0].Partition
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("restarted coordinator never adopted the cluster table")
+	return serve.PartitionSpec{}
+}

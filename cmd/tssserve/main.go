@@ -9,7 +9,9 @@
 //	tssserve -addr :8080 -table flights=./work -cache 128
 //	tssserve -addr :8080 -data-dir ./tss-data -checkpoint-every 4194304
 //	tssserve -addr :8081 -shard-of 0/2                       # shard node
-//	tssserve -addr :8080 -coordinator http://h1:8081,http://h2:8081
+//	tssserve -addr :8082 -follower-of http://h1:8081         # read-only mirror
+//	tssserve -addr :8080 -data-dir ./co -coordinator http://h1:8081,http://h2:8081 \
+//	         -replicas http://h1f:8082,http://h2f:8082
 //
 // With -data-dir the catalog is durable: every batch is appended to a
 // CRC-checked write-ahead log *before* its snapshot is published, logs
@@ -27,7 +29,25 @@
 // vector in every response. -shard-of i/n declares a shard's identity,
 // surfaced in /statsz and checked against the coordinator's routing
 // assertion (mismatch = 409). One process may carry both flags — the
-// coordinator's scatter traffic bypasses its own cluster layer.
+// coordinator's scatter traffic bypasses its own cluster layer. A
+// coordinator with -data-dir persists its cluster catalog (partition
+// kind, range bounds, shard count), so a restart restores real
+// placement; without it, range-partitioned creates are refused.
+//
+// With -follower-of the node is a read-only mirror of one primary:
+// every table bootstrap-seeds from the primary's columnar snapshot,
+// then tails its committed WAL frames and applies each record through
+// the normal batch path. HTTP mutations answer 403; reads can demand
+// freshness with ?minVersion=N (412 until the mirror reaches N). Add
+// -data-dir to make the mirror itself durable. A coordinator given
+// -replicas (follower URLs per shard, comma-separated by shard index,
+// '|' between one shard's followers) fails read legs over to a
+// follower when the primary is unreachable — pinned to the version the
+// scatter already observed — while mutations never fail over, so a
+// dead primary degrades its shard to read-only instead of serving
+// wrong answers. Replication is asynchronous: frames the primary
+// acknowledged but had not yet shipped are unavailable until its disk
+// returns.
 //
 // Preload tables from tssgen output directories with repeated -table
 // name=dir flags, or create them over HTTP (POST /tables). Endpoints:
@@ -44,6 +64,8 @@
 //	POST   /tables/{name}/rows:batch    batched mutation
 //	POST   /tables/{name}/query         dynamic query (per-request DAGs)
 //	POST   /tables/{name}/domcount      dominance counts for candidate rows
+//	GET    /tables/{name}/replica/snapshot  columnar snapshot (follower bootstrap)
+//	GET    /tables/{name}/replica/log       committed WAL frames past ?after=N
 //
 // tssquery -serve <url> is the matching thin client and works
 // unchanged against a coordinator. SIGINT/SIGTERM drain in-flight
@@ -63,9 +85,30 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
+
+// parseReplicas decodes the -replicas value: one comma-separated entry
+// per shard index, '|' between one shard's followers, blank entries for
+// shards without followers ("f0,,f2|f2b").
+func parseReplicas(v string) [][]string {
+	if strings.TrimSpace(v) == "" {
+		return nil
+	}
+	var out [][]string
+	for _, entry := range strings.Split(v, ",") {
+		var followers []string
+		for _, u := range strings.Split(entry, "|") {
+			if u = strings.TrimSpace(u); u != "" {
+				followers = append(followers, u)
+			}
+		}
+		out = append(out, followers)
+	}
+	return out
+}
 
 // tableFlags collects repeated -table name=dir values.
 type tableFlags []string
@@ -87,6 +130,12 @@ func main() {
 		"this node's cluster identity as index/count (e.g. 0/2): shown in /statsz and enforced against the coordinator's routing assertion")
 	coordinator := flag.String("coordinator", "",
 		"comma-separated shard base URLs: serve as the cluster coordinator over them (scatter/gather; may combine with -shard-of on one process)")
+	replicas := flag.String("replicas", "",
+		"per-shard follower base URLs for the coordinator, comma-separated by shard index with '|' between one shard's followers (e.g. http://f0a|http://f0b,http://f1): reads fail over to them when the primary is unreachable; mutations never do")
+	followerOf := flag.String("follower-of", "",
+		"primary base URL: run as a read-only replication follower mirroring every table of the primary (combine with -data-dir for a durable mirror)")
+	followerInterval := flag.Duration("follower-interval", replica.DefaultInterval,
+		"replication poll cadence in follower mode")
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	checkpointEvery := flag.Int64("checkpoint-every", serve.DefaultCheckpointEvery,
 		"WAL bytes after which a batch checkpoints its table into a fresh snapshot")
@@ -95,7 +144,16 @@ func main() {
 	flag.Var(&tables, "table", "preload a table from a tssgen output dir, as name=dir (repeatable)")
 	flag.Parse()
 
-	cfg := serve.Config{CacheCapacity: *cache, CheckpointEvery: *checkpointEvery}
+	if *followerOf != "" && *coordinator != "" {
+		fatalf("-follower-of and -coordinator are mutually exclusive (a follower mirrors one primary)")
+	}
+	if *followerOf != "" && len(tables) > 0 {
+		fatalf("-table preloads cannot combine with -follower-of (the primary owns the mirror's tables)")
+	}
+	if *replicas != "" && *coordinator == "" {
+		fatalf("-replicas only applies to a coordinator (-coordinator)")
+	}
+	cfg := serve.Config{CacheCapacity: *cache, CheckpointEvery: *checkpointEvery, ReadOnly: *followerOf != ""}
 	if *shardOf != "" {
 		var idx, count int
 		if n, err := fmt.Sscanf(*shardOf, "%d/%d", &idx, &count); n != 2 || err != nil ||
@@ -142,12 +200,31 @@ func main() {
 	handler := s.Handler()
 	var co *cluster.Coordinator
 	if *coordinator != "" {
-		co, err = cluster.New(cluster.Config{Shards: strings.Split(*coordinator, ",")})
+		co, err = cluster.New(cluster.Config{
+			Shards:   strings.Split(*coordinator, ","),
+			Replicas: parseReplicas(*replicas),
+			// The serve store doubles as the coordinator's durable catalog
+			// (distinct meta key), so -data-dir restores partition specs —
+			// range bounds included — across restarts.
+			Catalog: cfg.Store,
+		})
 		if err != nil {
 			fatalf("coordinator: %v", err)
 		}
 		handler = co.Handler(handler)
 		fmt.Printf("coordinating %d shards\n", co.NumShards())
+	}
+	var follower *replica.Follower
+	if *followerOf != "" {
+		follower, err = replica.New(replica.Config{
+			Primary:  *followerOf,
+			Server:   s,
+			Interval: *followerInterval,
+			Logf:     func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		})
+		if err != nil {
+			fatalf("follower: %v", err)
+		}
 	}
 	if *requestTimeout > 0 {
 		handler = withRequestTimeout(handler, *requestTimeout)
@@ -165,14 +242,23 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("tssserve listening on %s\n", *addr)
+	followCtx, stopFollow := context.WithCancel(context.Background())
+	defer stopFollow()
+	if follower != nil {
+		go follower.Run(followCtx)
+		fmt.Printf("following %s (read-only mirror, poll %s)\n", *followerOf, *followerInterval)
+	}
 	if co != nil {
 		// Rebuild the cluster catalog from the shards: tables created
-		// before a coordinator restart resume serving (with the default
-		// hash router — placement affects balance, never results). This
-		// must run *after* the listener is up — a dual-role node's shard
-		// list includes its own address — and retries while peers are
-		// still starting. Until adoption completes, requests for
-		// not-yet-adopted tables fall through to the local catalog.
+		// before a coordinator restart resume serving. Tables recorded in
+		// the durable catalog (-data-dir) come back with their persisted
+		// partition spec — range bounds intact; the rest were hash-routed
+		// to begin with. The probes fail over to -replicas followers, so a
+		// dead primary does not block adoption. This must run *after* the
+		// listener is up — a dual-role node's shard list includes its own
+		// address — and retries while peers are still starting. Until
+		// adoption completes, requests for not-yet-adopted tables fall
+		// through to the local catalog.
 		go func() {
 			for attempt := 0; attempt < 20; attempt++ {
 				adoptCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

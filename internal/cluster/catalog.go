@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// The durable coordinator catalog: every cluster table's partition
+// spec, with range bounds rendered explicitly, persisted as a JSON
+// meta blob in the coordinator's store. Adopt consults it after a
+// restart so a range-partitioned table comes back with its real
+// bounds instead of the uniform hash fallback — placement never
+// affects results, but a silently re-routed table degrades balance,
+// shard pruning, and every future add's locality.
+
+// catalogMetaKey is the store meta key the catalog is persisted under.
+const catalogMetaKey = "cluster-catalog"
+
+// catalogFile is the persisted form. The shard count is part of the
+// cluster's identity: bounds for a 3-shard split are meaningless over
+// 4 shards, so a mismatch is a hard startup error, not a guess.
+type catalogFile struct {
+	Shards int                            `json:"shards"`
+	Tables map[string]serve.PartitionSpec `json:"tables"`
+}
+
+// loadCatalog reads the persisted catalog into co.saved at startup.
+// No catalog blob yet is fine (first boot); a corrupt blob or a shard
+// count mismatch is not.
+func (co *Coordinator) loadCatalog() error {
+	if co.catalog == nil {
+		return nil
+	}
+	b, err := co.catalog.LoadMeta(catalogMetaKey)
+	if errors.Is(err, store.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: load catalog: %w", err)
+	}
+	var cf catalogFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return fmt.Errorf("cluster: catalog is corrupt: %w", err)
+	}
+	if cf.Shards != len(co.shards) {
+		return fmt.Errorf("cluster: catalog was written for %d shards, this cluster has %d",
+			cf.Shards, len(co.shards))
+	}
+	for name, spec := range cf.Tables {
+		co.saved[name] = spec
+	}
+	return nil
+}
+
+// persistCatalog writes the live catalog (every registered table's
+// partition spec) to the store. A no-op without a catalog store.
+func (co *Coordinator) persistCatalog() error {
+	if co.catalog == nil {
+		return nil
+	}
+	cf := catalogFile{Shards: len(co.shards), Tables: map[string]serve.PartitionSpec{}}
+	co.mu.RLock()
+	for name, ct := range co.tables {
+		cf.Tables[name] = ct.part.spec()
+	}
+	co.mu.RUnlock()
+	b, err := json.Marshal(cf)
+	if err != nil {
+		return fmt.Errorf("cluster: encode catalog: %w", err)
+	}
+	if err := co.catalog.SaveMeta(catalogMetaKey, b); err != nil {
+		return fmt.Errorf("cluster: persist catalog: %w", err)
+	}
+	return nil
+}

@@ -17,8 +17,10 @@ import (
 // dual-role node (coordinator and shard in one process) routes requests
 // carrying it to its local catalog instead of back into the cluster
 // layer — without it, a coordinator listing itself as a shard would
-// scatter to itself forever.
-const ShardDirectHeader = "X-Tss-Shard-Direct"
+// scatter to itself forever. The canonical definition lives in serve so
+// the replication follower's client (which never imports the cluster
+// layer) shares it.
+const ShardDirectHeader = serve.ShardDirectHeader
 
 // shardClient talks to one shard node's HTTP API.
 type shardClient struct {

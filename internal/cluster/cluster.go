@@ -39,6 +39,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/poset"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Config assembles a Coordinator.
@@ -46,25 +47,42 @@ type Config struct {
 	// Shards are the shard nodes' base URLs, in shard-index order. The
 	// order is part of the cluster's identity: rows are placed by index.
 	Shards []string
+	// Replicas lists each shard's follower base URLs: Replicas[i] are
+	// read-only mirrors of Shards[i] (tssserve -follower-of). Reads fail
+	// over to them when the primary is unreachable; mutations never do.
+	// The slice may be shorter than Shards — missing entries mean the
+	// shard has no followers.
+	Replicas [][]string
 	// Client overrides the HTTP client (default: 30 s timeout). Streamed
 	// scatter legs reuse its transport without the overall timeout.
 	Client *http.Client
 	// StreamHeartbeat overrides the idle heartbeat interval on streamed
 	// responses (default serve.DefaultStreamHeartbeat).
 	StreamHeartbeat time.Duration
+	// Catalog, when non-nil, persists the coordinator's table catalog —
+	// each table's partition spec with explicit range bounds — so a
+	// restarted coordinator recovers real placement in Adopt instead of
+	// falling back to hash routing. Without it, range-partitioned
+	// creates are refused: their bounds would be unrecoverable.
+	Catalog store.Store
 }
 
 // Coordinator is the scatter/gather front end over a fixed set of
 // shard nodes. The table catalog is in-memory; Adopt rebuilds it from
 // the shards after a restart.
 type Coordinator struct {
-	shards []*shardClient
+	shards   []*shardClient
+	replicas [][]*shardClient // replicas[i]: shard i's followers, failover order
 
 	mu     sync.RWMutex
 	tables map[string]*ctable
 
-	queries atomic.Int64
-	pruned  atomic.Int64 // shards skipped by statistics-driven pruning
+	catalog store.Store                    // nil = in-memory catalog only
+	saved   map[string]serve.PartitionSpec // persisted specs, loaded at New for Adopt
+
+	queries   atomic.Int64
+	pruned    atomic.Int64 // shards skipped by statistics-driven pruning
+	failovers atomic.Int64 // read legs answered by a follower
 
 	streamHeartbeat time.Duration
 }
@@ -90,27 +108,57 @@ func New(cfg Config) (*Coordinator, error) {
 	streamClient := &http.Client{}
 	*streamClient = *client
 	streamClient.Timeout = 0
-	co := &Coordinator{tables: make(map[string]*ctable), streamHeartbeat: cfg.StreamHeartbeat}
-	for i, base := range cfg.Shards {
-		base = trimSlash(strings.TrimSpace(base))
+	co := &Coordinator{
+		tables:          make(map[string]*ctable),
+		streamHeartbeat: cfg.StreamHeartbeat,
+		catalog:         cfg.Catalog,
+		saved:           make(map[string]serve.PartitionSpec),
+	}
+	newClient := func(raw string, index int) (*shardClient, error) {
+		base := trimSlash(strings.TrimSpace(raw))
 		// Reject malformed bases at startup — a blank element (e.g. a
 		// trailing comma in -coordinator) would otherwise surface only as
 		// a confusing per-request transport error.
 		if u, err := url.Parse(base); err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("cluster: shard %d: %q is not an absolute base URL", i, cfg.Shards[i])
+			return nil, fmt.Errorf("%q is not an absolute base URL", raw)
 		}
-		for j := 0; j < i; j++ {
-			if co.shards[j].base == base {
-				return nil, fmt.Errorf("cluster: duplicate shard URL %q", base)
-			}
-		}
-		co.shards = append(co.shards, &shardClient{
+		return &shardClient{
 			base:       base,
-			index:      i,
+			index:      index,
 			count:      len(cfg.Shards),
 			http:       client,
 			streamHTTP: streamClient,
-		})
+		}, nil
+	}
+	for i, base := range cfg.Shards {
+		sc, err := newClient(base, i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		for j := 0; j < i; j++ {
+			if co.shards[j].base == sc.base {
+				return nil, fmt.Errorf("cluster: duplicate shard URL %q", sc.base)
+			}
+		}
+		co.shards = append(co.shards, sc)
+	}
+	if len(cfg.Replicas) > len(cfg.Shards) {
+		return nil, fmt.Errorf("cluster: replica lists for %d shards, cluster has %d", len(cfg.Replicas), len(cfg.Shards))
+	}
+	co.replicas = make([][]*shardClient, len(cfg.Shards))
+	for i, followers := range cfg.Replicas {
+		for _, base := range followers {
+			// A follower client asserts the same shard identity as its
+			// primary: it mirrors that shard's partition.
+			rc, err := newClient(base, i)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d replica: %w", i, err)
+			}
+			co.replicas[i] = append(co.replicas[i], rc)
+		}
+	}
+	if err := co.loadCatalog(); err != nil {
+		return nil, err
 	}
 	return co, nil
 }
@@ -180,6 +228,13 @@ func (co *Coordinator) CreateTable(ctx context.Context, spec serve.TableSpec) (s
 	if err != nil {
 		return serve.TableInfo{}, err
 	}
+	if !ct.part.byHash && co.catalog == nil {
+		// Range bounds live only in the coordinator's catalog; without a
+		// durable one a restart could not recover them and would silently
+		// re-adopt the table as hash-routed. Refuse up front.
+		return serve.TableInfo{}, fmt.Errorf(
+			"cluster: range-partitioned tables need a durable coordinator catalog (start the coordinator with -data-dir)")
+	}
 	parts := make([][]serve.RowSpec, len(co.shards))
 	for _, r := range spec.Rows {
 		si := ct.part.route(r)
@@ -215,6 +270,18 @@ func (co *Coordinator) CreateTable(ctx context.Context, spec serve.TableSpec) (s
 	}
 	co.tables[spec.Name] = ct
 	co.mu.Unlock()
+	if err := co.persistCatalog(); err != nil {
+		// An unpersisted placement would resurface as a hash table after
+		// a restart — roll the create back rather than let that linger.
+		co.mu.Lock()
+		delete(co.tables, spec.Name)
+		co.mu.Unlock()
+		co.scatter(func(i int) error {
+			return co.shards[i].do(context.Background(), http.MethodDelete,
+				co.shards[i].tablePath(spec.Name, ""), nil, nil)
+		})
+		return serve.TableInfo{}, err
+	}
 	return co.aggregateInfo(ct, infos), nil
 }
 
@@ -238,18 +305,28 @@ func (co *Coordinator) DropTable(ctx context.Context, name string) (bool, error)
 	}
 	co.mu.Lock()
 	delete(co.tables, name)
+	delete(co.saved, name)
 	co.mu.Unlock()
+	// A persist failure here is benign-stale: the catalog still lists a
+	// table no shard has, and Adopt only restores specs for tables that
+	// exist on every shard. The next successful persist cleans it up.
+	_ = co.persistCatalog()
 	return true, nil
 }
 
 // Adopt rebuilds the in-memory catalog from the shards after a
-// coordinator restart: every table present on *all* shards is adopted
-// (with the uniform hash router — the original partition spec is not
-// persisted; placement only affects balance and pruning, never
-// results). Returns the adopted table names.
+// coordinator restart: every table present on *all* shards is adopted.
+// A table recorded in the durable catalog comes back with its
+// persisted partition spec — range bounds and split column intact; a
+// table absent from it gets the uniform hash router, which is safe
+// because range-partitioned creates require a durable catalog (they
+// are refused without one), so every un-cataloged table was
+// hash-routed to begin with. The probes fail over to followers, so a
+// dead shard primary does not block adoption of the tables its
+// follower still serves. Returns the adopted table names.
 func (co *Coordinator) Adopt(ctx context.Context) ([]string, error) {
 	var first []serve.TableInfo
-	if err := co.shards[0].do(ctx, http.MethodGet, "/tables", nil, &first); err != nil {
+	if err := co.readShard(ctx, 0, http.MethodGet, "/tables", 0, nil, &first); err != nil {
 		return nil, err
 	}
 	var adopted []string
@@ -257,7 +334,7 @@ func (co *Coordinator) Adopt(ctx context.Context) ([]string, error) {
 		onAll := true
 		for _, sc := range co.shards[1:] {
 			var probe serve.TableInfo
-			if err := sc.do(ctx, http.MethodGet, sc.tablePath(info.Name, ""), nil, &probe); err != nil {
+			if err := co.readShard(ctx, sc.index, http.MethodGet, sc.tablePath(info.Name, ""), 0, nil, &probe); err != nil {
 				onAll = false
 				break
 			}
@@ -265,11 +342,17 @@ func (co *Coordinator) Adopt(ctx context.Context) ([]string, error) {
 		if !onAll {
 			continue
 		}
-		ct, err := co.newCtable(serve.TableSpec{
+		spec := serve.TableSpec{
 			Name:      info.Name,
 			TOColumns: info.TOColumns,
 			Orders:    info.Orders,
-		})
+		}
+		co.mu.RLock()
+		if saved, ok := co.saved[info.Name]; ok {
+			spec.Partition = &saved
+		}
+		co.mu.RUnlock()
+		ct, err := co.newCtable(spec)
 		if err != nil {
 			return adopted, fmt.Errorf("adopt %q: %w", info.Name, err)
 		}
@@ -288,7 +371,7 @@ func (co *Coordinator) Adopt(ctx context.Context) ([]string, error) {
 func (co *Coordinator) Info(ctx context.Context, ct *ctable) (serve.TableInfo, error) {
 	infos := make([]serve.TableInfo, len(co.shards))
 	errs := co.scatter(func(i int) error {
-		return co.shards[i].do(ctx, http.MethodGet, co.shards[i].tablePath(ct.name, ""), nil, &infos[i])
+		return co.readShard(ctx, i, http.MethodGet, co.shards[i].tablePath(ct.name, ""), 0, nil, &infos[i])
 	})
 	if err := firstError(errs); err != nil {
 		return serve.TableInfo{}, err
@@ -362,7 +445,7 @@ func (co *Coordinator) Batch(ctx context.Context, ct *ctable, req serve.BatchReq
 func (co *Coordinator) ShardStats(ctx context.Context, ct *ctable) ([]serve.TableStatsInfo, error) {
 	stats := make([]serve.TableStatsInfo, len(co.shards))
 	errs := co.scatter(func(i int) error {
-		return co.shards[i].do(ctx, http.MethodGet, co.shards[i].tablePath(ct.name, "/stats"), nil, &stats[i])
+		return co.readShard(ctx, i, http.MethodGet, co.shards[i].tablePath(ct.name, "/stats"), 0, nil, &stats[i])
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err

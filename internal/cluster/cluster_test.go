@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // TestHashPartitioner pins determinism and spread.
@@ -137,7 +138,8 @@ func TestShardPruning(t *testing.T) {
 		t.Cleanup(ts.Close)
 		urls[i] = ts.URL
 	}
-	co, err := New(Config{Shards: urls})
+	// Range-partitioned creates need a durable catalog.
+	co, err := New(Config{Shards: urls, Catalog: store.NewMem()})
 	if err != nil {
 		t.Fatal(err)
 	}

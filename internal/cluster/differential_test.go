@@ -10,6 +10,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/replica"
 	"repro/internal/serve"
 )
 
@@ -63,6 +64,11 @@ type testCluster struct {
 	co     *httptest.Server // coordinator front door
 	single *httptest.Server // single-node holding the union of all shard rows
 	srv    *serve.Server    // the single node's catalog (for rebuilds)
+
+	// Populated by newReplicatedTestCluster (failover_test.go) only:
+	// per-shard primary servers (killable) and their follower loops.
+	primaries []*httptest.Server
+	followers []*replica.Follower
 }
 
 // newTestCluster boots n shard servers, a coordinator over them, and a

@@ -197,35 +197,100 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request, ct *c
 
 // ClusterzInfo is the GET /clusterz body.
 type ClusterzInfo struct {
-	Shards  []string       `json:"shards"`
-	Tables  []ClusterTable `json:"tables"`
-	Queries int64          `json:"queries"`
+	Shards []string `json:"shards"`
+	// Replicas[i] are shard i's follower base URLs, in failover order.
+	Replicas [][]string     `json:"replicas,omitempty"`
+	Tables   []ClusterTable `json:"tables"`
+	Queries  int64          `json:"queries"`
 	// PrunedShards counts scatter legs skipped by statistics-driven
 	// pruning since startup.
 	PrunedShards int64 `json:"prunedShards"`
+	// Failovers counts read legs a follower answered because the shard
+	// primary was unreachable, since startup.
+	Failovers int64 `json:"failovers"`
 }
 
 // ClusterTable is one catalog entry of /clusterz.
 type ClusterTable struct {
 	Name      string `json:"name"`
 	Partition any    `json:"partition"`
+	// Versions is the primary version vector, probed live; -1 marks an
+	// unreachable primary.
+	Versions []int64 `json:"versions,omitempty"`
+	// ReplicaLag[i][j] is primary version − follower j's version for
+	// shard i — the replication delta; -1 when either side is
+	// unreachable. Omitted when no shard has followers.
+	ReplicaLag [][]int64 `json:"replicaLag,omitempty"`
 }
 
-func (co *Coordinator) handleClusterz(w http.ResponseWriter, _ *http.Request) {
+func (co *Coordinator) handleClusterz(w http.ResponseWriter, r *http.Request) {
 	info := ClusterzInfo{
 		Queries:      co.queries.Load(),
 		PrunedShards: co.pruned.Load(),
+		Failovers:    co.failovers.Load(),
 		Tables:       []ClusterTable{},
 	}
-	for _, sc := range co.shards {
+	hasReplicas := false
+	for i, sc := range co.shards {
 		info.Shards = append(info.Shards, sc.base)
-	}
-	for _, name := range co.tableNames() {
-		if ct := co.table(name); ct != nil {
-			info.Tables = append(info.Tables, ClusterTable{Name: name, Partition: ct.part.spec()})
+		if len(co.replicas[i]) > 0 {
+			hasReplicas = true
 		}
 	}
+	if hasReplicas {
+		info.Replicas = make([][]string, len(co.shards))
+		for i, rcs := range co.replicas {
+			for _, rc := range rcs {
+				info.Replicas[i] = append(info.Replicas[i], rc.base)
+			}
+		}
+	}
+	for _, name := range co.tableNames() {
+		ct := co.table(name)
+		if ct == nil {
+			continue
+		}
+		entry := ClusterTable{Name: name, Partition: ct.part.spec()}
+		entry.Versions, entry.ReplicaLag = co.probeVersions(r.Context(), name, hasReplicas)
+		info.Tables = append(info.Tables, entry)
+	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// probeVersions asks every primary (and, when followers are
+// configured, every follower) for one table's current version —
+// best-effort, concurrently, -1 for any node that does not answer. The
+// per-follower lag is the primary/follower version delta, the live
+// measure of how far behind each mirror is.
+func (co *Coordinator) probeVersions(ctx context.Context, name string, withLag bool) ([]int64, [][]int64) {
+	versions := make([]int64, len(co.shards))
+	var lag [][]int64
+	if withLag {
+		lag = make([][]int64, len(co.shards))
+	}
+	probe := func(sc *shardClient) int64 {
+		var info serve.TableInfo
+		if err := sc.do(ctx, http.MethodGet, sc.tablePath(name, ""), nil, &info); err != nil {
+			return -1
+		}
+		return info.Version
+	}
+	co.scatter(func(i int) error {
+		versions[i] = probe(co.shards[i])
+		if lag == nil {
+			return nil
+		}
+		for _, rc := range co.replicas[i] {
+			rv := probe(rc)
+			if versions[i] < 0 || rv < 0 {
+				lag[i] = append(lag[i], -1)
+				continue
+			}
+			lag[i] = append(lag[i], versions[i]-rv)
+		}
+		return nil
+	})
+	return versions, lag
 }
 
 // statusForCluster maps a coordinator error to its HTTP status: shard
@@ -235,6 +300,7 @@ func (co *Coordinator) handleClusterz(w http.ResponseWriter, _ *http.Request) {
 // else is a client error.
 func statusForCluster(err error) int {
 	var se *shardError
+	var ue *url.Error
 	switch {
 	case errors.As(err, &se):
 		if se.status/100 == 4 {
@@ -245,6 +311,10 @@ func statusForCluster(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		return 499
+	case errors.As(err, &ue):
+		// A transport-level failure (shard unreachable, connection torn):
+		// the shard is the broken dependency, not the request.
+		return http.StatusBadGateway
 	}
 	return http.StatusBadRequest
 }

@@ -279,6 +279,17 @@ func (g *gather) run(ctx context.Context, co *Coordinator) (*gathered, error) {
 // domFor returns the dominance domain of kept PO slot j (table dim d).
 func (g *gather) domFor(j, d int) *poset.Domain { return g.doms[j] }
 
+// pin returns the version shard i's read must observe on failover: the
+// version its statistics snapshot was taken at, so the shard's view
+// never moves backwards within one scatter. 0 (unpinned) when the
+// gather fetched no statistics.
+func (g *gather) pin(i int) int64 {
+	if i < len(g.stats) {
+		return g.stats[i].Version
+	}
+	return 0
+}
+
 // candidates converts one shard response into merge candidates.
 func (g *gather) candidates(shard int, resp *serve.QueryResponse) ([]candidate, error) {
 	cands := make([]candidate, len(resp.Skyline))
@@ -398,11 +409,11 @@ func (co *Coordinator) planQuery(ctx context.Context, ct *ctable, req serve.Quer
 	g := &gather{
 		ct: ct, keptTO: keptTO, keptPO: keptPO, doms: doms,
 		stats: stats, prune: len(co.shards) > 1,
-		query: func(ctx context.Context, i int) (*serve.QueryResponse, error) {
-			var resp serve.QueryResponse
-			err := co.shards[i].do(ctx, http.MethodPost, co.shards[i].tablePath(ct.name, "/query"), sreq, &resp)
-			return &resp, err
-		},
+	}
+	g.query = func(ctx context.Context, i int) (*serve.QueryResponse, error) {
+		var resp serve.QueryResponse
+		err := co.readShard(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/query"), g.pin(i), sreq, &resp)
+		return &resp, err
 	}
 	gr, err := g.run(ctx, co)
 	if err != nil {
@@ -500,7 +511,7 @@ func (co *Coordinator) rank(ctx context.Context, ct *ctable, g *gather, req serv
 		}
 		resps := make([]serve.DomCountResponse, len(co.shards))
 		errs := co.scatter(func(i int) error {
-			return co.shards[i].do(ctx, http.MethodPost, co.shards[i].tablePath(ct.name, "/domcount"), dreq, &resps[i])
+			return co.readShard(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/domcount"), g.pin(i), dreq, &resps[i])
 		})
 		if err := firstError(errs); err != nil {
 			return nil, err
@@ -595,11 +606,11 @@ func (co *Coordinator) dynamicQuery(ctx context.Context, ct *ctable, req serve.Q
 		keptPO: identityDims(ct.schema.NumPO()),
 		doms:   doms,
 		ideal:  req.Ideal,
-		query: func(ctx context.Context, i int) (*serve.QueryResponse, error) {
-			var resp serve.QueryResponse
-			err := co.shards[i].do(ctx, http.MethodPost, co.shards[i].tablePath(ct.name, "/query"), sreq, &resp)
-			return &resp, err
-		},
+	}
+	g.query = func(ctx context.Context, i int) (*serve.QueryResponse, error) {
+		var resp serve.QueryResponse
+		err := co.readShard(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/query"), g.pin(i), sreq, &resp)
+		return &resp, err
 	}
 	// Plain dynamic queries (no distance transform) still benefit from
 	// pruning when statistics are available; a stats fetch failure just
@@ -647,11 +658,11 @@ func (co *Coordinator) Skyline(ctx context.Context, ct *ctable, params url.Value
 		keptTO: identityDims(ct.schema.NumTO()),
 		keptPO: identityDims(ct.schema.NumPO()),
 		doms:   ct.domains,
-		query: func(ctx context.Context, i int) (*serve.QueryResponse, error) {
-			var resp serve.QueryResponse
-			err := co.shards[i].do(ctx, http.MethodGet, co.shards[i].tablePath(ct.name, path), nil, &resp)
-			return &resp, err
-		},
+	}
+	g.query = func(ctx context.Context, i int) (*serve.QueryResponse, error) {
+		var resp serve.QueryResponse
+		err := co.readShard(ctx, i, http.MethodGet, co.shards[i].tablePath(ct.name, path), g.pin(i), nil, &resp)
+		return &resp, err
 	}
 	if len(co.shards) > 1 {
 		if stats, err := co.ShardStats(ctx, ct); err == nil {
@@ -675,7 +686,7 @@ func (co *Coordinator) Skyline(ctx context.Context, ct *ctable, params url.Value
 func (co *Coordinator) DomCount(ctx context.Context, ct *ctable, req serve.DomCountRequest) (*serve.DomCountResponse, error) {
 	resps := make([]serve.DomCountResponse, len(co.shards))
 	errs := co.scatter(func(i int) error {
-		return co.shards[i].do(ctx, http.MethodPost, co.shards[i].tablePath(ct.name, "/domcount"), req, &resps[i])
+		return co.readShard(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/domcount"), 0, req, &resps[i])
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err

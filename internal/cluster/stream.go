@@ -95,19 +95,13 @@ func (co *Coordinator) HandleQueryStream(w http.ResponseWriter, r *http.Request,
 }
 
 // streamPlanQuery streams a planner-mode scatter: plan once, fan the
-// per-shard streamed request out, merge incrementally.
+// per-shard streamed request out, merge incrementally. Only request
+// validation happens before the stream opens (client errors deserve an
+// HTTP status); the statistics fetch and the plan run inside the
+// producer, so heartbeats flow while they are in flight instead of the
+// client staring at a silent pre-stream pause.
 func (co *Coordinator) streamPlanQuery(w http.ResponseWriter, r *http.Request, ct *ctable, req serve.QueryRequest, limit int) {
 	q, err := ct.schema.PlanQuery(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	stats, err := co.ShardStats(r.Context(), ct)
-	if err != nil {
-		writeError(w, statusForCluster(err), err)
-		return
-	}
-	explain, err := co.planOnce(ct, q, stats)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -132,7 +126,6 @@ func (co *Coordinator) streamPlanQuery(w http.ResponseWriter, r *http.Request, c
 		// traversal mid-flight instead of after a full materialization).
 		sreq.Algo = "stss"
 	}
-	explain.Algorithm = sreq.Algo
 
 	keptTO, keptPO := identityDims(ct.schema.NumTO()), identityDims(ct.schema.NumPO())
 	if q.Subspace != nil {
@@ -142,15 +135,28 @@ func (co *Coordinator) streamPlanQuery(w http.ResponseWriter, r *http.Request, c
 	for j, d := range keptPO {
 		doms[j] = ct.domains[d]
 	}
-	g := &gather{ct: ct, keptTO: keptTO, keptPO: keptPO, doms: doms, stats: stats}
+	g := &gather{ct: ct, keptTO: keptTO, keptPO: keptPO, doms: doms}
 	sm := &streamMerge{
 		co: co, g: g, topK: req.TopK, limit: limit, algo: sreq.Algo,
 		open: func(ctx context.Context, i int) (io.ReadCloser, error) {
-			return co.shards[i].stream(ctx, http.MethodPost, co.shards[i].tablePath(ct.name, "/query?stream=1"), sreq)
+			return co.openShardStream(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/query?stream=1"), g.pin(i), sreq)
 		},
 	}
-	if req.Explain {
-		sm.explain = explain
+	sm.prepare = func(ctx context.Context) error {
+		stats, err := co.ShardStats(ctx, ct)
+		if err != nil {
+			return err
+		}
+		g.stats = stats
+		explain, err := co.planOnce(ct, q, stats)
+		if err != nil {
+			return err
+		}
+		explain.Algorithm = sreq.Algo
+		if req.Explain {
+			sm.explain = explain
+		}
+		return nil
 	}
 	sm.run(w, r, ct)
 }
@@ -174,20 +180,11 @@ func (co *Coordinator) streamDynamicQuery(w http.ResponseWriter, r *http.Request
 			len(req.Ideal), ct.schema.NumTO()))
 		return
 	}
-	buffered := func() {
-		co.streamBuffered(w, r, ct, limit, func(ctx context.Context) (*serve.QueryResponse, error) {
-			return co.dynamicQuery(ctx, ct, req)
-		})
+	bufferedCompute := func(ctx context.Context) (*serve.QueryResponse, error) {
+		return co.dynamicQuery(ctx, ct, req)
 	}
 	if req.Baseline || req.Ideal != nil {
-		buffered()
-		return
-	}
-	stats, err := co.ShardStats(r.Context(), ct)
-	if err != nil {
-		// Without statistics there are no shard corner bounds, hence no
-		// sound incremental certification — fall back to buffered replay.
-		buffered()
+		co.streamBuffered(w, r, ct, limit, bufferedCompute)
 		return
 	}
 	sreq := req
@@ -197,13 +194,24 @@ func (co *Coordinator) streamDynamicQuery(w http.ResponseWriter, r *http.Request
 		keptTO: identityDims(ct.schema.NumTO()),
 		keptPO: identityDims(ct.schema.NumPO()),
 		doms:   doms,
-		stats:  stats,
 	}
 	sm := &streamMerge{
 		co: co, g: g, limit: limit,
 		open: func(ctx context.Context, i int) (io.ReadCloser, error) {
-			return co.shards[i].stream(ctx, http.MethodPost, co.shards[i].tablePath(ct.name, "/query?stream=1"), sreq)
+			return co.openShardStream(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/query?stream=1"), g.pin(i), sreq)
 		},
+	}
+	// The statistics fetch runs inside the producer (heartbeats flow
+	// while it is in flight). Without statistics there are no shard
+	// corner bounds, hence no sound incremental certification — fall
+	// back to buffered replay within the already-open stream.
+	sm.prepare = func(ctx context.Context) error {
+		if stats, err := co.ShardStats(ctx, ct); err == nil {
+			g.stats = stats
+		} else {
+			sm.fallback = bufferedCompute
+		}
+		return nil
 	}
 	sm.run(w, r, ct)
 }
@@ -225,35 +233,47 @@ func (co *Coordinator) HandleSkylineStream(w http.ResponseWriter, r *http.Reques
 		}
 	}
 	path := "/skyline?" + scatterParams.Encode()
-	stats, err := co.ShardStats(r.Context(), ct)
-	if err != nil {
-		co.streamBuffered(w, r, ct, limit, func(ctx context.Context) (*serve.QueryResponse, error) {
-			return co.Skyline(ctx, ct, r.URL.Query())
-		})
-		return
-	}
 	g := &gather{
 		ct:     ct,
 		keptTO: identityDims(ct.schema.NumTO()),
 		keptPO: identityDims(ct.schema.NumPO()),
 		doms:   ct.domains,
-		stats:  stats,
 	}
 	sm := &streamMerge{
 		co: co, g: g, limit: limit, algo: r.URL.Query().Get("algo"),
 		open: func(ctx context.Context, i int) (io.ReadCloser, error) {
-			return co.shards[i].stream(ctx, http.MethodGet, co.shards[i].tablePath(ct.name, path), nil)
+			return co.openShardStream(ctx, i, http.MethodGet, co.shards[i].tablePath(ct.name, path), g.pin(i), nil)
 		},
+	}
+	query := r.URL.Query()
+	sm.prepare = func(ctx context.Context) error {
+		if stats, err := co.ShardStats(ctx, ct); err == nil {
+			g.stats = stats
+		} else {
+			// No statistics, no corner bounds, no sound incremental
+			// certification — buffered replay inside the open stream.
+			sm.fallback = func(ctx context.Context) (*serve.QueryResponse, error) {
+				return co.Skyline(ctx, ct, query)
+			}
+		}
+		return nil
 	}
 	sm.run(w, r, ct)
 }
 
 // streamBuffered renders a buffered coordinator answer through the
-// stream framing: header, every (limit-truncated) row, trailer.
+// stream framing: header, every (limit-truncated) row, trailer. The
+// compute runs inside the producer, so heartbeats cover it.
 func (co *Coordinator) streamBuffered(w http.ResponseWriter, r *http.Request, ct *ctable, limit int,
 	compute func(ctx context.Context) (*serve.QueryResponse, error)) {
 	header := serve.StreamRecord{Type: "header", Table: ct.name}
-	serve.StreamResponse(w, r, co.streamHeartbeat, header, func(ctx context.Context, emit func(serve.StreamRecord) error) (serve.StreamRecord, error) {
+	serve.StreamResponse(w, r, co.streamHeartbeat, header, bufferedProduce(limit, compute))
+}
+
+// bufferedProduce is the stream producer replaying one buffered
+// coordinator answer: compute, emit rows, return the trailer.
+func bufferedProduce(limit int, compute func(ctx context.Context) (*serve.QueryResponse, error)) func(context.Context, func(serve.StreamRecord) error) (serve.StreamRecord, error) {
+	return func(ctx context.Context, emit func(serve.StreamRecord) error) (serve.StreamRecord, error) {
 		start := time.Now()
 		resp, err := compute(ctx)
 		if err != nil {
@@ -274,7 +294,7 @@ func (co *Coordinator) streamBuffered(w http.ResponseWriter, r *http.Request, ct
 			Metrics: &resp.Metrics, CacheHit: resp.CacheHit, Algo: resp.Algo,
 			Plan: resp.Plan, Cluster: resp.Cluster,
 		}, nil
-	})
+	}
 }
 
 // shardBound is one shard's threat classification for certification.
@@ -318,6 +338,12 @@ type streamMerge struct {
 	algo    string        // trailer algo annotation
 	explain *plan.Explain // attached to the trailer when non-nil
 	open    func(ctx context.Context, shard int) (io.ReadCloser, error)
+	// prepare runs at the top of the producer — after the header, under
+	// heartbeat cover — to fetch statistics and plan. It may set
+	// fallback instead of g.stats to divert the whole request to a
+	// buffered replay inside the already-open stream.
+	prepare  func(ctx context.Context) error
+	fallback func(ctx context.Context) (*serve.QueryResponse, error)
 }
 
 func (sm *streamMerge) run(w http.ResponseWriter, r *http.Request, ct *ctable) {
@@ -365,6 +391,14 @@ func (sm *streamMerge) leg(ctx context.Context, shard int, events chan<- legEven
 
 // produce runs the merge loop against the leg streams.
 func (sm *streamMerge) produce(ctx context.Context, emit func(serve.StreamRecord) error) (serve.StreamRecord, error) {
+	if sm.prepare != nil {
+		if err := sm.prepare(ctx); err != nil {
+			return serve.StreamRecord{}, err
+		}
+	}
+	if sm.fallback != nil {
+		return bufferedProduce(sm.limit, sm.fallback)(ctx, emit)
+	}
 	start := time.Now()
 	n := len(sm.co.shards)
 	legCtx, cancel := context.WithCancel(ctx)
@@ -396,7 +430,7 @@ func (sm *streamMerge) produce(ctx context.Context, emit func(serve.StreamRecord
 	versions := make([]int64, n)
 	shardRows := make([]int, n)
 	complete := make([]bool, n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && i < len(sm.g.stats); i++ {
 		st := sm.g.stats[i]
 		versions[i] = st.Version
 		shardRows[i] = st.Rows

@@ -49,6 +49,12 @@ type Config struct {
 	// StreamHeartbeat is the idle interval between heartbeat records on
 	// streamed responses (0 = DefaultStreamHeartbeat).
 	StreamHeartbeat time.Duration
+	// ReadOnly makes the HTTP surface reject mutations (creates, drops,
+	// batches) with 403 — follower mode. Replicated state still applies
+	// through the in-process ImportSnapshot/ApplyReplicated path, which
+	// is how a follower stays a faithful mirror: the primary is the only
+	// writer its tables ever see.
+	ReadOnly bool
 }
 
 // Server is the catalog of named skyline tables plus the HTTP handlers
@@ -63,6 +69,7 @@ type Server struct {
 	checkpointEvery int64
 	shard           *ShardIdentity
 	streamHeartbeat time.Duration
+	readOnly        bool
 	checkpointErrs  atomic.Int64
 	started         time.Time
 	queries         atomic.Int64
@@ -92,6 +99,7 @@ func NewWithConfig(cfg Config) *Server {
 		checkpointEvery: cfg.CheckpointEvery,
 		shard:           cfg.Shard,
 		streamHeartbeat: cfg.StreamHeartbeat,
+		readOnly:        cfg.ReadOnly,
 		started:         time.Now(),
 	}
 }
@@ -211,22 +219,74 @@ func (s *Server) applyBatch(e *tableEntry, req BatchRequest) (BatchResponse, err
 	if err != nil || s.store == nil {
 		return resp, err
 	}
-	// Checkpoint policy: the batch is already durable in the WAL, so a
-	// failed checkpoint only defers compaction — count it, don't fail
-	// the request.
-	if size, err := s.store.LogSize(e.name); err == nil && size >= s.checkpointEvery {
-		e.writeMu.Lock()
-		cur := e.current()
-		img, err := e.storeSnapshot(cur)
-		if err == nil {
-			err = s.store.SaveSnapshot(e.name, img)
+	s.maybeCheckpoint(e)
+	return resp, nil
+}
+
+// checkpointDegradedAfter is the consecutive-failure count past which a
+// table's stuck checkpointing is surfaced as a degraded /healthz: the
+// WAL is still absorbing batches durably, but it can no longer compact,
+// so it grows without bound until an operator intervenes.
+const checkpointDegradedAfter = 3
+
+// checkpointMaxSkip caps the retry backoff (in oversized-log batches
+// skipped between attempts).
+const checkpointMaxSkip = 64
+
+// maybeCheckpoint runs the checkpoint policy after a durable batch: an
+// oversized log is compacted into a fresh snapshot. The batch itself is
+// already durable in the WAL, so a failed checkpoint only defers
+// compaction — it must never fail the request. But it must not be
+// forgotten either: retries back off batch-counted (1, 2, 4, …
+// oversized batches skipped between attempts, capped) so a broken disk
+// isn't hammered with a full snapshot encode per batch yet recovers by
+// itself, and the consecutive-failure streak drives the /healthz
+// degraded flag once it crosses the threshold.
+func (s *Server) maybeCheckpoint(e *tableEntry) {
+	size, err := s.store.LogSize(e.name)
+	if err != nil || size < s.checkpointEvery {
+		return
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if e.ckptSkipLeft > 0 {
+		e.ckptSkipLeft--
+		return
+	}
+	cur := e.current()
+	img, err := e.storeSnapshot(cur)
+	if err == nil {
+		err = s.store.SaveSnapshot(e.name, img)
+	}
+	if err != nil {
+		s.checkpointErrs.Add(1)
+		e.ckptStreak.Add(1)
+		if e.ckptSkip == 0 {
+			e.ckptSkip = 1
+		} else if e.ckptSkip < checkpointMaxSkip {
+			e.ckptSkip *= 2
 		}
-		e.writeMu.Unlock()
-		if err != nil {
-			s.checkpointErrs.Add(1)
+		e.ckptSkipLeft = e.ckptSkip
+		return
+	}
+	e.ckptSkip, e.ckptSkipLeft = 0, 0
+	e.ckptStreak.Store(0)
+}
+
+// CheckpointStuck lists the tables whose checkpointing has failed
+// checkpointDegradedAfter or more times in a row — the /healthz
+// degraded signal.
+func (s *Server) CheckpointStuck() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var names []string
+	for name, e := range s.tables {
+		if e.ckptStreak.Load() >= checkpointDegradedAfter {
+			names = append(names, name)
 		}
 	}
-	return resp, nil
+	sort.Strings(names)
+	return names
 }
 
 // Table looks a catalog entry up.
@@ -262,9 +322,18 @@ func (s *Server) Stats() StatsResponse {
 		Algorithms:       core.AlgorithmNames(),
 		Durable:          s.store != nil,
 		CheckpointErrors: s.checkpointErrs.Load(),
+		CheckpointStuck:  s.CheckpointStuck(),
+		ReadOnly:         s.readOnly,
 		Shard:            s.shard,
 	}
 }
+
+// ShardDirectHeader marks coordinator→shard (and follower→primary)
+// traffic that a dual-role node must answer from its local catalog
+// instead of routing back into the cluster layer. The cluster package
+// re-exports it; the definition lives here beside ExpectShardHeader so
+// clients below the cluster layer can set it.
+const ShardDirectHeader = "X-Tss-Shard-Direct"
 
 // ExpectShardHeader is the coordinator's routing assertion: every
 // scatter request names the shard identity ("index/count") it believes
@@ -324,7 +393,16 @@ func statusFor(err error) int {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Still 200 when degraded: the node serves reads and absorbs
+		// durable batches fine, it just cannot compact its WAL — a
+		// liveness probe must not kill it, but monitors must see it.
+		body := map[string]any{"status": "ok"}
+		if stuck := s.CheckpointStuck(); len(stuck) > 0 {
+			body["status"] = "degraded"
+			body["checkpointStuck"] = stuck
+			body["checkpointErrors"] = s.checkpointErrs.Load()
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -337,6 +415,10 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, e.info())
 	}))
 	mux.HandleFunc("DELETE /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.checkWritable(); err != nil {
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
 		if !s.DropTable(r.PathValue("name")) {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", r.PathValue("name")))
 			return
@@ -348,10 +430,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /tables/{name}/rows:batch", s.withTable(s.handleBatch))
 	mux.HandleFunc("POST /tables/{name}/query", s.withTable(s.handleQuery))
 	mux.HandleFunc("POST /tables/{name}/domcount", s.withTable(s.handleDomCount))
+	mux.HandleFunc("GET /tables/{name}/replica/snapshot", s.withTable(s.handleReplicaSnapshot))
+	mux.HandleFunc("GET /tables/{name}/replica/log", s.withTable(s.handleReplicaLog))
 	return mux
 }
 
-// withTable resolves the {name} path value to a catalog entry.
+// checkWritable rejects external mutations on a read-only follower.
+func (s *Server) checkWritable() error {
+	if s.readOnly {
+		return fmt.Errorf("read-only follower: mutations go to the primary")
+	}
+	return nil
+}
+
+// withTable resolves the {name} path value to a catalog entry and
+// enforces read-at-version pinning: ?minVersion=N refuses to answer
+// from a snapshot older than N with 412, so a coordinator failing a
+// read over to a replica never observes state older than the query's
+// pinned version — a stale follower is an explicit refusal, not a
+// silently time-traveling answer.
 func (s *Server) withTable(fn func(http.ResponseWriter, *http.Request, *tableEntry)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
@@ -359,6 +456,18 @@ func (s *Server) withTable(fn func(http.ResponseWriter, *http.Request, *tableEnt
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 			return
+		}
+		if v := r.URL.Query().Get("minVersion"); v != "" {
+			minV, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad minVersion=%q: %w", v, err))
+				return
+			}
+			if cur := e.current().version; cur < minV {
+				writeError(w, http.StatusPreconditionFailed,
+					fmt.Errorf("table %q at version %d, below pinned minVersion %d", name, cur, minV))
+				return
+			}
 		}
 		fn(w, r, e)
 	}
@@ -379,6 +488,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.checkShardIdentity(r); err != nil {
 		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if err := s.checkWritable(); err != nil {
+		writeError(w, http.StatusForbidden, err)
 		return
 	}
 	info, err := s.CreateTable(spec)
@@ -460,6 +573,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, e *tableEnt
 	}
 	if err := s.checkShardIdentity(r); err != nil {
 		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if err := s.checkWritable(); err != nil {
+		writeError(w, http.StatusForbidden, err)
 		return
 	}
 	resp, err := s.applyBatch(e, req)

@@ -48,6 +48,13 @@ type tableEntry struct {
 	writeMu sync.Mutex // serializes mutations; readers never take it
 	snap    atomic.Pointer[snapshot]
 
+	// Checkpoint backoff state (see Server.maybeCheckpoint). ckptSkip
+	// and ckptSkipLeft are guarded by writeMu; ckptStreak is atomic so
+	// /healthz reads it without the write lock.
+	ckptSkip     int
+	ckptSkipLeft int
+	ckptStreak   atomic.Int64
+
 	queries   atomic.Int64
 	mutations atomic.Int64
 	// Cache counters, accumulated per served query (on the response's

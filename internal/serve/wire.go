@@ -280,6 +280,13 @@ type StatsResponse struct {
 	// CheckpointErrors counts failed best-effort checkpoints (the WAL
 	// still holds the batches; only log compaction was deferred).
 	CheckpointErrors int64 `json:"checkpointErrors,omitempty"`
+	// CheckpointStuck lists tables whose checkpointing keeps failing —
+	// WAL compaction is stuck and the log grows until the disk recovers
+	// (also the /healthz degraded flag).
+	CheckpointStuck []string `json:"checkpointStuck,omitempty"`
+	// ReadOnly reports follower mode: external mutations are rejected,
+	// tables mirror a primary through the replication stream.
+	ReadOnly bool `json:"readOnly,omitempty"`
 	// Shard reports the node's cluster identity when started with
 	// -shard-of (observability; also enforced against the coordinator's
 	// routing header).

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/url"
 	"os"
@@ -271,6 +272,70 @@ func (d *Disk) LogSize(name string) (int64, error) {
 		return 0, err
 	}
 	return st.Size(), nil
+}
+
+// ReadLog implements Store. The WAL file may be read while an append
+// is in flight; recover-mode replay (inside readLogTail) treats a torn
+// final frame as not-yet-part-of-the-tail rather than corruption.
+func (d *Disk) ReadLog(name string, after int64) ([]*Mutation, error) {
+	td := d.tableDir(name)
+	f, err := os.Open(filepath.Join(td, "snapshot.tss"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 14) // magic + format + version — all the peek needs
+	_, rerr := io.ReadFull(f, hdr)
+	f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("table %q: %w: snapshot too short", name, ErrCorrupt)
+	}
+	base, err := peekSnapshotVersion(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	walImg, err := os.ReadFile(filepath.Join(td, "wal.log"))
+	if errors.Is(err, fs.ErrNotExist) {
+		walImg = nil
+	} else if err != nil {
+		return nil, err
+	}
+	muts, err := readLogTail(base, walImg, after)
+	if err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	return muts, nil
+}
+
+// metaPath places blobs as root-level "<escaped key>.meta" files;
+// escaped names never contain '.', so a blob can never collide with a
+// table directory (and List, which only scans directories, never sees
+// them).
+func (d *Disk) metaPath(key string) string {
+	return filepath.Join(d.dir, escapeName(key)+".meta")
+}
+
+// SaveMeta implements Store.
+func (d *Disk) SaveMeta(key string, data []byte) error {
+	return d.writeFileAtomic(d.metaPath(key), encodeMeta(data))
+}
+
+// LoadMeta implements Store.
+func (d *Disk) LoadMeta(key string) ([]byte, error) {
+	b, err := os.ReadFile(d.metaPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: meta %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, err
+	}
+	data, err := decodeMeta(b)
+	if err != nil {
+		return nil, fmt.Errorf("meta %q: %w", key, err)
+	}
+	return data, nil
 }
 
 // Drop implements Store.

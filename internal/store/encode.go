@@ -127,6 +127,29 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 	return b, nil
 }
 
+// peekSnapshotVersion reads the version field from the head of an
+// encoded snapshot without validating the full image — just magic,
+// format and version. Log-tail reads use it to learn a snapshot's base
+// version without decoding (or, on disk, even reading) the columnar
+// body; any damage the peek can't see is caught by the full CRC check
+// the moment the snapshot is actually loaded.
+func peekSnapshotVersion(b []byte) (int64, error) {
+	if len(b) < len(snapMagic)+2+8 {
+		return 0, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != formatVersion && v != formatVersionV1 {
+		return 0, fmt.Errorf("%w: unsupported snapshot format %d", ErrCorrupt, v)
+	}
+	ver := int64(binary.LittleEndian.Uint64(b[6:14]))
+	if ver < 0 {
+		return 0, fmt.Errorf("%w: negative version or cache capacity", ErrCorrupt)
+	}
+	return ver, nil
+}
+
 // DecodeSnapshot parses and validates an EncodeSnapshot result,
 // verifying the trailing CRC before trusting any field. All failures
 // wrap ErrCorrupt; hostile inputs never panic or over-allocate.

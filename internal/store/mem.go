@@ -14,6 +14,7 @@ import (
 type Mem struct {
 	mu     sync.Mutex
 	tables map[string]*memTable
+	meta   map[string][]byte // framed metadata blobs, by key
 }
 
 type memTable struct {
@@ -22,7 +23,7 @@ type memTable struct {
 }
 
 // NewMem creates an empty in-memory store.
-func NewMem() *Mem { return &Mem{tables: map[string]*memTable{}} }
+func NewMem() *Mem { return &Mem{tables: map[string]*memTable{}, meta: map[string][]byte{}} }
 
 // List implements Store.
 func (m *Mem) List() ([]string, error) {
@@ -117,6 +118,47 @@ func (m *Mem) LogSize(name string) (int64, error) {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return int64(len(t.wal)), nil
+}
+
+// ReadLog implements Store.
+func (m *Mem) ReadLog(name string, after int64) ([]*Mutation, error) {
+	m.mu.Lock()
+	t, ok := m.tables[name]
+	var snap, wal []byte
+	if ok {
+		snap = append([]byte(nil), t.snap...)
+		wal = append([]byte(nil), t.wal...)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	base, err := peekSnapshotVersion(snap)
+	if err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	return readLogTail(base, wal, after)
+}
+
+// SaveMeta implements Store.
+func (m *Mem) SaveMeta(key string, data []byte) error {
+	img := encodeMeta(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.meta[key] = img
+	return nil
+}
+
+// LoadMeta implements Store.
+func (m *Mem) LoadMeta(key string) ([]byte, error) {
+	m.mu.Lock()
+	img, ok := m.meta[key]
+	img = append([]byte(nil), img...)
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: meta %q", ErrNotFound, key)
+	}
+	return decodeMeta(img)
 }
 
 // Drop implements Store.

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Engine-level metadata blobs: small named values that live beside the
+// tables but outside any table's namespace — the cluster coordinator
+// persists its catalog (per-table partition specs) here. The framing
+// mirrors the table files:
+//
+//	magic "TSSM" | u16 format | payload | u32 CRC-32 (IEEE)
+//
+// The payload is opaque to the engine; callers pick their own encoding
+// (the coordinator uses JSON). The CRC covers magic through payload, so
+// a torn or damaged blob surfaces as ErrCorrupt, never as a silently
+// wrong catalog.
+
+const metaMagic = "TSSM"
+
+// encodeMeta frames one metadata payload.
+func encodeMeta(data []byte) []byte {
+	b := make([]byte, 0, len(metaMagic)+2+len(data)+4)
+	b = append(b, metaMagic...)
+	b = binary.LittleEndian.AppendUint16(b, formatVersion)
+	b = append(b, data...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// decodeMeta validates a framed blob and returns its payload.
+func decodeMeta(b []byte) ([]byte, error) {
+	if len(b) < len(metaMagic)+2+4 {
+		return nil, fmt.Errorf("%w: meta blob too short", ErrCorrupt)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: meta blob checksum mismatch", ErrCorrupt)
+	}
+	if string(body[:len(metaMagic)]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(body[4:6]); v != formatVersion && v != formatVersionV1 {
+		return nil, fmt.Errorf("%w: unsupported meta format %d", ErrCorrupt, v)
+	}
+	return append([]byte(nil), body[6:]...), nil
+}

@@ -31,6 +31,12 @@ var ErrNotFound = errors.New("store: table not found")
 // checksum validation — including a truncated or torn WAL tail.
 var ErrCorrupt = errors.New("store: corrupt data")
 
+// ErrCompacted is returned by ReadLog when the requested log suffix
+// was absorbed into the snapshot by a checkpoint and truncated away —
+// the reader is too far behind to tail the log and must re-seed from
+// the snapshot.
+var ErrCompacted = errors.New("store: log compacted past requested version")
+
 // OrderSchema describes one partially ordered column: its value labels
 // plus the preference DAG edges as (better, worse) value indexes.
 type OrderSchema struct {
@@ -188,10 +194,57 @@ type Store interface {
 	// LogSize returns the current WAL size in bytes — the checkpoint
 	// policy's input.
 	LogSize(name string) (int64, error)
+	// ReadLog returns the logged mutations with Version > after, in
+	// order — the replication log tail. ErrCompacted (wrapped) when
+	// version after+1 is no longer in the log because a checkpoint
+	// absorbed it (the caller must re-seed from the snapshot);
+	// ErrNotFound if the table was never saved.
+	ReadLog(name string, after int64) ([]*Mutation, error)
+	// SaveMeta durably stores a metadata blob under key, beside the
+	// tables but outside any table's namespace (the cluster coordinator
+	// persists its catalog here). The write is atomic and the blob
+	// CRC-framed like the table files; the payload is opaque.
+	SaveMeta(key string, data []byte) error
+	// LoadMeta returns the blob stored under key. ErrNotFound if
+	// absent; ErrCorrupt (wrapped) on damaged bytes.
+	LoadMeta(key string) ([]byte, error)
 	// Drop removes every trace of the table.
 	Drop(name string) error
 	// Close releases resources; the store must not be used afterwards.
 	Close() error
+}
+
+// readLogTail collects the WAL records with Version > after from a WAL
+// image whose snapshot base version is snapVersion — the log-tail read
+// shared by both engines. The replay is recover-mode: the image may be
+// read concurrently with an in-flight append, so a torn final frame is
+// an unacknowledged (or still-writing) record that simply isn't part of
+// this tail yet. A gap — after+1 neither covered by the snapshot being
+// at or below `after` nor present as a record — means a checkpoint
+// compacted the suffix away.
+func readLogTail(snapVersion int64, walImg []byte, after int64) ([]*Mutation, error) {
+	current := snapVersion
+	var out []*Mutation
+	if len(walImg) > 0 {
+		if _, err := replayWALRecover(walImg, func(m *Mutation) error {
+			if m.Version > current {
+				current = m.Version
+			}
+			if m.Version > after {
+				out = append(out, m)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if after >= current {
+		return nil, nil // caught up (or ahead): nothing to ship
+	}
+	if len(out) == 0 || out[0].Version != after+1 {
+		return nil, fmt.Errorf("%w: need version %d", ErrCompacted, after+1)
+	}
+	return out, nil
 }
 
 // applyMutation replays one WAL record onto columnar rows.

@@ -23,6 +23,12 @@ func walHeader() []byte {
 	return binary.LittleEndian.AppendUint16(b, formatVersion)
 }
 
+// WALHeader returns the 6-byte WAL file header. The replication log
+// endpoint sends it as the stream prologue: the wire framing of shipped
+// mutations is exactly the on-disk framing, so followers decode with
+// ReplayWAL.
+func WALHeader() []byte { return walHeader() }
+
 // maxWALRecord bounds a single record; hostile length prefixes past it
 // are rejected before any allocation.
 const maxWALRecord = 1 << 28
