@@ -78,6 +78,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -141,6 +142,8 @@ func main() {
 		"WAL bytes after which a batch checkpoints its table into a fresh snapshot")
 	noFsync := flag.Bool("no-fsync", false,
 		"skip fsync on WAL appends and snapshot writes (faster; unsafe across power failures)")
+	pprofAddr := flag.String("pprof", "",
+		"expose net/http/pprof on this separate listen address (e.g. localhost:6060; empty = off) — kept off the serving listener so profiling is never part of the public API surface")
 	flag.Var(&tables, "table", "preload a table from a tssgen output dir, as name=dir (repeatable)")
 	flag.Parse()
 
@@ -242,6 +245,15 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("tssserve listening on %s\n", *addr)
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil &&
+				!errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s\n", *pprofAddr)
+	}
 	followCtx, stopFollow := context.WithCancel(context.Background())
 	defer stopFollow()
 	if follower != nil {
@@ -307,6 +319,20 @@ func withRequestTimeout(h http.Handler, d time.Duration) http.Handler {
 		defer cancel()
 		h.ServeHTTP(w, r.WithContext(ctx))
 	})
+}
+
+// pprofMux builds the profiling handler for the -pprof side listener.
+// An explicit mux (rather than net/http/pprof's DefaultServeMux
+// registration) keeps the profiling routes bound to the address the
+// operator chose and nothing else.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func fatalf(format string, args ...any) {

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/serve"
@@ -20,6 +22,43 @@ func TestTableFlags(t *testing.T) {
 	}
 	if f.String() != "a=dir1,b=dir2" {
 		t.Fatalf("String() = %q", f.String())
+	}
+}
+
+// TestPprofMux pins the -pprof side listener's routes: the index and
+// the named profiles answer, and the serving API never leaks onto the
+// profiling listener.
+func TestPprofMux(t *testing.T) {
+	ts := httptest.NewServer(pprofMux())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if path == "/debug/pprof/" && !strings.Contains(string(body), "goroutine") {
+			t.Errorf("pprof index does not list the goroutine profile")
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /statsz on the pprof listener: status %d, want 404", resp.StatusCode)
 	}
 }
 

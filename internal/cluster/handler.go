@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/serve"
 )
 
@@ -208,6 +209,11 @@ type ClusterzInfo struct {
 	// Failovers counts read legs a follower answered because the shard
 	// primary was unreachable, since startup.
 	Failovers int64 `json:"failovers"`
+	// KernelDomTests / KernelBlockSkips are this process's cumulative
+	// dominance-kernel counters (coordinator merge passes included);
+	// shard-local work shows up in each shard's own /statsz.
+	KernelDomTests   int64 `json:"kernelDomTests"`
+	KernelBlockSkips int64 `json:"kernelBlockSkips"`
 }
 
 // ClusterTable is one catalog entry of /clusterz.
@@ -224,11 +230,14 @@ type ClusterTable struct {
 }
 
 func (co *Coordinator) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	domTests, blockSkips := core.KernelCounters()
 	info := ClusterzInfo{
-		Queries:      co.queries.Load(),
-		PrunedShards: co.pruned.Load(),
-		Failovers:    co.failovers.Load(),
-		Tables:       []ClusterTable{},
+		Queries:          co.queries.Load(),
+		PrunedShards:     co.pruned.Load(),
+		Failovers:        co.failovers.Load(),
+		Tables:           []ClusterTable{},
+		KernelDomTests:   domTests,
+		KernelBlockSkips: blockSkips,
 	}
 	hasReplicas := false
 	for i, sc := range co.shards {

@@ -30,14 +30,15 @@ type candidate struct {
 // gather is a compiled scatter/gather pass: how to query one shard and
 // how to interpret its rows for the merge.
 type gather struct {
-	ct     *ctable
-	keptTO []int           // kept TO dims (identity when no subspace)
-	keptPO []int           // kept PO dims
-	doms   []*poset.Domain // dominance oracle, one per kept PO dim
-	ideal  []int64         // non-nil: |v−ideal| transform (fully dynamic)
-	stats  []serve.TableStatsInfo
-	prune  bool // statistics-driven shard pruning applies
-	query  func(ctx context.Context, shard int) (*serve.QueryResponse, error)
+	ct       *ctable
+	keptTO   []int           // kept TO dims (identity when no subspace)
+	keptPO   []int           // kept PO dims
+	doms     []*poset.Domain // dominance oracle, one per kept PO dim
+	ideal    []int64         // non-nil: |v−ideal| transform (fully dynamic)
+	stats    []serve.TableStatsInfo
+	prune    bool // statistics-driven shard pruning applies
+	noKernel bool // merge with the scalar reference pass (request noKernel)
+	query    func(ctx context.Context, shard int) (*serve.QueryResponse, error)
 }
 
 // result of the gather: merged candidates plus scatter metadata.
@@ -272,7 +273,7 @@ func (g *gather) run(ctx context.Context, co *Coordinator) (*gathered, error) {
 	out.queried = responded
 	out.cacheHit = responded > 0 && hits == responded
 	out.metrics.Shards = responded
-	out.merged = eliminate(all, g.doms)
+	out.merged = eliminate(all, g.doms, g.noKernel)
 	return out, nil
 }
 
@@ -310,7 +311,9 @@ func (g *gather) candidates(shard int, resp *serve.QueryResponse) ([]candidate, 
 // skipped because each shard's list is already a skyline). Equal
 // points never dominate each other, so duplicated rows survive
 // together, matching single-node semantics. Order is preserved.
-func eliminate(cands []candidate, doms []*poset.Domain) []candidate {
+// noKernel selects the scalar reference pass — the kernel-off leg of
+// the differential harness, end to end through the coordinator.
+func eliminate(cands []candidate, doms []*poset.Domain, noKernel bool) []candidate {
 	if len(cands) == 0 {
 		return nil
 	}
@@ -320,7 +323,12 @@ func eliminate(cands []candidate, doms []*poset.Domain) []candidate {
 		pts[i] = cands[i].pt
 		shards[i] = cands[i].shard
 	}
-	keep := core.MergeSurvivors(doms, pts, shards, runtime.GOMAXPROCS(0))
+	var keep []int
+	if noKernel {
+		keep = core.MergeSurvivorsRef(doms, pts, shards, runtime.GOMAXPROCS(0))
+	} else {
+		keep = core.MergeSurvivors(doms, pts, shards, runtime.GOMAXPROCS(0))
+	}
 	out := make([]candidate, len(keep))
 	for k, i := range keep {
 		out[k] = cands[i]
@@ -363,7 +371,7 @@ func (co *Coordinator) Query(ctx context.Context, ct *ctable, req serve.QueryReq
 	}
 	if req.HasPlanFields() {
 		return nil, fmt.Errorf(
-			"subspace/where/topK/rank/algo/parallel/explain cannot combine with orders/baseline (dynamic queries run dTSS as-is)")
+			"subspace/where/topK/rank/algo/parallel/explain/noKernel cannot combine with orders/baseline (dynamic queries run dTSS as-is)")
 	}
 	return co.dynamicQuery(ctx, ct, req)
 }
@@ -408,7 +416,7 @@ func (co *Coordinator) planQuery(ctx context.Context, ct *ctable, req serve.Quer
 	}
 	g := &gather{
 		ct: ct, keptTO: keptTO, keptPO: keptPO, doms: doms,
-		stats: stats, prune: len(co.shards) > 1,
+		stats: stats, prune: len(co.shards) > 1, noKernel: req.NoKernel,
 	}
 	g.query = func(ctx context.Context, i int) (*serve.QueryResponse, error) {
 		var resp serve.QueryResponse

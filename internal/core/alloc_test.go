@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/poset"
+)
+
+// Steady-state allocation regression tests for the elimination hot
+// paths. The kernel probe loop and the checkers' point tests must not
+// allocate at all once warm; the box tests are allowed the small,
+// by-design allocations of OrdRangeIntervals (MergeIntervals returns
+// fresh storage, and the dyadic decomposition needs scratch when it has
+// ≥ 2 pieces) but are pinned to a tight bound so regressions surface.
+
+// allocDataset is a deterministic mixed TO/PO dataset for the alloc
+// tests: small value ranges so ties, duplicates and real PO structure
+// all occur.
+func allocDataset(seed int64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := randomDataset(rng, n, 2, 2)
+	for _, dm := range ds.Domains {
+		dm.EnableDyadic()
+	}
+	return ds
+}
+
+// TestKernelProbeLoopAllocs: the colSet probe loop — compile candidate,
+// dominator scan, eviction scan — is allocation-free in the steady
+// state, on both the bitset-closure path and the interval fallback.
+func TestKernelProbeLoopAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"closure", 0},
+		{"interval-fallback", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := allocDataset(7, 600)
+			k := newColSet(ds.Domains, 2, len(ds.Pts), tc.budget, false)
+			for i := range ds.Pts {
+				p := &ds.Pts[i]
+				k.append(p.TO, p.PO, p.ID, -1)
+			}
+			pr := k.newProbe()
+			probeAll := func() {
+				for i := range ds.Pts {
+					p := &ds.Pts[i]
+					k.begin(pr, p.TO, p.PO, true)
+					_ = k.anyDominator(pr)
+					k.evictDominatedBy(pr)
+				}
+			}
+			probeAll() // warm-up: nothing left to grow after this
+			if allocs := testing.AllocsPerRun(20, probeAll); allocs != 0 {
+				t.Errorf("probe loop allocates %.1f objects per pass, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCheckerDominatedPointAllocs: both checkers answer point dominance
+// without allocating once their scratch is warm, in both the stabbing
+// and the paper-literal containment modes.
+func TestCheckerDominatedPointAllocs(t *testing.T) {
+	ds := allocDataset(11, 200)
+	sky := ds.NaiveSkyline()
+	for _, tc := range []struct {
+		name string
+		mk   func() tChecker
+	}{
+		{"list", func() tChecker { return newListChecker(ds.Domains, false) }},
+		{"list-stab", func() tChecker { return newListChecker(ds.Domains, true) }},
+		{"mem", func() tChecker { return newMemChecker(ds.Domains, 2, false) }},
+		{"mem-stab", func() tChecker { return newMemChecker(ds.Domains, 2, true) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.mk()
+			for _, id := range sky {
+				c.add(&ds.Pts[id])
+			}
+			queryAll := func() {
+				for i := range ds.Pts {
+					p := &ds.Pts[i]
+					_ = c.dominatedPoint(p.TO, p.PO)
+				}
+			}
+			queryAll()
+			if allocs := testing.AllocsPerRun(20, queryAll); allocs != 0 {
+				t.Errorf("dominatedPoint allocates %.1f objects per pass, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCheckerDominatedBoxAllocBound: box dominance allocates only what
+// OrdRangeIntervals must (fresh merged output, dyadic scratch when the
+// ordinal range decomposes into ≥ 2 pieces). Per query that is a handful
+// of objects per PO dimension — pin a small per-call bound.
+func TestCheckerDominatedBoxAllocBound(t *testing.T) {
+	ds := allocDataset(13, 200)
+	sky := ds.NaiveSkyline()
+	queries := 0
+	for _, tc := range []struct {
+		name string
+		mk   func() tChecker
+	}{
+		{"list", func() tChecker { return newListChecker(ds.Domains, false) }},
+		{"mem", func() tChecker { return newMemChecker(ds.Domains, 2, false) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.mk()
+			for _, id := range sky {
+				c.add(&ds.Pts[id])
+			}
+			lo := make([]int32, 2)
+			hi := make([]int32, 2)
+			boxAll := func() {
+				queries = 0
+				for i := range ds.Pts {
+					p := &ds.Pts[i]
+					for d, v := range p.PO {
+						o := ds.Domains[d].Ord(v)
+						lo[d] = o
+						hi[d] = min(o+2, int32(ds.Domains[d].Size()-1))
+					}
+					_ = c.dominatedBox(p.TO, lo, hi)
+					queries++
+				}
+			}
+			boxAll()
+			allocs := testing.AllocsPerRun(10, boxAll)
+			perQuery := allocs / float64(queries)
+			// 2 PO dims × (merged output + up to two levels of dyadic
+			// scratch) ≈ 6; anything beyond 8 means new per-call garbage.
+			if perQuery > 8 {
+				t.Errorf("dominatedBox allocates %.2f objects per query, want ≤ 8", perQuery)
+			}
+		})
+	}
+}
+
+// TestOrdRangeIntervalsAllocBound: the pooled scratch keeps
+// OrdRangeIntervals down to its output (plus bounded dyadic scratch) —
+// the regression this pins is unbounded per-call scratch growth.
+func TestOrdRangeIntervalsAllocBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	dm := poset.MustDomain(randomPODomainDAG(rng, 40, 0.2))
+	dm.EnableDyadic()
+	n := int32(dm.Size())
+	calls := 0
+	sweep := func() {
+		calls = 0
+		for lo := int32(0); lo < n; lo += 3 {
+			for hi := lo; hi < n; hi += 5 {
+				_ = dm.OrdRangeIntervals(lo, hi)
+				calls++
+			}
+		}
+	}
+	sweep()
+	allocs := testing.AllocsPerRun(10, sweep)
+	perCall := allocs / float64(calls)
+	// Measured ~4.5 on this domain (merged output + dyadic piece
+	// scratch); the regression this guards is unbounded growth.
+	if perCall > 6 {
+		t.Errorf("OrdRangeIntervals allocates %.2f objects per call, want ≤ 6", perCall)
+	}
+}

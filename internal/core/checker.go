@@ -45,26 +45,37 @@ type tChecker interface {
 // boxes, where different values of the range may be dominated by
 // different witnesses (joint coverage).
 
-// forEachCombo iterates the cartesian product of per-dimension interval
-// lists, reusing one combo slice. fn returning false aborts and makes
-// forEachCombo return false. An empty lists slice yields exactly one
-// empty combo (the pure-TO case).
-func forEachCombo(lists []poset.IntervalSet, fn func(combo []poset.Interval) bool) bool {
-	combo := make([]poset.Interval, len(lists))
-	var rec func(d int) bool
-	rec = func(d int) bool {
-		if d == len(lists) {
-			return fn(combo)
-		}
-		for _, iv := range lists[d] {
-			combo[d] = iv
-			if !rec(d + 1) {
-				return false
-			}
-		}
-		return true
+// scratchSlice returns a length-n slice backed by buf when it is big
+// enough — the checkers' per-call scratch, allocation-free in the
+// steady state.
+func scratchSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
 	}
-	return rec(0)
+	return buf[:n]
+}
+
+// forEachCombo iterates the cartesian product of per-dimension interval
+// lists into the caller's combo scratch (len(lists) entries are used).
+// fn returning false aborts and makes forEachCombo return false. An
+// empty lists slice yields exactly one empty combo (the pure-TO case).
+// Plain recursion — not a self-referential closure — so the walk itself
+// never heap-allocates.
+func forEachCombo(lists []poset.IntervalSet, combo []poset.Interval, fn func(combo []poset.Interval) bool) bool {
+	return comboRec(lists, combo[:len(lists)], 0, fn)
+}
+
+func comboRec(lists []poset.IntervalSet, combo []poset.Interval, d int, fn func(combo []poset.Interval) bool) bool {
+	if d == len(lists) {
+		return fn(combo)
+	}
+	for _, iv := range lists[d] {
+		combo[d] = iv
+		if !comboRec(lists, combo, d+1, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // skyEntry caches the per-dimension data needed to use an accepted
@@ -95,6 +106,9 @@ type listChecker struct {
 	sky      []skyEntry
 	nChecks  int64
 	stabOnly bool
+
+	lists []poset.IntervalSet // dominatedBox scratch
+	combo []poset.Interval
 }
 
 func newListChecker(domains []*poset.Domain, stabOnly bool) *listChecker {
@@ -153,12 +167,13 @@ func (c *listChecker) entryDominatesPoint(s *skyEntry, to []int32, vals []int32)
 }
 
 func (c *listChecker) dominatedBox(toLo []int32, ordLo, ordHi []int32) bool {
-	lists := make([]poset.IntervalSet, len(ordLo))
+	c.lists = scratchSlice(c.lists, len(ordLo))
+	c.combo = scratchSlice(c.combo, len(ordLo))
 	for d := range ordLo {
-		lists[d] = c.domains[d].OrdRangeIntervals(ordLo[d], ordHi[d])
+		c.lists[d] = c.domains[d].OrdRangeIntervals(ordLo[d], ordHi[d])
 	}
 	// Every combination of runs must find a witness (joint coverage).
-	return forEachCombo(lists, func(combo []poset.Interval) bool {
+	return forEachCombo(c.lists, c.combo, func(combo []poset.Interval) bool {
 		for i := range c.sky {
 			c.nChecks++
 			if c.entryCoversCombo(&c.sky[i], toLo, combo) {
@@ -210,6 +225,10 @@ type memChecker struct {
 	stabOnly bool
 	hi       []int32 // query scratch
 	lo       []int32 // all-zeros scratch
+
+	lists    []poset.IntervalSet // dominated{Point,Box} scratch
+	combo    []poset.Interval
+	stabRuns []poset.Interval // backing runs of the stabOnly one-interval lists
 }
 
 // memTreeCapacity is the fan-out of the in-memory dominance tree; small
@@ -245,7 +264,7 @@ func (c *memChecker) add(p *Point) {
 		lists[d] = c.domains[d].Intervals(v)
 		posts[d] = c.domains[d].Post(v)
 	}
-	forEachCombo(lists, func(combo []poset.Interval) bool {
+	forEachCombo(lists, make([]poset.Interval, len(lists)), func(combo []poset.Interval) bool {
 		coords := make([]int32, c.nTO+2*len(combo))
 		copy(coords, p.TO)
 		for d, q := range combo {
@@ -286,25 +305,29 @@ func (c *memChecker) queryCombo(toLo []int32, combo []poset.Interval) bool {
 }
 
 func (c *memChecker) dominatedPoint(to []int32, vals []int32) bool {
-	lists := make([]poset.IntervalSet, len(vals))
+	c.lists = scratchSlice(c.lists, len(vals))
+	c.combo = scratchSlice(c.combo, len(vals))
+	c.stabRuns = scratchSlice(c.stabRuns, len(vals))
 	for d, v := range vals {
 		if c.stabOnly {
-			lists[d] = poset.IntervalSet{c.domains[d].PostRun(v)}
+			c.stabRuns[d] = c.domains[d].PostRun(v)
+			c.lists[d] = c.stabRuns[d : d+1 : d+1]
 		} else {
-			lists[d] = c.domains[d].Intervals(v)
+			c.lists[d] = c.domains[d].Intervals(v)
 		}
 	}
-	return forEachCombo(lists, func(combo []poset.Interval) bool {
+	return forEachCombo(c.lists, c.combo, func(combo []poset.Interval) bool {
 		return c.queryCombo(to, combo)
 	})
 }
 
 func (c *memChecker) dominatedBox(toLo []int32, ordLo, ordHi []int32) bool {
-	lists := make([]poset.IntervalSet, len(ordLo))
+	c.lists = scratchSlice(c.lists, len(ordLo))
+	c.combo = scratchSlice(c.combo, len(ordLo))
 	for d := range ordLo {
-		lists[d] = c.domains[d].OrdRangeIntervals(ordLo[d], ordHi[d])
+		c.lists[d] = c.domains[d].OrdRangeIntervals(ordLo[d], ordHi[d])
 	}
-	return forEachCombo(lists, func(combo []poset.Interval) bool {
+	return forEachCombo(c.lists, c.combo, func(combo []poset.Interval) bool {
 		return c.queryCombo(toLo, combo)
 	})
 }

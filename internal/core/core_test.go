@@ -242,7 +242,7 @@ func TestDuplicatesAllReported(t *testing.T) {
 func TestEmptyAndSingleton(t *testing.T) {
 	empty := &Dataset{}
 	for name, res := range map[string]*Result{
-		"BNL": BNL(empty), "SFS": SFS(empty),
+		"BNL": BNL(empty, Options{}), "SFS": SFS(empty, Options{}),
 		"sTSS": STSS(empty, Options{}), "BBS+": BBSPlus(empty, Options{}),
 		"SDC": SDC(empty, Options{}), "SDC+": SDCPlus(empty, Options{}),
 	} {
@@ -252,7 +252,7 @@ func TestEmptyAndSingleton(t *testing.T) {
 	}
 	one := &Dataset{Pts: []Point{{ID: 7, TO: []int32{3}}}}
 	for name, res := range map[string]*Result{
-		"BNL": BNL(one), "SFS": SFS(one), "sTSS": STSS(one, Options{}),
+		"BNL": BNL(one, Options{}), "SFS": SFS(one, Options{}), "sTSS": STSS(one, Options{}),
 		"BBS+": BBSPlus(one, Options{}), "SDC+": SDCPlus(one, Options{}),
 	} {
 		if len(res.SkylineIDs) != 1 || res.SkylineIDs[0] != 7 {

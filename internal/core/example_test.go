@@ -78,8 +78,8 @@ func sameIDSet(a, b []int32) bool {
 // configuration) on ds, returning named results.
 func allStaticAlgorithms(ds *Dataset) map[string]*Result {
 	return map[string]*Result{
-		"BNL":             BNL(ds),
-		"SFS":             SFS(ds),
+		"BNL":             BNL(ds, Options{}),
+		"SFS":             SFS(ds, Options{}),
 		"BBS+":            BBSPlus(ds, Options{}),
 		"SDC":             SDC(ds, Options{}),
 		"SDC+":            SDCPlus(ds, Options{}),
@@ -130,7 +130,7 @@ func TestFlightsTOOnlySkyline(t *testing.T) {
 	if got := ds.NaiveSkyline(); !sameIDSet(got, want) {
 		t.Fatalf("naive TO skyline = %v, want %v", got, want)
 	}
-	for _, res := range []*Result{BNL(ds), SFS(ds), STSS(ds, Options{}), STSS(ds, Options{UseMemTree: true})} {
+	for _, res := range []*Result{BNL(ds, Options{}), SFS(ds, Options{}), STSS(ds, Options{}), STSS(ds, Options{UseMemTree: true})} {
 		if !sameIDSet(res.SkylineIDs, want) {
 			t.Errorf("TO-only skyline = %v, want %v", res.SkylineIDs, want)
 		}

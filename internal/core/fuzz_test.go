@@ -91,7 +91,9 @@ func idsEqual(a, b []int32) bool {
 
 // FuzzSkylineAgreement is the differential fuzz harness: every
 // registered algorithm — sequential and behind the partition-and-merge
-// executor at P ∈ {1, 4} — must return exactly the naive O(n²)
+// executor at P ∈ {1, 4}, across the dominance-kernel configurations
+// (bitset closure, closure refused by a too-small budget, closure
+// disabled, kernel off entirely) — must return exactly the naive O(n²)
 // oracle's skyline on any byte-derived workload, and TO-only
 // algorithms must reject PO datasets with an error rather than a wrong
 // answer. Runs its seed corpus (testdata/fuzz/…) under plain `go
@@ -115,14 +117,31 @@ func FuzzSkylineAgreement(f *testing.F) {
 				name string
 				run  func() (*Result, error)
 			}{
+				// tinybudget goes first: on the first algorithm the domains
+				// are fresh, so a 1-byte closure budget genuinely refuses
+				// (EnableClosure is sticky once a later leg builds it) and
+				// the kernel's interval fallback is exercised right at the
+				// memory-budget boundary.
+				{"tinybudget", func() (*Result, error) {
+					return a.Run(ds, Options{UseMemTree: true, ClosureBudget: 1})
+				}},
 				{"seq", func() (*Result, error) {
 					return a.Run(ds, Options{UseMemTree: true})
+				}},
+				{"noclosure", func() (*Result, error) {
+					return a.Run(ds, Options{UseMemTree: true, ClosureBudget: -1})
+				}},
+				{"nokernel", func() (*Result, error) {
+					return a.Run(ds, Options{UseMemTree: true, NoKernel: true})
 				}},
 				{"P=1", func() (*Result, error) {
 					return Parallel(a).Run(ds, Options{UseMemTree: true, Parallelism: 1})
 				}},
 				{"P=4", func() (*Result, error) {
 					return Parallel(a).Run(ds, Options{UseMemTree: true, Parallelism: 4})
+				}},
+				{"P=4/nokernel", func() (*Result, error) {
+					return Parallel(a).Run(ds, Options{UseMemTree: true, Parallelism: 4, NoKernel: true})
 				}},
 			}
 			for _, rn := range runs {

@@ -59,6 +59,16 @@ type Options struct {
 	// small set of low-entropy points pass one screens the stream
 	// against. 0 selects DefaultLESSWindow.
 	LESSWindow int
+	// NoKernel disables the dominance kernel (bitset closure, columnar
+	// elimination, block zone maps), forcing the scalar *Point/interval
+	// reference path — the ablation and differential-harness switch.
+	NoKernel bool
+	// ClosureBudget is the per-domain memory budget in bytes for the
+	// transitive-closure bitset the kernel promotes to the serving
+	// path. 0 selects poset.DefaultClosureBudget; negative disables the
+	// closure entirely (kernel loops fall back to interval/ordinal
+	// forms).
+	ClosureBudget int64
 }
 
 // DefaultLESSWindow is the default elimination-filter window of LESS.
@@ -134,6 +144,10 @@ type Metrics struct {
 	NodesPruned  int64 // MBBs discarded by dominance
 	PointsPruned int64 // points discarded by dominance
 
+	// BlocksSkipped counts zone-map blocks the dominance kernel skipped
+	// without scanning (0 on the scalar reference path).
+	BlocksSkipped int64
+
 	CPU time.Duration // measured query-phase CPU
 
 	BuildReadIOs  int64
@@ -175,32 +189,34 @@ func (m *Metrics) CPUShare(ioCost time.Duration) float64 {
 // the serving layer attaches to query responses: plain counters plus
 // derived seconds at a fixed IO cost, no nested durations.
 type MetricsExport struct {
-	ReadIOs      int64   `json:"readIOs"`
-	WriteIOs     int64   `json:"writeIOs"`
-	DomChecks    int64   `json:"domChecks"`
-	NodesOpened  int64   `json:"nodesOpened,omitempty"`
-	NodesPruned  int64   `json:"nodesPruned,omitempty"`
-	PointsPruned int64   `json:"pointsPruned,omitempty"`
-	CPUSeconds   float64 `json:"cpuSeconds"`
-	TotalSeconds float64 `json:"totalSeconds"`
-	Emissions    int     `json:"emissions,omitempty"`
-	Shards       int     `json:"shards,omitempty"`
+	ReadIOs       int64   `json:"readIOs"`
+	WriteIOs      int64   `json:"writeIOs"`
+	DomChecks     int64   `json:"domChecks"`
+	NodesOpened   int64   `json:"nodesOpened,omitempty"`
+	NodesPruned   int64   `json:"nodesPruned,omitempty"`
+	PointsPruned  int64   `json:"pointsPruned,omitempty"`
+	BlocksSkipped int64   `json:"blocksSkipped,omitempty"`
+	CPUSeconds    float64 `json:"cpuSeconds"`
+	TotalSeconds  float64 `json:"totalSeconds"`
+	Emissions     int     `json:"emissions,omitempty"`
+	Shards        int     `json:"shards,omitempty"`
 }
 
 // Export flattens the metrics for transport, charging IOs at ioCost
 // (pass DefaultIOCost for the paper's 5 ms model).
 func (m *Metrics) Export(ioCost time.Duration) MetricsExport {
 	return MetricsExport{
-		ReadIOs:      m.ReadIOs,
-		WriteIOs:     m.WriteIOs,
-		DomChecks:    m.DomChecks,
-		NodesOpened:  m.NodesOpened,
-		NodesPruned:  m.NodesPruned,
-		PointsPruned: m.PointsPruned,
-		CPUSeconds:   m.CPU.Seconds(),
-		TotalSeconds: m.TotalTime(ioCost).Seconds(),
-		Emissions:    len(m.Emissions),
-		Shards:       len(m.Shards),
+		ReadIOs:       m.ReadIOs,
+		WriteIOs:      m.WriteIOs,
+		DomChecks:     m.DomChecks,
+		NodesOpened:   m.NodesOpened,
+		NodesPruned:   m.NodesPruned,
+		PointsPruned:  m.PointsPruned,
+		BlocksSkipped: m.BlocksSkipped,
+		CPUSeconds:    m.CPU.Seconds(),
+		TotalSeconds:  m.TotalTime(ioCost).Seconds(),
+		Emissions:     len(m.Emissions),
+		Shards:        len(m.Shards),
 	}
 }
 

@@ -154,6 +154,7 @@ func (p *parallelAlgorithm) Run(ds *Dataset, opt Options) (*Result, error) {
 		res.Metrics.NodesOpened += m.NodesOpened
 		res.Metrics.NodesPruned += m.NodesPruned
 		res.Metrics.PointsPruned += m.PointsPruned
+		res.Metrics.BlocksSkipped += m.BlocksSkipped
 		res.Metrics.BuildReadIOs += m.BuildReadIOs
 		res.Metrics.BuildWriteIOs += m.BuildWriteIOs
 		res.Metrics.BuildCPU += m.BuildCPU
@@ -161,9 +162,11 @@ func (p *parallelAlgorithm) Run(ds *Dataset, opt Options) (*Result, error) {
 
 	// The merge pass is independent of the shard count — give it every
 	// core even when Parallelism < GOMAXPROCS.
-	res.Metrics.DomChecks += mergeEliminate(ds.Domains, cands, runtime.GOMAXPROCS(0), func(p *Point) {
+	checks, skips := mergeEliminate(ds.Domains, cands, runtime.GOMAXPROCS(0), opt, func(p *Point) {
 		res.SkylineIDs = append(res.SkylineIDs, p.ID)
 	})
+	res.Metrics.DomChecks += checks
+	res.Metrics.BlocksSkipped += skips
 
 	// Blocking executor: every survivor is certified at merge end.
 	res.Metrics.CPU = time.Since(start)
@@ -241,17 +244,17 @@ func (sc *mergeScratch) int64Slice(n int) []int64 {
 // slots, and candidate order is preserved among survivors, calling emit
 // for each in order. Exact duplicates never dominate each other, so all
 // copies of a duplicated skyline point survive, matching
-// NaiveSkylineUnder. Returns the number of dominance checks performed.
-func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, emit func(*Point)) int64 {
+// NaiveSkylineUnder. Returns the dominance-check and block-skip counts.
+func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, opt Options, emit func(*Point)) (int64, int64) {
 	sc := getMergeScratch()
 	defer sc.release()
-	dominated, checks := eliminateDominated(domains, cands, workers, sc)
+	dominated, checks, skips := eliminateDominated(domains, cands, workers, sc, opt.NoKernel, opt.ClosureBudget)
 	for i, mc := range cands {
 		if !dominated[i] {
 			emit(mc.p)
 		}
 	}
-	return checks
+	return checks, skips
 }
 
 // MergeSurvivors is the same elimination pass over arbitrary tagged
@@ -260,15 +263,27 @@ func mergeEliminate(domains []*poset.Domain, cands []mergeCand, workers int, emi
 // (and its worker parallelism) instead of re-deriving it. pts[i]
 // originates from shard[i]; same-shard pairs are skipped, so each
 // shard's list must itself be a skyline (mutually non-dominated), which
-// shard query responses are by construction.
+// shard query responses are by construction. The pass runs on the
+// dominance kernel; MergeSurvivorsRef is the scalar reference.
 func MergeSurvivors(domains []*poset.Domain, pts []Point, shard []int, workers int) []int {
+	return mergeSurvivors(domains, pts, shard, workers, false)
+}
+
+// MergeSurvivorsRef is MergeSurvivors on the scalar *Point/interval
+// reference path — the kernel-off leg of differential harnesses and
+// the before side of the kernel benchmarks.
+func MergeSurvivorsRef(domains []*poset.Domain, pts []Point, shard []int, workers int) []int {
+	return mergeSurvivors(domains, pts, shard, workers, true)
+}
+
+func mergeSurvivors(domains []*poset.Domain, pts []Point, shard []int, workers int, noKernel bool) []int {
 	sc := getMergeScratch()
 	defer sc.release()
 	cands := sc.candSlice(len(pts))
 	for i := range pts {
 		cands[i] = mergeCand{p: &pts[i], shard: shard[i]}
 	}
-	dominated, _ := eliminateDominated(domains, cands, workers, sc)
+	dominated, _, _ := eliminateDominated(domains, cands, workers, sc, noKernel, 0)
 	out := make([]int, 0, len(pts))
 	for i := range cands {
 		if !dominated[i] {
@@ -279,19 +294,22 @@ func MergeSurvivors(domains []*poset.Domain, pts []Point, shard []int, workers i
 }
 
 // eliminateDominated marks the candidates dominated by a candidate from
-// another shard, returning the flags plus the dominance-check count. The
-// returned flag slice borrows sc's pooled storage and is only valid
-// until sc is released.
-func eliminateDominated(domains []*poset.Domain, cands []mergeCand, workers int, sc *mergeScratch) ([]bool, int64) {
+// another shard, returning the flags plus the dominance-check and
+// block-skip counts. The returned flag slice borrows sc's pooled
+// storage and is only valid until sc is released.
+func eliminateDominated(domains []*poset.Domain, cands []mergeCand, workers int, sc *mergeScratch, noKernel bool, budget int64) ([]bool, int64, int64) {
 	n := len(cands)
 	if n == 0 {
-		return nil, 0
+		return nil, 0, 0
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > n {
 		workers = n
+	}
+	if !noKernel {
+		return eliminateDominatedKernel(domains, cands, workers, sc, budget)
 	}
 	dominated := sc.boolSlice(n)
 	checks := sc.int64Slice(workers)
@@ -321,5 +339,48 @@ func eliminateDominated(domains []*poset.Domain, cands []mergeCand, workers int,
 	for _, c := range checks {
 		total += c
 	}
-	return dominated, total
+	return dominated, total, 0
+}
+
+// eliminateDominatedKernel is the columnar/zone-map form of the merge
+// elimination: candidates are loaded into a shard-tagged colSet once,
+// then workers probe their strided candidate sets against it. Blocks
+// wholly of the probing candidate's shard are skipped (the same-shard
+// rule), mixed blocks mask same-shard members per word.
+func eliminateDominatedKernel(domains []*poset.Domain, cands []mergeCand, workers int, sc *mergeScratch, budget int64) ([]bool, int64, int64) {
+	n := len(cands)
+	nTO := len(cands[0].p.TO)
+	k := newColSet(domains, nTO, n, budget, true)
+	for _, mc := range cands {
+		k.append(mc.p.TO, mc.p.PO, mc.p.ID, int32(mc.shard))
+	}
+	dominated := sc.boolSlice(n)
+	counters := sc.int64Slice(2 * workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := k.newProbe()
+			for i := w; i < n; i += workers {
+				mc := cands[i]
+				k.begin(pr, mc.p.TO, mc.p.PO, false)
+				pr.shard = int32(mc.shard)
+				if k.anyDominator(pr) {
+					dominated[i] = true
+				}
+			}
+			counters[w] = pr.domTests
+			counters[workers+w] = pr.blockSkips
+		}(w)
+	}
+	wg.Wait()
+	var checks, skips int64
+	for w := 0; w < workers; w++ {
+		checks += counters[w]
+		skips += counters[workers+w]
+	}
+	kernelDomTests.Add(checks)
+	kernelBlockSkips.Add(skips)
+	return dominated, checks, skips
 }

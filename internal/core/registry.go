@@ -139,10 +139,10 @@ func init() {
 		func(ds *Dataset, opt Options) (*Result, error) { return SDCPlus(ds, opt), nil }))
 	Register(NewAlgorithm("bnl",
 		Capabilities{POCapable: true, PaperRef: "§II-A (Börzsönyi et al.)"},
-		func(ds *Dataset, opt Options) (*Result, error) { return BNL(ds), nil }))
+		func(ds *Dataset, opt Options) (*Result, error) { return BNL(ds, opt), nil }))
 	Register(NewAlgorithm("sfs",
 		Capabilities{POCapable: true, Progressive: true, PaperRef: "§II-A (Chomicki et al.)"},
-		func(ds *Dataset, opt Options) (*Result, error) { return SFS(ds), nil }))
+		func(ds *Dataset, opt Options) (*Result, error) { return SFS(ds, opt), nil }))
 	Register(NewAlgorithm("salsa",
 		Capabilities{Progressive: true, PaperRef: "§II-A (Bartolini et al.)"},
 		SaLSa))

@@ -66,8 +66,15 @@ func SaLSa(ds *Dataset, opt Options) (*Result, error) {
 		return x < y
 	})
 
-	var checks int64
+	useKernel := !opt.withDefaults().NoKernel
+	var k *colSet
+	var pr *probe
 	var sky []*Point
+	var checks int64
+	if useKernel {
+		k = newColSet(ds.Domains, ds.NumTO(), 64, opt.ClosureBudget, false)
+		pr = k.newProbe()
+	}
 	// Stop point: the skyline point minimising its maximum coordinate.
 	stopMax := int64(-1)
 	examined := 0
@@ -80,17 +87,26 @@ func SaLSa(ds *Dataset, opt Options) (*Result, error) {
 		}
 		examined++
 		dominated := false
-		for _, s := range sky {
-			checks++
-			if toDominates(s.TO, p.TO) {
-				dominated = true
-				break
+		if useKernel {
+			k.begin(pr, p.TO, p.PO, false)
+			dominated = k.anyDominator(pr)
+		} else {
+			for _, s := range sky {
+				checks++
+				if toDominates(s.TO, p.TO) {
+					dominated = true
+					break
+				}
 			}
 		}
 		if dominated {
 			continue
 		}
-		sky = append(sky, p)
+		if useKernel {
+			k.append(p.TO, p.PO, p.ID, -1)
+		} else {
+			sky = append(sky, p)
+		}
 		res.SkylineIDs = append(res.SkylineIDs, p.ID)
 		res.Metrics.Emissions = append(res.Metrics.Emissions, clock.emission(p.ID))
 		if mx := maxCoord(p.TO); stopMax < 0 || mx < stopMax {
@@ -99,6 +115,9 @@ func SaLSa(ds *Dataset, opt Options) (*Result, error) {
 	}
 	res.Metrics.PointsPruned = int64(n - examined) // skipped unexamined
 	res.Metrics.DomChecks = checks
+	if useKernel {
+		pr.addTo(&res.Metrics)
+	}
 	res.Metrics.CPU = clock.elapsed()
 	return res, nil
 }
@@ -183,12 +202,32 @@ func LESS(ds *Dataset, opt Options) (*Result, error) {
 		}
 	}
 
-	// Pass 2: sort survivors by sum, then SFS scan.
+	// Pass 2: sort survivors by sum, then SFS scan. The elimination
+	// filter stays scalar (it is a handful of points); the window scan
+	// runs on the kernel unless opt.NoKernel.
 	key := make([]int64, len(ds.Pts))
 	for _, idx := range survivors {
 		key[idx] = sumInt32(ds.Pts[idx].TO)
 	}
 	sortByKey(survivors, key)
+	if !opt.withDefaults().NoKernel {
+		k := newColSet(ds.Domains, ds.NumTO(), 64, opt.ClosureBudget, false)
+		pr := k.newProbe()
+		for _, idx := range survivors {
+			p := &ds.Pts[idx]
+			k.begin(pr, p.TO, p.PO, false)
+			if k.anyDominator(pr) {
+				continue
+			}
+			k.append(p.TO, p.PO, p.ID, -1)
+			res.SkylineIDs = append(res.SkylineIDs, p.ID)
+			res.Metrics.Emissions = append(res.Metrics.Emissions, clock.emission(p.ID))
+		}
+		res.Metrics.DomChecks = checks
+		pr.addTo(&res.Metrics)
+		res.Metrics.CPU = clock.elapsed()
+		return res, nil
+	}
 	var sky []*Point
 	for _, idx := range survivors {
 		p := &ds.Pts[idx]

@@ -116,8 +116,45 @@ func buildSTSSTree(ds *Dataset, opt Options, io *rtree.IOCounter) *rtree.Tree {
 // using the exact dominance oracle (TPrefers per PO dimension). It is
 // neither progressive (output happens only at the end) nor precedence-
 // aware; it serves as a simple correct baseline and as the local-
-// skyline substrate of the dTSS pre-processing optimisation.
-func BNL(ds *Dataset) *Result {
+// skyline substrate of the dTSS pre-processing optimisation. The
+// candidate window runs on the dominance kernel (columnar masked scans
+// over zone-mapped blocks, with an aliveness mask standing in for
+// eviction) unless opt.NoKernel selects the scalar reference loop.
+func BNL(ds *Dataset, opt Options) *Result {
+	opt = opt.withDefaults()
+	if opt.NoKernel {
+		return bnlScalar(ds)
+	}
+	res := &Result{}
+	clock := newEmitClock(&rtree.IOCounter{})
+	k := newColSet(ds.Domains, ds.NumTO(), 64, opt.ClosureBudget, false)
+	pr := k.newProbe()
+	for i := range ds.Pts {
+		p := &ds.Pts[i]
+		k.begin(pr, p.TO, p.PO, true)
+		if k.anyDominator(pr) {
+			continue
+		}
+		// p is undominated: evict what it dominates, then join the
+		// window. (If p were dominated it could evict nothing — its
+		// dominator would dominate the same members, and the window is
+		// mutually non-dominated.)
+		k.evictDominatedBy(pr)
+		k.maybeCompact()
+		k.append(p.TO, p.PO, p.ID, -1)
+	}
+	res.SkylineIDs = k.aliveIDs(res.SkylineIDs)
+	for _, id := range res.SkylineIDs {
+		res.Metrics.Emissions = append(res.Metrics.Emissions, clock.emission(id))
+	}
+	pr.addTo(&res.Metrics)
+	res.Metrics.CPU = clock.elapsed()
+	return res
+}
+
+// bnlScalar is the scalar *Point/interval BNL the kernel path is
+// validated against (Options.NoKernel).
+func bnlScalar(ds *Dataset) *Result {
 	res := &Result{}
 	clock := newEmitClock(&rtree.IOCounter{})
 	var cands []*Point
@@ -160,8 +197,10 @@ func BNL(ds *Dataset) *Result {
 // is monotone under exact dominance — the sum of TO coordinates and
 // topological ordinals — and then scanning with a candidate list
 // (Chomicki et al.). The presort establishes precedence, so accepted
-// points are emitted immediately and never evicted.
-func SFS(ds *Dataset) *Result {
+// points are emitted immediately and never evicted; the grow-only
+// window runs on the dominance kernel unless opt.NoKernel.
+func SFS(ds *Dataset, opt Options) *Result {
+	opt = opt.withDefaults()
 	res := &Result{}
 	clock := newEmitClock(&rtree.IOCounter{})
 	order := make([]int32, len(ds.Pts))
@@ -178,6 +217,23 @@ func SFS(ds *Dataset) *Result {
 		key[i] = s
 	}
 	sortByKey(order, key)
+	if !opt.NoKernel {
+		k := newColSet(ds.Domains, ds.NumTO(), 64, opt.ClosureBudget, false)
+		pr := k.newProbe()
+		for _, idx := range order {
+			p := &ds.Pts[idx]
+			k.begin(pr, p.TO, p.PO, false)
+			if k.anyDominator(pr) {
+				continue
+			}
+			k.append(p.TO, p.PO, p.ID, -1)
+			res.SkylineIDs = append(res.SkylineIDs, p.ID)
+			res.Metrics.Emissions = append(res.Metrics.Emissions, clock.emission(p.ID))
+		}
+		pr.addTo(&res.Metrics)
+		res.Metrics.CPU = clock.elapsed()
+		return res
+	}
 	var checks int64
 	var sky []*Point
 	for _, idx := range order {

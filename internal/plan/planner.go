@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/poset"
 )
 
 // Cache is the skyline result cache the executor may route through: it
@@ -54,6 +55,12 @@ type Explain struct {
 	SkyFracFrom  string      `json:"skylineFracSource"`
 	Candidates   []Candidate `json:"candidates,omitempty"`
 	CacheHit     bool        `json:"cacheHit,omitempty"`
+	// Kernel names the dominance-kernel configuration the run's
+	// elimination loops use: "bitset+columnar" (closure bitsets fit the
+	// memory budget on every kept PO domain), "columnar" (columnar scans
+	// with interval/ordinal fallback per dominance test), or "interval"
+	// (Hints.NoKernel scalar reference path).
+	Kernel string `json:"kernel,omitempty"`
 
 	// ObservedRows counts the rows the executor actually fed an
 	// algorithm (0 on cache hits) — compare with EstRows to judge the
@@ -229,6 +236,11 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	p.earlyExit = q.TopK > 0 && q.Rank == RankNone && p.route != RoutePostFilter &&
 		p.cached == nil && q.Hints.Parallelism <= 0 && (hinted == "" || hinted == "stss")
 
+	// Dominance-kernel selection, reported up front so Explain shows
+	// which elimination path the run will take and so the cost model can
+	// discount PO dominance work when the closure bitsets apply.
+	p.Explain.Kernel = kernelLabel(ds, p.keptPO, q.Hints.NoKernel)
+
 	// Algorithm choice: capability-gated cost minimization, unless
 	// forced. A projection that drops every PO column widens the field
 	// to the TO-only sort-based algorithms.
@@ -262,6 +274,41 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	return p, nil
 }
 
+// kernelLabel names the dominance-kernel configuration a run over the
+// kept PO columns will use. The bitset leg applies only when the
+// transitive-closure bitset of every kept PO domain fits the default
+// memory budget; otherwise the columnar loops fall back to interval or
+// ordinal dominance tests per probe.
+func kernelLabel(ds *core.Dataset, keptPO []int, noKernel bool) string {
+	if noKernel {
+		return "interval"
+	}
+	if len(keptPO) == 0 {
+		return "columnar"
+	}
+	for _, d := range keptPO {
+		if !ds.Domains[d].ClosureFits(poset.DefaultClosureBudget) {
+			return "columnar"
+		}
+	}
+	return "bitset+columnar"
+}
+
+// bitsetPOBScale discounts the cost model's per-PO-dimension dominance
+// inflation when the bitset closure kernel applies: a t-preference test
+// collapses from an interval probe to a single word test (calibrated
+// against the kernel benchmarks; see BENCH_kernel.json).
+const bitsetPOBScale = 0.25
+
+// scaledPrior adapts an algorithm's static cost model to the selected
+// dominance kernel.
+func (p *Plan) scaledPrior(prior costPrior) costPrior {
+	if p.Explain.Kernel == "bitset+columnar" {
+		prior.POB *= bitsetPOBScale
+	}
+	return prior
+}
+
 // chooseAlgorithm fills p.algo, p.predBase and the explain candidate
 // table.
 func (p *Plan) chooseAlgorithm(learned *Learned, effPO int, hinted string) error {
@@ -276,6 +323,7 @@ func (p *Plan) chooseAlgorithm(learned *Learned, effPO int, hinted string) error
 		if !ok {
 			prior = defaultPrior
 		}
+		prior = p.scaledPrior(prior)
 		p.prior = prior
 		p.predBase = prior.modelSeconds(p.estRows, p.estSky, effPO)
 		p.Explain.Algorithm = a.Name()
@@ -294,6 +342,7 @@ func (p *Plan) chooseAlgorithm(learned *Learned, effPO int, hinted string) error
 		if !ok {
 			prior = defaultPrior
 		}
+		prior = p.scaledPrior(prior)
 		base := prior.modelSeconds(p.estRows, p.estSky, effPO)
 		est := base * learned.CostMultiplier(a.Name())
 		p.Explain.Candidates = append(p.Explain.Candidates, Candidate{Name: a.Name(), EstSeconds: est})
@@ -309,7 +358,7 @@ func (p *Plan) chooseAlgorithm(learned *Learned, effPO int, hinted string) error
 	// the cursor only pays for the first K emissions.
 	if p.earlyExit {
 		best = core.MustLookup("stss")
-		bestPrior = costPriors["stss"]
+		bestPrior = p.scaledPrior(costPriors["stss"])
 		bestBase = bestPrior.modelSeconds(p.estRows, p.estSky, effPO)
 		frac := 1.0
 		if p.estSky > p.Query.TopK && p.estSky > 0 {

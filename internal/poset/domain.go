@@ -41,6 +41,15 @@ type Domain struct {
 	// reads of the original.
 	dy   atomic.Pointer[dyadicIndex]
 	dyMu sync.Mutex // serializes the one-time index build
+
+	// reach is the lazily built transitive-closure bitset (the serving
+	// fast path of TPrefers) and reachT its transpose (predecessor
+	// rows, used by the dominance kernels' zone maps). Same publication
+	// discipline as dy: built once under reachMu, published atomically,
+	// shared by snapshot clones.
+	reach   atomic.Pointer[Reachability]
+	reachT  atomic.Pointer[Reachability]
+	reachMu sync.Mutex
 }
 
 // domainConfig carries construction options.
@@ -288,6 +297,13 @@ func (dm *Domain) TPrefers(x, y int32) bool {
 	if x == y {
 		return false
 	}
+	// Bitset fast path: when the closure is built, preference is one
+	// word test instead of an interval-set search. The interval form
+	// below remains the fallback and the correctness reference the
+	// closure is fuzzed against.
+	if r := dm.reach.Load(); r != nil {
+		return r.Reaches(x, y)
+	}
 	return dm.sets[x].Stabs(dm.post[y])
 }
 
@@ -365,12 +381,24 @@ func (dm *Domain) OrdRangeIntervals(loOrd, hiOrd int32) IntervalSet {
 	if dy := dm.dy.Load(); dy != nil {
 		return dy.rangeIntervals(loOrd, hiOrd)
 	}
-	var scratch []Interval
+	// Pooled scratch: without the dyadic index this path runs per
+	// MBB-pruning check, and growing a fresh slice each call dominated
+	// the -benchmem profile. MergeIntervals reorders scratch but returns
+	// fresh storage, so the pooled slice never escapes.
+	sp := ordScratchPool.Get().(*[]Interval)
+	scratch := (*sp)[:0]
 	for i := loOrd; i <= hiOrd; i++ {
 		scratch = append(scratch, dm.sets[dm.byOrd[i]]...)
 	}
-	return MergeIntervals(scratch)
+	out := MergeIntervals(scratch)
+	*sp = scratch
+	ordScratchPool.Put(sp)
+	return out
 }
+
+// ordScratchPool recycles OrdRangeIntervals' merge scratch across
+// calls on the slow (non-dyadic) path.
+var ordScratchPool = sync.Pool{New: func() any { return new([]Interval) }}
 
 // EnableDyadic precomputes the dyadic-range index (sTSS optimisation
 // §IV-B): the merged interval sets of all dyadic ordinal ranges, linear

@@ -71,6 +71,75 @@ func FuzzUnmarshalDomain(f *testing.F) {
 	})
 }
 
+// FuzzClosureAgreement: enabling the transitive-closure bitset must
+// never change a single TPrefers answer — the closure fast path, the
+// interval stabbing form and raw DAG reachability agree on every pair —
+// and a budget smaller than the closure refuses cleanly, leaving the
+// interval path in place.
+func FuzzClosureAgreement(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 0, 3, 3, 4})
+	f.Add([]byte{})
+	f.Add([]byte{0, 7, 1, 6, 2, 5, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 8
+		dag := NewDAG(n)
+		for i := 0; i+1 < len(data) && i < 40; i += 2 {
+			a, b := int(data[i]%n), int(data[i+1]%n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a // forward edges only: always acyclic
+			}
+			dag.MustEdge(a, b)
+		}
+		dm := MustDomain(dag)
+
+		var before [n][n]bool
+		for x := int32(0); x < n; x++ {
+			for y := int32(0); y < n; y++ {
+				if x != y {
+					before[x][y] = dm.TPrefers(x, y)
+				}
+			}
+		}
+
+		// The 8-value closure needs 64 bytes; a 1-byte budget must refuse
+		// and leave the interval path untouched.
+		if dm.EnableClosure(1) {
+			t.Fatal("EnableClosure(1) accepted a closure larger than its budget")
+		}
+		if dm.ClosureEnabled() || dm.Closure() != nil || dm.ClosureTranspose() != nil {
+			t.Fatal("refused closure left state behind")
+		}
+		if !dm.EnableClosure(0) {
+			t.Fatal("EnableClosure(default) refused an 8-value domain")
+		}
+		if !dm.EnableClosure(1) {
+			t.Fatal("EnableClosure is not sticky once the closure is built")
+		}
+
+		r := NewReachability(dag)
+		for x := int32(0); x < n; x++ {
+			for y := int32(0); y < n; y++ {
+				if x == y {
+					continue
+				}
+				got := dm.TPrefers(x, y)
+				if got != before[x][y] {
+					t.Fatalf("TPrefers(%d,%d) changed when the closure was enabled", x, y)
+				}
+				if got != r.Reaches(x, y) {
+					t.Fatalf("closure TPrefers(%d,%d) diverges from reachability", x, y)
+				}
+				if got != dm.Closure().Reaches(x, y) {
+					t.Fatalf("published closure row diverges on (%d,%d)", x, y)
+				}
+			}
+		}
+	})
+}
+
 // FuzzDomainConstruction: arbitrary edge lists either fail cleanly
 // (cycle) or produce a domain whose t-preference matches reachability.
 func FuzzDomainConstruction(f *testing.F) {

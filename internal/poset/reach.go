@@ -43,6 +43,14 @@ func (r *Reachability) row(v int32) []uint64 {
 	return r.bits[int(v)*r.words : (int(v)+1)*r.words]
 }
 
+// Row exposes v's closure row (bit y set ⟺ x reaches y) for bulk
+// consumers — the dominance kernels OR rows together to build block
+// zone maps. The slice aliases the closure; callers must not modify it.
+func (r *Reachability) Row(v int32) []uint64 { return r.row(v) }
+
+// Words returns the number of uint64 words per row.
+func (r *Reachability) Words() int { return r.words }
+
 // Reaches reports whether a directed path x→y exists (x strictly
 // preferred to y). Reaches(x, x) is false.
 func (r *Reachability) Reaches(x, y int32) bool {
@@ -61,4 +69,24 @@ func (r *Reachability) Count(x int32) int {
 		c += bits.OnesCount64(w)
 	}
 	return c
+}
+
+// Transpose returns the reversed closure: bit x of the transpose's row
+// y is set iff x reaches y. Row y is therefore y's *predecessor* set —
+// the values at least as good as y — which dominance kernels intersect
+// against block presence bitsets to prune whole blocks at once.
+func (r *Reachability) Transpose() *Reachability {
+	t := &Reachability{n: r.n, words: r.words, bits: make([]uint64, len(r.bits))}
+	for x := 0; x < r.n; x++ {
+		row := r.row(int32(x))
+		for w, word := range row {
+			for word != 0 {
+				j := bits.TrailingZeros64(word)
+				word &^= 1 << uint(j)
+				y := w*64 + j
+				t.bits[y*t.words+x/64] |= 1 << (uint(x) % 64)
+			}
+		}
+	}
+	return t
 }

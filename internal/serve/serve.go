@@ -315,6 +315,7 @@ func (s *Server) Tables() []TableInfo {
 
 // Stats renders the /statsz body.
 func (s *Server) Stats() StatsResponse {
+	domTests, blockSkips := core.KernelCounters()
 	return StatsResponse{
 		UptimeSeconds:    time.Since(s.started).Seconds(),
 		Tables:           s.Tables(),
@@ -325,6 +326,8 @@ func (s *Server) Stats() StatsResponse {
 		CheckpointStuck:  s.CheckpointStuck(),
 		ReadOnly:         s.readOnly,
 		Shard:            s.shard,
+		KernelDomTests:   domTests,
+		KernelBlockSkips: blockSkips,
 	}
 }
 
@@ -611,7 +614,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *tableEnt
 	// planner fields — refuse instead.
 	if req.HasPlanFields() {
 		writeError(w, http.StatusBadRequest, fmt.Errorf(
-			"subspace/where/topK/rank/algo/parallel/explain cannot combine with orders/baseline (dynamic queries run dTSS as-is)"))
+			"subspace/where/topK/rank/algo/parallel/explain/noKernel cannot combine with orders/baseline (dynamic queries run dTSS as-is)"))
 		return
 	}
 	// Refuse work whose budget already expired while the request was

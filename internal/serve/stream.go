@@ -193,7 +193,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, e *ta
 	}
 	if req.HasPlanFields() {
 		writeError(w, http.StatusBadRequest, fmt.Errorf(
-			"subspace/where/topK/rank/algo/parallel/explain cannot combine with orders/baseline (dynamic queries run dTSS as-is)"))
+			"subspace/where/topK/rank/algo/parallel/explain/noKernel cannot combine with orders/baseline (dynamic queries run dTSS as-is)"))
 		return
 	}
 	if req.Baseline && req.Ideal != nil {

@@ -167,12 +167,17 @@ type QueryRequest struct {
 	// tssquery -parallel flag.
 	Parallel int  `json:"parallel,omitempty"`
 	Explain  bool `json:"explain,omitempty"`
+	// NoKernel forces the scalar (interval) dominance path instead of the
+	// bitset/columnar kernel — the server-side ablation and differential-
+	// harness switch. A coordinator forwards it to its shards and uses the
+	// scalar reference merge.
+	NoKernel bool `json:"noKernel,omitempty"`
 }
 
 // HasPlanFields reports whether any planner-mode field is set.
 func (r *QueryRequest) HasPlanFields() bool {
 	return len(r.Subspace) > 0 || len(r.Where) > 0 || r.TopK > 0 || r.Rank != "" ||
-		r.Algo != "" || r.Parallel != 0 || r.Explain
+		r.Algo != "" || r.Parallel != 0 || r.Explain || r.NoKernel
 }
 
 // PlanMode reports whether the request takes the planner path: no
@@ -291,6 +296,12 @@ type StatsResponse struct {
 	// -shard-of (observability; also enforced against the coordinator's
 	// routing header).
 	Shard *ShardIdentity `json:"shard,omitempty"`
+	// KernelDomTests / KernelBlockSkips are the process-wide cumulative
+	// dominance-kernel counters: member dominance tests performed by the
+	// columnar scans, and zone-mapped blocks skipped without scanning
+	// (across every query this process served, kernel paths only).
+	KernelDomTests   int64 `json:"kernelDomTests"`
+	KernelBlockSkips int64 `json:"kernelBlockSkips"`
 }
 
 // ShardIdentity is a node's position in a cluster: shard Index out of

@@ -1,0 +1,63 @@
+package tss
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/exp"
+)
+
+// TestKernelMatchesScalarLargeN runs the dominance kernel against the
+// scalar reference on paper-shaped N=5K datasets. The byte-driven fuzz
+// harness stays under a few dozen points, so it can never reach the
+// kernel's large-window machinery — multi-block zone maps and, above
+// all, window compaction (which needs ≥ 512 members with half evicted);
+// this test covers exactly that regime. It caught a compaction aliasing
+// bug that silently dropped the oldest window members.
+func TestKernelMatchesScalarLargeN(t *testing.T) {
+	for _, dist := range []data.Distribution{data.Independent, data.AntiCorrelated} {
+		cfg := exp.StaticDefaults(0.005) // N = 5K
+		cfg.Dist = dist
+		ds := exp.BuildDataset(cfg)
+		want := sortedCopy(core.BNL(ds, core.Options{NoKernel: true}).SkylineIDs)
+		for _, v := range []struct {
+			name string
+			opt  core.Options
+		}{
+			{"kernel", core.Options{}},
+			{"kernel-noclosure", core.Options{ClosureBudget: -1}},
+		} {
+			got := sortedCopy(core.BNL(ds, v.opt).SkylineIDs)
+			if !equalIDs(got, want) {
+				t.Errorf("%s/%s: BNL kernel %d ids, scalar reference %d ids",
+					dist, v.name, len(got), len(want))
+			}
+		}
+		sfsK := sortedCopy(core.SFS(ds, core.Options{}).SkylineIDs)
+		sfsS := sortedCopy(core.SFS(ds, core.Options{NoKernel: true}).SkylineIDs)
+		if !equalIDs(sfsK, want) || !equalIDs(sfsS, want) {
+			t.Errorf("%s: SFS kernel %d / scalar %d ids, want %d",
+				dist, len(sfsK), len(sfsS), len(want))
+		}
+	}
+}
+
+func sortedCopy(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

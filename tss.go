@@ -333,8 +333,10 @@ func (t *Table) Filter(keep func(row int) bool) *Table {
 }
 
 // Seal precompiles every per-domain auxiliary index (the dyadic range
-// index) that skyline runs would otherwise build lazily on first use.
-// A sealed table can serve any number of concurrent Skyline* calls
+// index, and the transitive-closure bitset when the domain fits the
+// default memory budget — the dominance kernel's single-word TPrefers
+// fast path) that skyline runs would otherwise build lazily on first
+// use. A sealed table can serve any number of concurrent Skyline* calls
 // without mutating shared state; call it once before sharing a table
 // across goroutines. Sealing is idempotent, concurrency-safe (it may
 // race queries and other Seal calls, including through Clone/Filter
@@ -343,6 +345,7 @@ func (t *Table) Filter(keep func(row int) bool) *Table {
 func (t *Table) Seal() *Table {
 	for _, dom := range t.ds.Domains {
 		dom.EnableDyadic()
+		dom.EnableClosure(0)
 	}
 	return t
 }
