@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7..14, ablation, cluster, parallel, plan, serve, store, stream, table3, verify or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7..14, ablation, cluster, maintain, parallel, plan, serve, store, stream, table3, verify or all")
 	scale := flag.Float64("scale", 0.02, "fraction of the paper's data cardinality (1.0 = full)")
 	flag.Parse()
 
@@ -68,6 +68,8 @@ func run(w io.Writer, fig string, scale float64) error {
 			exp.WriteServeRows(w, exp.FigureServe(scale))
 		case "cluster":
 			writeClusterRows(w, figureCluster(scale))
+		case "maintain":
+			exp.WriteMaintainRows(w, exp.FigureMaintain(scale))
 		case "store":
 			exp.WriteStoreRows(w, exp.FigureStore(scale))
 		case "stream":
@@ -85,7 +87,7 @@ func run(w io.Writer, fig string, scale float64) error {
 		return nil
 	}
 	if fig == "all" {
-		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "cluster", "parallel", "plan", "serve", "store", "stream"} {
+		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "cluster", "maintain", "parallel", "plan", "serve", "store", "stream"} {
 			fmt.Fprintf(os.Stderr, "running figure %s (scale %.3g)...\n", name, scale)
 			if err := runOne(name); err != nil {
 				return err

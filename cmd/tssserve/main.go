@@ -142,6 +142,8 @@ func main() {
 		"WAL bytes after which a batch checkpoints its table into a fresh snapshot")
 	noFsync := flag.Bool("no-fsync", false,
 		"skip fsync on WAL appends and snapshot writes (faster; unsafe across power failures)")
+	noMaintain := flag.Bool("no-maintain", false,
+		"disable incremental skyline-memo maintenance: every batch starts a fresh memo and post-batch queries recompute from cold (benchmark/differential switch)")
 	pprofAddr := flag.String("pprof", "",
 		"expose net/http/pprof on this separate listen address (e.g. localhost:6060; empty = off) — kept off the serving listener so profiling is never part of the public API surface")
 	flag.Var(&tables, "table", "preload a table from a tssgen output dir, as name=dir (repeatable)")
@@ -156,7 +158,7 @@ func main() {
 	if *replicas != "" && *coordinator == "" {
 		fatalf("-replicas only applies to a coordinator (-coordinator)")
 	}
-	cfg := serve.Config{CacheCapacity: *cache, CheckpointEvery: *checkpointEvery, ReadOnly: *followerOf != ""}
+	cfg := serve.Config{CacheCapacity: *cache, CheckpointEvery: *checkpointEvery, ReadOnly: *followerOf != "", NoMaintain: *noMaintain}
 	if *shardOf != "" {
 		var idx, count int
 		if n, err := fmt.Sscanf(*shardOf, "%d/%d", &idx, &count); n != 2 || err != nil ||

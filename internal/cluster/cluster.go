@@ -395,6 +395,7 @@ func (co *Coordinator) aggregateInfo(ct *ctable, infos []serve.TableInfo) serve.
 		out.Stats.Mutations += info.Stats.Mutations
 		out.Stats.CacheHits += info.Stats.CacheHits
 		out.Stats.CacheMisses += info.Stats.CacheMisses
+		out.Stats.PlanCache.Add(info.Stats.PlanCache)
 	}
 	return out
 }

@@ -74,12 +74,19 @@ type testCluster struct {
 // newTestCluster boots n shard servers, a coordinator over them, and a
 // single-node reference server holding the identical union of rows.
 func newTestCluster(t *testing.T, n int, spec serve.TableSpec) *testCluster {
+	return newTestClusterCfg(t, n, spec, false)
+}
+
+// newTestClusterCfg is newTestCluster with shard-local skyline-memo
+// maintenance switchable (the differential harness sweeps both).
+func newTestClusterCfg(t *testing.T, n int, spec serve.TableSpec, noMaintain bool) *testCluster {
 	t.Helper()
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
 		shard := serve.NewWithConfig(serve.Config{
 			CacheCapacity: 8,
 			Shard:         &serve.ShardIdentity{Index: i, Count: n},
+			NoMaintain:    noMaintain,
 		})
 		ts := httptest.NewServer(shard.Handler())
 		t.Cleanup(ts.Close)
@@ -228,54 +235,82 @@ func variantQueries() []struct {
 // including after batch mutations routed through the coordinator.
 func TestDifferentialScatterGather(t *testing.T) {
 	for _, n := range []int{1, 2, 4} {
-		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
-			rows := fixtureRows(260, int64(1000+n))
-			spec := fixtureSpec("diff", rows)
-			tc := newTestCluster(t, n, spec)
+		// Shard-local memo maintenance on and off must be
+		// indistinguishable in every answer: maintenance only changes
+		// whether post-batch scatter legs recompute or re-certify.
+		for _, noMaintain := range []bool{false, true} {
+			n, noMaintain := n, noMaintain
+			t.Run(fmt.Sprintf("shards=%d/maintain=%v", n, !noMaintain), func(t *testing.T) {
+				tc := newTestClusterCfg(t, n, fixtureSpec("diff", fixtureRows(260, int64(1000+n))), noMaintain)
+				runDifferential(t, tc, n, noMaintain)
+			})
+		}
+	}
+}
 
-			tc.sweep("initial", rows)
+func runDifferential(t *testing.T, tc *testCluster, n int, noMaintain bool) {
+	rows := fixtureRows(260, int64(1000+n))
 
-			// Mutations through the coordinator: remove a third of the
-			// current skyline (by shard handle) and add fresh rows, then
-			// rebuild the single-node union to match and re-sweep.
-			full := tc.query(tc.co.URL, "diff", serve.QueryRequest{Algo: "stss"})
-			var batch serve.BatchRequest
-			removed := make(map[string]int)
-			for i, r := range full.Skyline {
-				if i%3 != 0 {
-					continue
-				}
-				batch.RemoveSharded = append(batch.RemoveSharded,
-					serve.ShardRef{Shard: *r.Shard, Row: r.Row})
-				removed[rowKey(&full.Skyline[i])]++
-			}
-			batch.Add = fixtureRows(40, int64(7000+n))
-			var bresp serve.BatchResponse
-			tc.postJSON(tc.co.URL+"/tables/diff/rows:batch", batch, &bresp, http.StatusOK)
-			if len(bresp.Versions) != n {
-				t.Fatalf("batch version vector has %d entries, want %d", len(bresp.Versions), n)
-			}
-			if bresp.Removed != len(batch.RemoveSharded) || bresp.Added != len(batch.Add) {
-				t.Fatalf("batch reported added=%d removed=%d, want %d/%d",
-					bresp.Added, bresp.Removed, len(batch.Add), len(batch.RemoveSharded))
-			}
+	tc.sweep("initial", rows)
 
-			// Mirror the mutation on the expected union: drop one instance
-			// per removed value, append the adds.
-			var next []serve.RowSpec
-			for _, r := range rows {
-				k := fmt.Sprintf("%v|%v", r.TO, r.PO)
-				if removed[k] > 0 {
-					removed[k]--
-					continue
-				}
-				next = append(next, r)
-			}
-			next = append(next, batch.Add...)
-			tc.resetSingle(fixtureSpec("diff", next))
+	// Mutations through the coordinator: remove a third of the
+	// current skyline (by shard handle) and add fresh rows, then
+	// rebuild the single-node union to match and re-sweep.
+	full := tc.query(tc.co.URL, "diff", serve.QueryRequest{Algo: "stss"})
+	var batch serve.BatchRequest
+	removed := make(map[string]int)
+	for i, r := range full.Skyline {
+		if i%3 != 0 {
+			continue
+		}
+		batch.RemoveSharded = append(batch.RemoveSharded,
+			serve.ShardRef{Shard: *r.Shard, Row: r.Row})
+		removed[rowKey(&full.Skyline[i])]++
+	}
+	batch.Add = fixtureRows(40, int64(7000+n))
+	var bresp serve.BatchResponse
+	tc.postJSON(tc.co.URL+"/tables/diff/rows:batch", batch, &bresp, http.StatusOK)
+	if len(bresp.Versions) != n {
+		t.Fatalf("batch version vector has %d entries, want %d", len(bresp.Versions), n)
+	}
+	if bresp.Removed != len(batch.RemoveSharded) || bresp.Added != len(batch.Add) {
+		t.Fatalf("batch reported added=%d removed=%d, want %d/%d",
+			bresp.Added, bresp.Removed, len(batch.Add), len(batch.RemoveSharded))
+	}
 
-			tc.sweep("post-batch", next)
-		})
+	// Mirror the mutation on the expected union: drop one instance
+	// per removed value, append the adds.
+	var next []serve.RowSpec
+	for _, r := range rows {
+		k := fmt.Sprintf("%v|%v", r.TO, r.PO)
+		if removed[k] > 0 {
+			removed[k]--
+			continue
+		}
+		next = append(next, r)
+	}
+	next = append(next, batch.Add...)
+	tc.resetSingle(fixtureSpec("diff", next))
+
+	tc.sweep("post-batch", next)
+
+	// With maintenance on, the post-batch full-query scatter legs were
+	// maintained memo hits; with it off, none were. /clusterz exposes
+	// the summed shard counters either way.
+	var cz ClusterzInfo
+	getJSON(t, tc.co.URL+"/clusterz", &cz)
+	if noMaintain {
+		if cz.PlanCache.MaintainedHits != 0 || cz.PlanCache.Advances != 0 {
+			t.Errorf("maintenance off but /clusterz shows maintainedHits=%d advances=%d",
+				cz.PlanCache.MaintainedHits, cz.PlanCache.Advances)
+		}
+	} else {
+		if cz.PlanCache.MaintainedHits == 0 {
+			t.Errorf("maintenance on but no maintained hits in /clusterz: %+v", cz.PlanCache)
+		}
+		if cz.PlanCache.Advances == 0 {
+			t.Errorf("maintenance on but no memo advances in /clusterz: %+v", cz.PlanCache)
+		}
 	}
 }
 

@@ -214,6 +214,11 @@ type ClusterzInfo struct {
 	// shard-local work shows up in each shard's own /statsz.
 	KernelDomTests   int64 `json:"kernelDomTests"`
 	KernelBlockSkips int64 `json:"kernelBlockSkips"`
+	// PlanCache sums every table's by-route skyline-memo counters
+	// across the reachable primaries (hits/misses per route plus
+	// shard-local maintenance work), so cluster-wide maintenance
+	// efficacy is one GET away.
+	PlanCache serve.PlanCacheStats `json:"planCache"`
 }
 
 // ClusterTable is one catalog entry of /clusterz.
@@ -223,6 +228,9 @@ type ClusterTable struct {
 	// Versions is the primary version vector, probed live; -1 marks an
 	// unreachable primary.
 	Versions []int64 `json:"versions,omitempty"`
+	// PlanCache sums this table's by-route skyline-memo counters across
+	// the reachable primaries (see serve.PlanCacheStats).
+	PlanCache serve.PlanCacheStats `json:"planCache"`
 	// ReplicaLag[i][j] is primary version − follower j's version for
 	// shard i — the replication delta; -1 when either side is
 	// unreachable. Omitted when no shard has followers.
@@ -260,7 +268,10 @@ func (co *Coordinator) handleClusterz(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		entry := ClusterTable{Name: name, Partition: ct.part.spec()}
-		entry.Versions, entry.ReplicaLag = co.probeVersions(r.Context(), name, hasReplicas)
+		var pc serve.PlanCacheStats
+		entry.Versions, entry.ReplicaLag, pc = co.probeVersions(r.Context(), name, hasReplicas)
+		entry.PlanCache = pc
+		info.PlanCache.Add(pc)
 		info.Tables = append(info.Tables, entry)
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -271,26 +282,27 @@ func (co *Coordinator) handleClusterz(w http.ResponseWriter, r *http.Request) {
 // best-effort, concurrently, -1 for any node that does not answer. The
 // per-follower lag is the primary/follower version delta, the live
 // measure of how far behind each mirror is.
-func (co *Coordinator) probeVersions(ctx context.Context, name string, withLag bool) ([]int64, [][]int64) {
+func (co *Coordinator) probeVersions(ctx context.Context, name string, withLag bool) ([]int64, [][]int64, serve.PlanCacheStats) {
 	versions := make([]int64, len(co.shards))
+	caches := make([]serve.PlanCacheStats, len(co.shards))
 	var lag [][]int64
 	if withLag {
 		lag = make([][]int64, len(co.shards))
 	}
-	probe := func(sc *shardClient) int64 {
+	probe := func(sc *shardClient) (int64, serve.PlanCacheStats) {
 		var info serve.TableInfo
 		if err := sc.do(ctx, http.MethodGet, sc.tablePath(name, ""), nil, &info); err != nil {
-			return -1
+			return -1, serve.PlanCacheStats{}
 		}
-		return info.Version
+		return info.Version, info.Stats.PlanCache
 	}
 	co.scatter(func(i int) error {
-		versions[i] = probe(co.shards[i])
+		versions[i], caches[i] = probe(co.shards[i])
 		if lag == nil {
 			return nil
 		}
 		for _, rc := range co.replicas[i] {
-			rv := probe(rc)
+			rv, _ := probe(rc)
 			if versions[i] < 0 || rv < 0 {
 				lag[i] = append(lag[i], -1)
 				continue
@@ -299,7 +311,11 @@ func (co *Coordinator) probeVersions(ctx context.Context, name string, withLag b
 		}
 		return nil
 	})
-	return versions, lag
+	var pc serve.PlanCacheStats
+	for _, c := range caches {
+		pc.Add(c)
+	}
+	return versions, lag, pc
 }
 
 // statusForCluster maps a coordinator error to its HTTP status: shard

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// MaintainRow is one measurement of the maintenance experiment: after a
+// batch of a given size, how fast is the first full-skyline query when
+// the memo was advanced across the delta (maintained hit) versus when
+// the batch installed a fresh memo (cold recompute), and what did the
+// advance itself cost.
+type MaintainRow struct {
+	N          int     // rows before the batch
+	Batch      int     // rows touched (removes + adds)
+	AdvanceMs  float64 // MemoCache.Advance latency for the batch
+	MaintainMs float64 // first query after the batch, maintained memo
+	ColdMs     float64 // first query after the batch, fresh memo
+	Speedup    float64 // ColdMs / MaintainMs
+	Promotions int     // member-removal promotions the advance performed
+	Fallback   bool    // churn threshold refused; first query recomputed cold
+}
+
+// FigureMaintain measures what delta-driven memo maintenance changes
+// about query-after-batch latency: with the memo advanced across the
+// mutation the next full query is a cache hit (microseconds), while a
+// fresh memo pays a cold skyline recompute over all N rows. The base
+// cardinality is 2.5M so the default -scale 0.02 exercises the 50k-row
+// table of the acceptance setup; batches sweep a single row up to 10%
+// of N. Both paths must return the identical skyline — the harness
+// panics otherwise.
+func FigureMaintain(scale float64) []MaintainRow {
+	cfg := DynamicDefaults(scale)
+	cfg.N = scaled(2_500_000, scale)
+	ds := BuildDataset(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed*313 + 17))
+
+	var rows []MaintainRow
+	for _, frac := range []float64{0, 0.001, 0.01, 0.10} {
+		batch := int(float64(cfg.N) * frac)
+		if batch < 1 {
+			batch = 1 // frac 0 stands for the single-row batch
+		}
+		removes, adds := randomBatch(rng, cfg, ds, batch)
+		newDS, delta := deltaDataset(ds, removes, adds)
+
+		// Warm the memo on the pre-batch snapshot, as a serving table
+		// would have after answering the query once; a direct maintainer
+		// call reports what the advance will do (promotions, fallback).
+		memo := plan.NewMemoCache()
+		oldSky := runPlanQuery(ds, memo)
+		_, mst, maintained := core.MaintainSkyline(ds, newDS, delta, oldSky, nil, nil)
+
+		advance := bestOf(3, func() {
+			memo.Advance(ds, newDS, delta)
+		})
+
+		// The quantity under test is the *first* query after the batch,
+		// so each timing rep re-advances outside the clock and times one
+		// query against the freshly advanced memo.
+		var maintIDs []int32
+		maintain := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			adv := memo.Advance(ds, newDS, delta)
+			start := time.Now()
+			maintIDs = runPlanQuery(newDS, adv)
+			if d := time.Since(start); d < maintain {
+				maintain = d
+			}
+		}
+		var coldIDs []int32
+		cold := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			fresh := plan.NewMemoCache()
+			start := time.Now()
+			coldIDs = runPlanQuery(newDS, fresh)
+			if d := time.Since(start); d < cold {
+				cold = d
+			}
+		}
+		if !sameIDSet(maintIDs, coldIDs) {
+			panic(fmt.Sprintf("maintain(%d rows, batch %d): maintained skyline (%d ids) != cold skyline (%d ids)",
+				cfg.N, batch, len(maintIDs), len(coldIDs)))
+		}
+
+		rows = append(rows, MaintainRow{
+			N:          cfg.N,
+			Batch:      batch,
+			AdvanceMs:  advance.Seconds() * 1000,
+			MaintainMs: maintain.Seconds() * 1000,
+			ColdMs:     cold.Seconds() * 1000,
+			Speedup:    cold.Seconds() / maintain.Seconds(),
+			Promotions: mst.Promotions,
+			Fallback:   !maintained,
+		})
+	}
+	return rows
+}
+
+// runPlanQuery answers the full-skyline query through the planner with
+// the given cache, returning the skyline ids.
+func runPlanQuery(ds *core.Dataset, cache plan.Cache) []int32 {
+	env := plan.Env{Learned: plan.NewLearned(), Cache: cache}
+	p, err := plan.New(ds, plan.Query{}, env)
+	if err != nil {
+		panic(err)
+	}
+	res, err := p.Run(context.Background(), ds, env)
+	if err != nil {
+		panic(err)
+	}
+	return res.SkylineIDs
+}

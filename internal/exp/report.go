@@ -165,6 +165,20 @@ func WritePlanRows(w io.Writer, rows []PlanRow) {
 	fmt.Fprintln(w)
 }
 
+// WriteMaintainRows renders the maintenance experiment: first query
+// after a batch, maintained memo vs fresh memo, plus the advance cost.
+func WriteMaintainRows(w io.Writer, rows []MaintainRow) {
+	fmt.Fprintln(w, "Maintain — query after batch: maintained memo vs fresh memo")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\tbatch\tadvance(ms)\tmaintained(ms)\tcold(ms)\tspeedup\tpromotions\tfallback")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\t%.3f\t%.2f\t%.1fx\t%d\t%v\n",
+			r.N, r.Batch, r.AdvanceMs, r.MaintainMs, r.ColdMs, r.Speedup, r.Promotions, r.Fallback)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
 // WriteStoreRows renders the storage experiment: batch-apply latency,
 // rebuild-aside vs incremental, plus WAL append durability cost.
 func WriteStoreRows(w io.Writer, rows []StoreRow) {

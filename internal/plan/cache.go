@@ -2,60 +2,209 @@ package plan
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
+// DefaultSubspaceCap bounds the subspace half of a MemoCache. Now that
+// memos survive mutations (Advance) a table's subspace entries would
+// otherwise accumulate for the life of the table instead of dying with
+// each snapshot; beyond the cap the least-recently-used entry is
+// evicted.
+const DefaultSubspaceCap = 32
+
+// memoEntry is one memoised skyline: the ids plus whether the entry was
+// produced by delta maintenance (Advance) rather than a cold compute.
+// seq is the LRU recency stamp of subspace entries.
+type memoEntry struct {
+	ids        []int32
+	maintained bool
+	seq        uint64
+}
+
+// MaintStats is a point-in-time snapshot of a memo lineage's
+// maintenance counters (see MemoCache.MaintStats).
+type MaintStats struct {
+	// Advances counts memo entries carried across a mutation by delta
+	// maintenance (full and subspace entries count individually).
+	Advances int64 `json:"advances"`
+	// Fallbacks counts entries dropped because the batch's churn
+	// exceeded the maintenance threshold — the next query recomputes
+	// from cold.
+	Fallbacks int64 `json:"fallbacks"`
+	// Promotions counts rows that entered a maintained skyline because
+	// a removed member no longer dominated them.
+	Promotions int64 `json:"promotions"`
+	// SubspaceEvictions counts subspace entries evicted by the LRU cap.
+	SubspaceEvictions int64 `json:"subspaceEvictions"`
+}
+
+// maintCounters is the shared mutable form of MaintStats. One instance
+// is carried across a table's whole memo lineage: Advance hands the
+// pointer to the successor memo, so the counters are cumulative per
+// table, not per snapshot.
+type maintCounters struct {
+	advances, fallbacks, promotions, subEvictions atomic.Int64
+}
+
 // MemoCache is a ready-made Cache: an atomically published memo of the
-// full skyline of one immutable row set, plus a keyed memo of subspace
-// skylines (one entry per kept-dimension set). The serving layer binds
-// one to each table snapshot; tss.Table.SetQueryCache accepts one
-// directly. Concurrent racing Puts are benign — for any given key every
-// writer stores the same skyline set, because the row set the memo
-// describes never changes.
+// full skyline of one immutable row set, plus a bounded LRU-keyed memo
+// of subspace skylines (one entry per kept-dimension set). The serving
+// layer binds one to each table snapshot; tss.Table.SetQueryCache
+// accepts one directly. Concurrent racing Puts are benign — for any
+// given key every writer stores the same skyline set, because the row
+// set the memo describes never changes. Across mutations the memo is
+// not discarded: Advance re-certifies its entries against the batch
+// delta (see that method).
 type MemoCache struct {
-	full atomic.Pointer[[]int32]
+	full atomic.Pointer[memoEntry]
 
-	mu  sync.RWMutex
-	sub map[string][]int32 // kept-dimension key -> subspace skyline
+	mu     sync.Mutex
+	sub    map[string]*memoEntry // kept-dimension key -> subspace skyline
+	seq    uint64                // LRU clock
+	subCap int
+
+	maint *maintCounters // shared across the Advance lineage
 }
 
-// NewMemoCache returns an empty memo.
-func NewMemoCache() *MemoCache { return &MemoCache{} }
+// NewMemoCache returns an empty memo with the default subspace cap.
+func NewMemoCache() *MemoCache {
+	return &MemoCache{subCap: DefaultSubspaceCap, maint: &maintCounters{}}
+}
 
-// GetFull returns the memoised full skyline, if any.
-func (c *MemoCache) GetFull() ([]int32, bool) {
-	if ids := c.full.Load(); ids != nil {
-		return *ids, true
+// GetFull returns the memoised full skyline, if any, and whether the
+// entry was produced by delta maintenance.
+func (c *MemoCache) GetFull() (ids []int32, maintained, ok bool) {
+	if e := c.full.Load(); e != nil {
+		return e.ids, e.maintained, true
 	}
-	return nil, false
+	return nil, false, false
 }
 
-// PutFull publishes the full skyline. The caller must not mutate ids
-// afterwards.
-func (c *MemoCache) PutFull(ids []int32) { c.full.Store(&ids) }
+// PutFull publishes the full skyline of the current row set (a cold
+// compute — maintained entries are installed only by Advance). The
+// caller must not mutate ids afterwards.
+func (c *MemoCache) PutFull(ids []int32) { c.full.Store(&memoEntry{ids: ids}) }
 
 // GetSubspace returns the memoised skyline of the kept-dimension set
-// named by key (see SubspaceKey), if any.
-func (c *MemoCache) GetSubspace(key string) ([]int32, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids, ok := c.sub[key]
-	return ids, ok
+// named by key (see SubspaceKey), if any, and whether the entry was
+// produced by delta maintenance. A hit refreshes the entry's LRU
+// recency.
+func (c *MemoCache) GetSubspace(key string) (ids []int32, maintained, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.sub[key]
+	if !ok {
+		return nil, false, false
+	}
+	c.seq++
+	e.seq = c.seq
+	return e.ids, e.maintained, true
 }
 
-// PutSubspace memoises the skyline of one kept-dimension set. The
-// caller must not mutate ids afterwards. Entries are never evicted —
-// a table has few queried subspaces and the memo dies with its
-// snapshot (the serving layer attaches a fresh one per publish).
+// PutSubspace memoises the skyline of one kept-dimension set, evicting
+// the least-recently-used entry if the cap is exceeded. The caller must
+// not mutate ids afterwards.
 func (c *MemoCache) PutSubspace(key string, ids []int32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putSubspaceLocked(key, &memoEntry{ids: ids})
+}
+
+func (c *MemoCache) putSubspaceLocked(key string, e *memoEntry) {
 	if c.sub == nil {
-		c.sub = make(map[string][]int32)
+		c.sub = make(map[string]*memoEntry)
 	}
-	c.sub[key] = ids
+	c.seq++
+	e.seq = c.seq
+	c.sub[key] = e
+	limit := c.subCap
+	if limit <= 0 {
+		limit = DefaultSubspaceCap
+	}
+	for len(c.sub) > limit {
+		victim, min := "", uint64(0)
+		for k, se := range c.sub {
+			if victim == "" || se.seq < min {
+				victim, min = k, se.seq
+			}
+		}
+		delete(c.sub, victim)
+		if c.maint != nil {
+			c.maint.subEvictions.Add(1)
+		}
+	}
+}
+
+// MaintStats snapshots the maintenance counters of this memo's lineage
+// (cumulative across Advance calls, shared with every ancestor and
+// successor memo of the same table).
+func (c *MemoCache) MaintStats() MaintStats {
+	if c.maint == nil {
+		return MaintStats{}
+	}
+	return MaintStats{
+		Advances:          c.maint.advances.Load(),
+		Fallbacks:         c.maint.fallbacks.Load(),
+		Promotions:        c.maint.promotions.Load(),
+		SubspaceEvictions: c.maint.subEvictions.Load(),
+	}
+}
+
+// Advance carries this memo across a mutation: it returns a new
+// MemoCache for the post-batch row set whose entries are re-certified
+// from the old ones by delta maintenance (core.MaintainSkyline) instead
+// of being recomputed from cold. Entries whose batch churn exceeds the
+// maintenance threshold are dropped individually (counted as
+// fallbacks); the receiving memo stays valid for readers of the old
+// snapshot. oldDS/newDS are the row sets before and after the batch;
+// delta maps old row indexes to new ones as Table.ApplyBatch reports.
+func (c *MemoCache) Advance(oldDS, newDS *core.Dataset, delta *core.Delta) *MemoCache {
+	next := &MemoCache{subCap: c.subCap, maint: c.maint}
+	if next.maint == nil {
+		next.maint = &maintCounters{}
+	}
+
+	if e := c.full.Load(); e != nil {
+		if ids, st, ok := core.MaintainSkyline(oldDS, newDS, delta, e.ids, nil, nil); ok {
+			next.full.Store(&memoEntry{ids: ids, maintained: true})
+			next.maint.advances.Add(1)
+			next.maint.promotions.Add(int64(st.Promotions))
+		} else {
+			next.maint.fallbacks.Add(1)
+		}
+	}
+
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.sub))
+	entries := make([]*memoEntry, 0, len(c.sub))
+	for k, e := range c.sub {
+		keys = append(keys, k)
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	for i, key := range keys {
+		keptTO, keptPO, err := parseSubspaceKey(key)
+		if err != nil {
+			next.maint.fallbacks.Add(1)
+			continue
+		}
+		ids, st, ok := core.MaintainSkyline(oldDS, newDS, delta, entries[i].ids, keptTO, keptPO)
+		if !ok {
+			next.maint.fallbacks.Add(1)
+			continue
+		}
+		next.maint.advances.Add(1)
+		next.maint.promotions.Add(int64(st.Promotions))
+		next.mu.Lock()
+		next.putSubspaceLocked(key, &memoEntry{ids: ids, maintained: true})
+		next.mu.Unlock()
+	}
+	return next
 }
 
 // SubspaceKey canonically names a kept-dimension set — the memo key of
@@ -82,4 +231,39 @@ func SubspaceKey(s *Subspace) string {
 		fmt.Fprintf(&b, "%d", d)
 	}
 	return b.String()
+}
+
+// parseSubspaceKey inverts SubspaceKey, recovering the kept TO and PO
+// dimension lists. The returned slices are non-nil even when empty, so
+// they never alias the nil/nil "full dimensionality" form.
+func parseSubspaceKey(key string) (keptTO, keptPO []int, err error) {
+	rest, ok := strings.CutPrefix(key, "to:")
+	if !ok {
+		return nil, nil, fmt.Errorf("plan: subspace key %q: missing to:", key)
+	}
+	toPart, poPart, ok := strings.Cut(rest, "|po:")
+	if !ok {
+		return nil, nil, fmt.Errorf("plan: subspace key %q: missing |po:", key)
+	}
+	parse := func(s string) ([]int, error) {
+		out := []int{}
+		if s == "" {
+			return out, nil
+		}
+		for _, f := range strings.Split(s, ",") {
+			d, err := strconv.Atoi(f)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("plan: subspace key %q: bad dimension %q", key, f)
+			}
+			out = append(out, d)
+		}
+		return out, nil
+	}
+	if keptTO, err = parse(toPart); err != nil {
+		return nil, nil, err
+	}
+	if keptPO, err = parse(poPart); err != nil {
+		return nil, nil, err
+	}
+	return keptTO, keptPO, nil
 }

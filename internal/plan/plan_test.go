@@ -82,10 +82,10 @@ type memCache struct {
 	sub  map[string][]int32
 }
 
-func (c *memCache) GetFull() ([]int32, bool) {
+func (c *memCache) GetFull() ([]int32, bool, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.full, c.full != nil
+	return c.full, false, c.full != nil
 }
 
 func (c *memCache) PutFull(ids []int32) {
@@ -94,11 +94,11 @@ func (c *memCache) PutFull(ids []int32) {
 	c.full = ids
 }
 
-func (c *memCache) GetSubspace(key string) ([]int32, bool) {
+func (c *memCache) GetSubspace(key string) ([]int32, bool, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ids, ok := c.sub[key]
-	return ids, ok
+	return ids, false, ok
 }
 
 func (c *memCache) PutSubspace(key string, ids []int32) {
@@ -270,7 +270,7 @@ func TestCacheRouting(t *testing.T) {
 	if ex.CacheHit {
 		t.Fatal("first full run reported a cache hit")
 	}
-	if _, ok := cache.GetFull(); !ok {
+	if _, _, ok := cache.GetFull(); !ok {
 		t.Fatal("full run did not populate the cache")
 	}
 
@@ -653,7 +653,7 @@ func TestSubspaceCacheRouting(t *testing.T) {
 		t.Fatalf("subspace B result wrong: %v want %v", idsB, want)
 	}
 	// The full-skyline half stays independent of subspace entries.
-	if _, ok := env.Cache.GetFull(); ok {
+	if _, _, ok := env.Cache.GetFull(); ok {
 		t.Fatal("subspace runs must not populate the full-skyline memo")
 	}
 	if _, ex := runPlan(t, ds, Query{}, env); ex.CacheHit {

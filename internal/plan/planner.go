@@ -16,10 +16,14 @@ import (
 // the table state the cache belongs to. Implementations must be safe
 // for concurrent use; the serving layer binds one to each immutable
 // snapshot.
+// Gets additionally report whether the entry was produced by delta
+// maintenance (MemoCache.Advance) rather than a cold compute on this
+// row set — explain output surfaces the distinction as the
+// "maintained" route flavour.
 type Cache interface {
-	GetFull() ([]int32, bool)
+	GetFull() (ids []int32, maintained, ok bool)
 	PutFull([]int32)
-	GetSubspace(key string) ([]int32, bool)
+	GetSubspace(key string) (ids []int32, maintained, ok bool)
 	PutSubspace(key string, ids []int32)
 }
 
@@ -55,6 +59,10 @@ type Explain struct {
 	SkyFracFrom  string      `json:"skylineFracSource"`
 	Candidates   []Candidate `json:"candidates,omitempty"`
 	CacheHit     bool        `json:"cacheHit,omitempty"`
+	// Maintained reports that the cache entry this plan serves from was
+	// carried across mutations by delta maintenance rather than computed
+	// cold on this row set.
+	Maintained bool `json:"maintained,omitempty"`
 	// Kernel names the dominance-kernel configuration the run's
 	// elimination loops use: "bitset+columnar" (closure bitsets fit the
 	// memory budget on every kept PO domain), "columnar" (columnar scans
@@ -163,8 +171,9 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	useCache := env.Cache != nil && !q.Hints.NoCache
 	var cachedFull []int32
 	cacheHas := false
+	cacheMaint := false
 	if useCache && q.Subspace == nil {
-		cachedFull, cacheHas = env.Cache.GetFull()
+		cachedFull, cacheMaint, cacheHas = env.Cache.GetFull()
 	}
 	switch {
 	case len(q.Where) == 0:
@@ -172,14 +181,24 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 		switch {
 		case q.Subspace == nil && cacheHas:
 			p.cached = cachedFull
-			p.Explain.RouteReason = "full skyline cached"
+			p.Explain.Maintained = cacheMaint
+			if cacheMaint {
+				p.Explain.RouteReason = "full skyline maintained across mutations"
+			} else {
+				p.Explain.RouteReason = "full skyline cached"
+			}
 		case q.Subspace != nil && useCache:
 			// Subspace-keyed memo: repeated subspace queries on the same
 			// snapshot are served without recomputation, exactly like
 			// repeated full queries.
-			if ids, ok := env.Cache.GetSubspace(p.variant); ok {
+			if ids, maint, ok := env.Cache.GetSubspace(p.variant); ok {
 				p.cached = ids
-				p.Explain.RouteReason = fmt.Sprintf("subspace skyline cached (key %s)", p.variant)
+				p.Explain.Maintained = maint
+				if maint {
+					p.Explain.RouteReason = fmt.Sprintf("subspace skyline maintained across mutations (key %s)", p.variant)
+				} else {
+					p.Explain.RouteReason = fmt.Sprintf("subspace skyline cached (key %s)", p.variant)
+				}
 			}
 		}
 	case q.Hints.Route == RoutePostFilter:
@@ -193,6 +212,7 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 		p.Explain.RouteReason = "forced by hint"
 		if cacheHas {
 			p.cached = cachedFull
+			p.Explain.Maintained = cacheMaint
 		}
 	case q.Hints.Route == RoutePushdown:
 		p.route = RoutePushdown
@@ -200,7 +220,12 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	case antiMonotoneUsable(q, antiMono) && cacheHas:
 		p.route = RoutePostFilter
 		p.cached = cachedFull
-		p.Explain.RouteReason = "predicates anti-monotone and full skyline cached"
+		p.Explain.Maintained = cacheMaint
+		if cacheMaint {
+			p.Explain.RouteReason = "predicates anti-monotone and full skyline maintained across mutations"
+		} else {
+			p.Explain.RouteReason = "predicates anti-monotone and full skyline cached"
+		}
 	default:
 		p.route = RoutePushdown
 		if antiMono {

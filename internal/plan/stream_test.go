@@ -150,7 +150,7 @@ func TestRunStreamCacheFill(t *testing.T) {
 	cache := &memCache{}
 	env := Env{Learned: NewLearned(), Cache: cache}
 	_, res, _ := streamPlan(t, ds, Query{}, env)
-	got, ok := cache.GetFull()
+	got, _, ok := cache.GetFull()
 	if !ok {
 		t.Fatal("exhausted stream left the full-skyline cache empty")
 	}
@@ -163,7 +163,7 @@ func TestRunStreamCacheFill(t *testing.T) {
 	cache = &memCache{}
 	env = Env{Learned: NewLearned(), Cache: cache}
 	streamPlan(t, ds, Query{TopK: 2}, env)
-	if _, ok := cache.GetFull(); ok {
+	if _, _, ok := cache.GetFull(); ok {
 		t.Fatal("early-terminated stream poisoned the full-skyline cache")
 	}
 
@@ -186,7 +186,7 @@ func TestRunStreamCacheFill(t *testing.T) {
 	if !errors.Is(err, abort) {
 		t.Fatalf("aborted stream returned %v, want the emit error", err)
 	}
-	if _, ok := cache.GetFull(); ok {
+	if _, _, ok := cache.GetFull(); ok {
 		t.Fatal("aborted stream poisoned the full-skyline cache")
 	}
 
@@ -205,7 +205,7 @@ func TestRunStreamCacheFill(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled stream returned %v", err)
 	}
-	if _, ok := cache.GetFull(); ok {
+	if _, _, ok := cache.GetFull(); ok {
 		t.Fatal("canceled stream poisoned the full-skyline cache")
 	}
 }

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMaintainedRouteUnderMutations is the maintenance stress test (run
+// it under -race): plan-mode readers race batch mutators, and the test
+// asserts both halves of the contract — every response replay-verifies
+// against the snapshot it names, and repeat queries between batches are
+// served from the maintained memo instead of recomputing from cold.
+func TestMaintainedRouteUnderMutations(t *testing.T) {
+	const (
+		readers          = 4
+		writers          = 2
+		queriesPerReader = 30
+		batchesPerWriter = 6
+	)
+
+	spec := flightsSpec("flights")
+	s := New(8)
+	if _, err := s.CreateTable(spec); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	queryURL := ts.URL + "/tables/flights/query"
+
+	// Sequential warm-up: miss, hit, batch, maintained hit — the exact
+	// lifecycle the concurrent phase then hammers.
+	var first, second QueryResponse
+	doJSON(t, http.MethodPost, queryURL, QueryRequest{Explain: true}, &first)
+	if first.CacheHit {
+		t.Fatal("first full query reported a cache hit")
+	}
+	doJSON(t, http.MethodPost, queryURL, QueryRequest{Explain: true}, &second)
+	if !second.CacheHit || second.Plan == nil || second.Plan.Maintained {
+		t.Fatalf("repeat query on one snapshot: cacheHit=%v plan=%+v, want plain hit", second.CacheHit, second.Plan)
+	}
+	var warmBatch BatchResponse
+	doJSON(t, http.MethodPost, ts.URL+"/tables/flights/rows:batch",
+		BatchRequest{Add: []RowSpec{{TO: []int64{275, 1}, PO: []string{"c"}}}}, &warmBatch)
+	var maintained QueryResponse
+	doJSON(t, http.MethodPost, queryURL, QueryRequest{Explain: true}, &maintained)
+	if !maintained.CacheHit || maintained.Plan == nil || !maintained.Plan.Maintained {
+		t.Fatalf("post-batch query: cacheHit=%v plan=%+v, want maintained hit", maintained.CacheHit, maintained.Plan)
+	}
+	if maintained.Version != warmBatch.Version {
+		t.Fatalf("post-batch query served version %d, batch produced %d", maintained.Version, warmBatch.Version)
+	}
+
+	// Concurrent phase. Writers log version → batch; readers log every
+	// response for post-hoc replay.
+	var mu sync.Mutex
+	batches := map[int64][]RowSpec{}
+	type obs struct {
+		version    int64
+		rows       int
+		maintained bool
+		skyline    []SkylineRow
+	}
+	var observations []obs
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batchesPerWriter; b++ {
+				add := []RowSpec{
+					{TO: []int64{int64(320 + 90*w + b), int64(b % 3)}, PO: []string{"b"}},
+					{TO: []int64{int64(2600 + 10*w + b), int64(3 + b%2)}, PO: []string{"d"}},
+				}
+				var resp BatchResponse
+				code := doJSON(t, http.MethodPost, ts.URL+"/tables/flights/rows:batch",
+					BatchRequest{Add: add}, &resp)
+				if code != http.StatusOK {
+					errCh <- fmt.Errorf("writer %d batch %d: HTTP %d", w, b, code)
+					return
+				}
+				mu.Lock()
+				batches[resp.Version] = add
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for q := 0; q < queriesPerReader; q++ {
+				var out QueryResponse
+				code := doJSON(t, http.MethodPost, queryURL, QueryRequest{Explain: true}, &out)
+				if code != http.StatusOK {
+					errCh <- fmt.Errorf("reader %d query %d: HTTP %d", rd, q, code)
+					return
+				}
+				if out.Plan == nil {
+					errCh <- fmt.Errorf("reader %d query %d: no plan in explain response", rd, q)
+					return
+				}
+				mu.Lock()
+				observations = append(observations, obs{
+					version: out.Version, rows: out.Rows,
+					maintained: out.Plan.Maintained, skyline: out.Skyline,
+				})
+				mu.Unlock()
+			}
+		}(rd)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Replay-verify every response against the row set its version
+	// names. Maintained responses get no special dispensation: a
+	// re-certified memo must be byte-for-byte the recomputed skyline.
+	versions := make([]int64, 0, len(batches))
+	for v := range batches {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	rowsAt := map[int64][]RowSpec{warmBatch.Version: append(append([]RowSpec(nil), spec.Rows...), RowSpec{TO: []int64{275, 1}, PO: []string{"c"}})}
+	cur := rowsAt[warmBatch.Version]
+	for _, v := range versions {
+		cur = append(append([]RowSpec(nil), cur...), batches[v]...)
+		rowsAt[v] = cur
+	}
+	expected := map[int64][]string{}
+	maintainedHits := 0
+	for _, o := range observations {
+		rows, ok := rowsAt[o.version]
+		if !ok {
+			t.Fatalf("response names unpublished version %d", o.version)
+		}
+		if o.rows != len(rows) {
+			t.Fatalf("version %d: response says %d rows, snapshot had %d", o.version, o.rows, len(rows))
+		}
+		want, ok := expected[o.version]
+		if !ok {
+			want = computeSkyline(t, spec, rows, -1, nil)
+			expected[o.version] = want
+		}
+		got := make([]string, len(o.skyline))
+		for i, r := range o.skyline {
+			got[i] = rowKey(r.TO, r.PO)
+		}
+		sort.Strings(got)
+		if strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Fatalf("version %d (maintained=%v): skyline %v inconsistent with snapshot (want %v)",
+				o.version, o.maintained, got, want)
+		}
+		if o.maintained {
+			maintainedHits++
+		}
+	}
+
+	// A final settled query pins the guarantee: after the last batch the
+	// memo has been advanced through every delta and must serve the
+	// maintained route, matching a cold recompute.
+	var settled, cold QueryResponse
+	doJSON(t, http.MethodPost, queryURL, QueryRequest{Explain: true}, &settled)
+	if !settled.CacheHit || settled.Plan == nil || !settled.Plan.Maintained {
+		t.Fatalf("settled query: cacheHit=%v plan=%+v, want maintained hit", settled.CacheHit, settled.Plan)
+	}
+	doJSON(t, http.MethodPost, queryURL, QueryRequest{Explain: true, NoCache: true}, &cold)
+	if fmt.Sprint(sortedRowKeys(settled.Skyline)) != fmt.Sprint(sortedRowKeys(cold.Skyline)) {
+		t.Fatalf("maintained %v != cold %v", sortedRowKeys(settled.Skyline), sortedRowKeys(cold.Skyline))
+	}
+
+	// And the split counters surfaced it all: /statsz must report the
+	// maintained traffic and the memo's maintenance work.
+	var stats StatsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/statsz", nil, &stats)
+	if len(stats.Tables) != 1 {
+		t.Fatalf("statsz lists %d tables", len(stats.Tables))
+	}
+	pc := stats.Tables[0].Stats.PlanCache
+	if pc.MaintainedHits < int64(maintainedHits)+1 {
+		t.Fatalf("statsz maintainedHits=%d, observed at least %d", pc.MaintainedHits, maintainedHits+1)
+	}
+	if pc.FullHits < 1 || pc.FullMisses < 1 {
+		t.Fatalf("statsz full-route counters empty: %+v", pc)
+	}
+	if pc.Advances == 0 {
+		t.Fatalf("statsz records no memo advances after %d batches: %+v", len(batches)+1, pc)
+	}
+}
+
+func sortedRowKeys(rows []SkylineRow) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = rowKey(r.TO, r.PO)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -127,18 +127,24 @@ func TestPlanQueryExplainAndCacheRouting(t *testing.T) {
 		t.Fatalf("non-anti-monotone plan: %+v cacheHit=%v", lower.Plan, lower.CacheHit)
 	}
 
-	// A batch publishes a new snapshot with a fresh memo: no stale
-	// cache hits across versions.
+	// A batch advances the memo across the delta instead of dropping
+	// it: the post-batch full query is a *maintained* cache hit — same
+	// answer as a cold recompute on the new snapshot.
 	var batch BatchResponse
 	doJSON(t, http.MethodPost, ts.URL+"/tables/flights/rows:batch",
 		BatchRequest{Add: []RowSpec{{TO: []int64{400, 3}, PO: []string{"d"}}}}, &batch)
 	var after QueryResponse
 	doJSON(t, http.MethodPost, url, QueryRequest{Explain: true}, &after)
-	if after.CacheHit {
-		t.Fatal("full query after a batch hit a stale memo")
+	if !after.CacheHit || after.Plan == nil || !after.Plan.Maintained {
+		t.Fatalf("full query after a batch: cacheHit=%v plan=%+v, want maintained hit", after.CacheHit, after.Plan)
 	}
 	if after.Version != batch.Version {
 		t.Fatalf("served version %d, batch produced %d", after.Version, batch.Version)
+	}
+	var afterCold QueryResponse
+	doJSON(t, http.MethodPost, url, QueryRequest{Explain: true, NoCache: true}, &afterCold)
+	if fmt.Sprint(queryRows(after)) != fmt.Sprint(queryRows(afterCold)) {
+		t.Fatalf("maintained answer %v differs from cold recompute %v", queryRows(after), queryRows(afterCold))
 	}
 }
 

@@ -119,6 +119,7 @@ func (s *Server) ImportSnapshot(name string, snap *store.Snapshot) (TableInfo, e
 	if err != nil {
 		return TableInfo{}, err
 	}
+	e.noMaintain = s.noMaintain
 	if l := importLearned(snap.Stats); l != nil {
 		e.current().table.SetLearned(l)
 	}

@@ -118,7 +118,7 @@ func (sc *Schema) PlanQuery(req QueryRequest) (plan.Query, error) {
 		TopK:  req.TopK,
 		Rank:  plan.Rank(req.Rank),
 		Ideal: req.Ideal,
-		Hints: plan.Hints{Algorithm: req.Algo, Parallelism: par, NoKernel: req.NoKernel},
+		Hints: plan.Hints{Algorithm: req.Algo, Parallelism: par, NoKernel: req.NoKernel, NoCache: req.NoCache},
 	}
 	if len(req.Subspace) > 0 {
 		s := &plan.Subspace{}

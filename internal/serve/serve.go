@@ -55,6 +55,11 @@ type Config struct {
 	// is how a follower stays a faithful mirror: the primary is the only
 	// writer its tables ever see.
 	ReadOnly bool
+	// NoMaintain disables incremental skyline-memo maintenance: every
+	// batch installs a fresh empty memo (the pre-maintenance behaviour)
+	// and post-batch queries recompute from cold. For benchmarking and
+	// differential testing.
+	NoMaintain bool
 }
 
 // Server is the catalog of named skyline tables plus the HTTP handlers
@@ -70,6 +75,7 @@ type Server struct {
 	shard           *ShardIdentity
 	streamHeartbeat time.Duration
 	readOnly        bool
+	noMaintain      bool
 	checkpointErrs  atomic.Int64
 	started         time.Time
 	queries         atomic.Int64
@@ -100,6 +106,7 @@ func NewWithConfig(cfg Config) *Server {
 		shard:           cfg.Shard,
 		streamHeartbeat: cfg.StreamHeartbeat,
 		readOnly:        cfg.ReadOnly,
+		noMaintain:      cfg.NoMaintain,
 		started:         time.Now(),
 	}
 }
@@ -129,6 +136,7 @@ func (s *Server) Recover() ([]TableInfo, error) {
 		if err != nil {
 			return infos, fmt.Errorf("recover table %q: %w", name, err)
 		}
+		e.noMaintain = s.noMaintain
 		// Resume the planner's learning where the checkpoint left it —
 		// before the entry is visible to any query.
 		if l := importLearned(snap.Stats); l != nil {
@@ -160,6 +168,7 @@ func (s *Server) CreateTable(spec TableSpec) (TableInfo, error) {
 	if err != nil {
 		return TableInfo{}, err
 	}
+	e.noMaintain = s.noMaintain
 	// The snapshot build above ran without the lock; persisting runs
 	// inside the critical section, after winning the name, so a losing
 	// concurrent create can never overwrite — or clean up — the
@@ -688,6 +697,10 @@ func (s *Server) handlePlanQuery(w http.ResponseWriter, r *http.Request, e *tabl
 		return
 	}
 	s.countQuery(e)
+	// A NoCache bypass is neither a hit nor a miss of the memo.
+	if !req.NoCache {
+		e.countPlanCache(explain, len(req.Subspace) > 0)
+	}
 	resp := QueryResponse{
 		Table:    e.name,
 		Version:  snap.version,

@@ -264,6 +264,9 @@ func (s *Server) streamPlanQuery(w http.ResponseWriter, r *http.Request, e *tabl
 			return StreamRecord{}, err
 		}
 		s.countQuery(e)
+		if !q.Hints.NoCache {
+			e.countPlanCache(ex, q.Subspace != nil)
+		}
 		trailer := StreamRecord{
 			Type: "trailer", Version: snap.version, Count: len(res.Rows),
 			Metrics: &res.Metrics, CacheHit: res.CacheHit, Algo: ex.Algorithm,

@@ -55,6 +55,10 @@ type tableEntry struct {
 	ckptSkipLeft int
 	ckptStreak   atomic.Int64
 
+	// noMaintain disables carrying the skyline memo across batches
+	// (Config.NoMaintain): every mutation installs a fresh empty memo.
+	noMaintain bool
+
 	queries   atomic.Int64
 	mutations atomic.Int64
 	// Cache counters, accumulated per served query (on the response's
@@ -64,6 +68,15 @@ type tableEntry struct {
 	// counts. These stay exact and cumulative across swaps.
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	// Planner-path memo counters, split by route: a maintained hit is a
+	// memo entry carried across mutations by delta maintenance; full and
+	// subspace hits are cold-computed entries of the current snapshot.
+	// Misses count cacheable queries (no Where) that found no entry.
+	planFullHits       atomic.Int64
+	planFullMisses     atomic.Int64
+	planSubHits        atomic.Int64
+	planSubMisses      atomic.Int64
+	planMaintainedHits atomic.Int64
 }
 
 // buildOrders compiles OrderSpecs into tss Orders, converting the
@@ -188,7 +201,15 @@ func (e *tableEntry) applyBatch(req BatchRequest, persist func(version int64) er
 		return BatchResponse{}, err
 	}
 	next.Seal()
-	next.SetQueryCache(plan.NewMemoCache()) // new row set, fresh memo
+	// The skyline memo survives the mutation: Table.ApplyBatch already
+	// advanced the old snapshot's memo across the delta (entries
+	// re-certified by the incremental maintainer, over-churn entries
+	// dropped), so post-batch repeat queries hit the maintained route
+	// instead of recomputing from cold. NoMaintain restores the old
+	// fresh-memo-per-batch behaviour.
+	if e.noMaintain || next.QueryCache() == nil {
+		next.SetQueryCache(plan.NewMemoCache())
+	}
 	dyn := cur.dyn.ApplyDelta(next, delta)
 
 	version := cur.version + 1
@@ -211,6 +232,22 @@ func (e *tableEntry) applyBatch(req BatchRequest, persist func(version int64) er
 // info renders the entry for /tables and /statsz.
 func (e *tableEntry) info() TableInfo {
 	s := e.current()
+	pc := PlanCacheStats{
+		FullHits:       e.planFullHits.Load(),
+		FullMisses:     e.planFullMisses.Load(),
+		SubspaceHits:   e.planSubHits.Load(),
+		SubspaceMisses: e.planSubMisses.Load(),
+		MaintainedHits: e.planMaintainedHits.Load(),
+	}
+	// Maintenance counters live in the memo lineage itself (cumulative
+	// across Advance calls, shared by every snapshot of the table).
+	if mc, ok := s.table.QueryCache().(*plan.MemoCache); ok {
+		ms := mc.MaintStats()
+		pc.Advances = ms.Advances
+		pc.Promotions = ms.Promotions
+		pc.MaintFallbacks = ms.Fallbacks
+		pc.SubspaceEvictions = ms.SubspaceEvictions
+	}
 	return TableInfo{
 		Name:      e.name,
 		Version:   s.version,
@@ -223,7 +260,31 @@ func (e *tableEntry) info() TableInfo {
 			Mutations:   e.mutations.Load(),
 			CacheHits:   e.cacheHits.Load(),
 			CacheMisses: e.cacheMisses.Load(),
+			PlanCache:   pc,
 		},
+	}
+}
+
+// countPlanCache folds one planner-path query outcome into the
+// per-route memo counters. Maintained hits are exclusive of full and
+// subspace hits; misses are counted only for memo-cacheable queries
+// (no predicates — Where queries push down without consulting the
+// memo, unless a post-filter cache hit is reported, which counts as a
+// hit of its entry's route).
+func (e *tableEntry) countPlanCache(ex *plan.Explain, subspace bool) {
+	switch {
+	case ex.CacheHit && ex.Maintained:
+		e.planMaintainedHits.Add(1)
+	case ex.CacheHit && subspace:
+		e.planSubHits.Add(1)
+	case ex.CacheHit:
+		e.planFullHits.Add(1)
+	case ex.Route == plan.RouteDirect:
+		if subspace {
+			e.planSubMisses.Add(1)
+		} else {
+			e.planFullMisses.Add(1)
+		}
 	}
 }
 

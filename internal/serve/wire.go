@@ -81,6 +81,42 @@ type TableStats struct {
 	Mutations   int64 `json:"mutations"`
 	CacheHits   int64 `json:"cacheHits"`
 	CacheMisses int64 `json:"cacheMisses"`
+	// PlanCache splits the planner-path skyline-memo counters by route
+	// (full / subspace / maintained) and carries the memo-maintenance
+	// counters, so maintenance efficacy is observable per table.
+	PlanCache PlanCacheStats `json:"planCache"`
+}
+
+// PlanCacheStats is the by-route breakdown of the planner's skyline
+// memo plus its maintenance counters. Hits are exclusive: a maintained
+// hit (entry carried across mutations by delta maintenance) is not also
+// counted as a full or subspace hit. Misses count memo-cacheable
+// queries (no predicates) that found no entry. Advances, Promotions,
+// MaintFallbacks and SubspaceEvictions come from the memo lineage and
+// are cumulative across the table's whole mutation history.
+type PlanCacheStats struct {
+	FullHits          int64 `json:"fullHits"`
+	FullMisses        int64 `json:"fullMisses"`
+	SubspaceHits      int64 `json:"subspaceHits"`
+	SubspaceMisses    int64 `json:"subspaceMisses"`
+	MaintainedHits    int64 `json:"maintainedHits"`
+	Advances          int64 `json:"advances"`
+	Promotions        int64 `json:"promotions"`
+	MaintFallbacks    int64 `json:"maintFallbacks"`
+	SubspaceEvictions int64 `json:"subspaceEvictions"`
+}
+
+// Add folds another shard's counters in (cluster aggregation).
+func (p *PlanCacheStats) Add(o PlanCacheStats) {
+	p.FullHits += o.FullHits
+	p.FullMisses += o.FullMisses
+	p.SubspaceHits += o.SubspaceHits
+	p.SubspaceMisses += o.SubspaceMisses
+	p.MaintainedHits += o.MaintainedHits
+	p.Advances += o.Advances
+	p.Promotions += o.Promotions
+	p.MaintFallbacks += o.MaintFallbacks
+	p.SubspaceEvictions += o.SubspaceEvictions
 }
 
 // BatchRequest mutates rows (POST /tables/{name}/rows:batch). Remove
@@ -172,12 +208,16 @@ type QueryRequest struct {
 	// harness switch. A coordinator forwards it to its shards and uses the
 	// scalar reference merge.
 	NoKernel bool `json:"noKernel,omitempty"`
+	// NoCache bypasses the snapshot's skyline memo (cold recompute) —
+	// the differential switch for verifying maintained memo entries
+	// against recomputation.
+	NoCache bool `json:"noCache,omitempty"`
 }
 
 // HasPlanFields reports whether any planner-mode field is set.
 func (r *QueryRequest) HasPlanFields() bool {
 	return len(r.Subspace) > 0 || len(r.Where) > 0 || r.TopK > 0 || r.Rank != "" ||
-		r.Algo != "" || r.Parallel != 0 || r.Explain || r.NoKernel
+		r.Algo != "" || r.Parallel != 0 || r.Explain || r.NoKernel || r.NoCache
 }
 
 // PlanMode reports whether the request takes the planner path: no

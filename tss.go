@@ -419,6 +419,14 @@ func (t *Table) ApplyBatch(removes []int, adds []TableRow) (*Table, *BatchDelta,
 	if old := t.stats.Load(); old != nil {
 		nt.stats.Store(old.Advance(t.ds, nt.ds, delta.OldToNew, delta.Added))
 	}
+	// The skyline memo rides along too: instead of the derived table
+	// starting cold, a MemoCache is advanced across the delta — its
+	// entries are re-certified by the incremental maintainer rather than
+	// recomputed (plan.MemoCache.Advance). Other Cache implementations
+	// stay snapshot-scoped and are not inherited.
+	if mc, ok := t.queryCache.(*plan.MemoCache); ok {
+		nt.queryCache = mc.Advance(t.ds, nt.ds, &core.Delta{OldToNew: delta.OldToNew, Added: delta.Added})
+	}
 	return nt, delta, nil
 }
 
@@ -695,8 +703,15 @@ func (t *Table) SetLearned(l *plan.Learned) {
 // repeat full queries — and provably-sound post-filter constrained
 // queries — from it. The cache must describe this table's exact row
 // set; attach it before the table is shared across goroutines, and
-// never after rows change (derived tables do not inherit it).
+// never after rows change. When the cache is a *plan.MemoCache,
+// ApplyBatch carries it across mutations by delta maintenance (the
+// derived table gets an Advance'd memo); any other implementation is
+// snapshot-scoped and not inherited.
 func (t *Table) SetQueryCache(c plan.Cache) { t.queryCache = c }
+
+// QueryCache returns the cache attached with SetQueryCache, or the
+// maintained memo ApplyBatch derived — nil when the table has none.
+func (t *Table) QueryCache() plan.Cache { return t.queryCache }
 
 // SkylineResult is the outcome of a skyline computation.
 type SkylineResult struct {
