@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7..14, ablation, cluster, maintain, parallel, plan, serve, store, stream, table3, verify or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7..14, ablation, cluster, maintain, parallel, plan, rank, serve, store, stream, table3, verify or all")
 	scale := flag.Float64("scale", 0.02, "fraction of the paper's data cardinality (1.0 = full)")
 	flag.Parse()
 
@@ -64,6 +64,8 @@ func run(w io.Writer, fig string, scale float64) error {
 			exp.WriteRows(w, exp.FigureParallel(scale))
 		case "plan":
 			exp.WritePlanRows(w, exp.FigurePlan(scale))
+		case "rank":
+			exp.WriteRankRows(w, exp.FigureRank(scale))
 		case "serve":
 			exp.WriteServeRows(w, exp.FigureServe(scale))
 		case "cluster":
@@ -87,7 +89,7 @@ func run(w io.Writer, fig string, scale float64) error {
 		return nil
 	}
 	if fig == "all" {
-		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "cluster", "maintain", "parallel", "plan", "serve", "store", "stream"} {
+		for _, name := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "ablation", "cluster", "maintain", "parallel", "plan", "rank", "serve", "store", "stream"} {
 			fmt.Fprintf(os.Stderr, "running figure %s (scale %.3g)...\n", name, scale)
 			if err := runOne(name); err != nil {
 				return err

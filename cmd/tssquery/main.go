@@ -10,15 +10,17 @@
 // the current list); -parallel N runs it behind the partition-and-merge
 // executor with N shards (-1 = one per CPU).
 //
-// Planner mode (-subspace / -where / -topk / -rank / -explain) answers
-// subspace, constrained and top-k skyline variants through the
-// cost-based optimizer, which picks the algorithm (unless -method is
-// explicitly set), parallelism and predicate placement from workload
-// statistics; -explain prints the chosen plan as JSON:
+// Planner mode (-subspace / -where / -topk / -rank / -fweights /
+// -explain) answers subspace, constrained, top-k and weight-restricted
+// skyline variants through the cost-based optimizer, which picks the
+// algorithm (unless -method is explicitly set), parallelism and
+// predicate placement from workload statistics; -explain prints the
+// chosen plan as JSON:
 //
 //	tssquery -data work/data.csv -dags work/dag_0.txt -where "to_0<=500,po_0 in 1|3" -explain
 //	tssquery -data work/data.csv -dags work/dag_0.txt -subspace to_0,po_0
-//	tssquery -data work/data.csv -dags work/dag_0.txt -topk 10 -rank domcount
+//	tssquery -data work/data.csv -dags work/dag_0.txt -topk 10 -rank dpidp
+//	tssquery -data work/data.csv -dags work/dag_0.txt -fweights 0.5,0.2
 //
 // The same flags work against a server (-serve URL), with column names
 // and PO value labels resolved by the table's schema.
@@ -76,7 +78,10 @@ func main() {
 	flag.StringVar(&pf.subspace, "subspace", "", "planned query: comma-separated kept columns (to_<i>/po_<i> locally, schema names against a server)")
 	flag.StringVar(&pf.where, "where", "", "planned query: comma-separated predicates, e.g. \"to_0<=500,po_0 in 1|3\"")
 	flag.IntVar(&pf.topk, "topk", 0, "planned query: keep only the best K skyline rows")
-	flag.StringVar(&pf.rank, "rank", "", "top-k ranking: domcount or ideal (default: first K in emission order)")
+	flag.StringVar(&pf.rank, "rank", "",
+		"top-k ranking: "+strings.Join(plan.RankerNames(), ", ")+" (default: first K in emission order)")
+	flag.StringVar(&pf.fweights, "fweights", "",
+		"restricted skyline: comma-separated per-TO-column weight lower bounds (F-dominance; sum over kept columns <= 1)")
 	flag.BoolVar(&pf.explain, "explain", false, "print the optimizer's plan (algorithm, route, estimates) before the results")
 	flag.Parse()
 	methodSet := false
@@ -86,7 +91,7 @@ func main() {
 		}
 	})
 	if pf.active() && *queryDAGs != "" {
-		fatalf("-subspace/-where/-topk/-rank/-explain plan over the workload's own orders; they cannot combine with -querydags")
+		fatalf("-subspace/-where/-topk/-rank/-fweights/-explain plan over the workload's own orders; they cannot combine with -querydags")
 	}
 	if *first > 0 {
 		*stream = true

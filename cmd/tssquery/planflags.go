@@ -16,7 +16,8 @@ import (
 //
 //	-subspace to_0,po_0
 //	-where "to_0<=500,to_1>=2,po_0 in 1|3"
-//	-topk 10 -rank domcount|ideal -explain
+//	-topk 10 -rank domcount|ideal|dpidp|layer -explain
+//	-fweights 0.5,0.2
 //
 // Locally the columns of a CSV workload are positional: to_<i> /
 // po_<i> (the header's own to_*/po_* names in column order), and PO
@@ -29,12 +30,37 @@ type planFlags struct {
 	where    string
 	topk     int
 	rank     string
+	fweights string
 	explain  bool
 }
 
 // active reports whether any planner-mode flag was used.
 func (pf *planFlags) active() bool {
-	return pf.subspace != "" || pf.where != "" || pf.topk > 0 || pf.rank != "" || pf.explain
+	return pf.subspace != "" || pf.where != "" || pf.topk > 0 || pf.rank != "" ||
+		pf.fweights != "" || pf.explain
+}
+
+// checkCombos rejects flag combinations the planner would refuse
+// anyway, naming the flags instead of wire fields.
+func (pf *planFlags) checkCombos() error {
+	if pf.fweights != "" && pf.rank != "" {
+		return fmt.Errorf("-fweights cannot combine with -rank %s (the restricted skyline is unranked; unranked -topk keeps a prefix)", pf.rank)
+	}
+	return nil
+}
+
+// parseFWeightsCSV parses the -fweights flag's comma-separated
+// per-TO-column weight lower bounds.
+func parseFWeightsCSV(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fweights value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // parseIdealCSV parses the -ideal flag's comma-separated values.
@@ -118,11 +144,21 @@ func parseCol(tok string, nTO, nPO int) (dim int, isTO bool, err error) {
 // localQuery builds the plan.Query of the local path against a
 // workload's shape.
 func (pf *planFlags) localQuery(nTO, nPO int, method string, parallel int, ideal []int64) (plan.Query, error) {
+	if err := pf.checkCombos(); err != nil {
+		return plan.Query{}, err
+	}
 	q := plan.Query{
 		TopK:  pf.topk,
 		Rank:  plan.Rank(pf.rank),
 		Ideal: ideal,
 		Hints: plan.Hints{Algorithm: method, Parallelism: parallel},
+	}
+	if pf.fweights != "" {
+		fw, err := parseFWeightsCSV(pf.fweights)
+		if err != nil {
+			return plan.Query{}, err
+		}
+		q.FWeights = fw
 	}
 	if pf.subspace != "" {
 		s := &plan.Subspace{}
@@ -186,6 +222,16 @@ func (pf *planFlags) localQuery(nTO, nPO int, method string, parallel int, ideal
 // wireFields renders the flags as QueryRequest fields for the thin
 // client: names and labels pass through verbatim.
 func (pf *planFlags) wireFields(req *serve.QueryRequest) error {
+	if err := pf.checkCombos(); err != nil {
+		return err
+	}
+	if pf.fweights != "" {
+		fw, err := parseFWeightsCSV(pf.fweights)
+		if err != nil {
+			return err
+		}
+		req.FWeights = fw
+	}
 	if pf.subspace != "" {
 		for _, tok := range strings.Split(pf.subspace, ",") {
 			req.Subspace = append(req.Subspace, strings.TrimSpace(tok))

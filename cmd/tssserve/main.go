@@ -124,6 +124,8 @@ func main() {
 	var tables tableFlags
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", serve.DefaultCacheCapacity, "per-table dynamic result cache capacity")
+	subspaceCacheCap := flag.Int("subspace-cache-cap", 0,
+		"per-table subspace/constrained skyline memo capacity (0 = default, currently 32); surfaced in /statsz as planCache.subspaceCapacity")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	requestTimeout := flag.Duration("request-timeout", 0,
 		"per-request time budget: planned and dynamic (orders) queries are canceled cooperatively mid-run via the request context; only baseline (SDC+) dynamic queries still check it before starting only (0 = unlimited)")
@@ -158,7 +160,13 @@ func main() {
 	if *replicas != "" && *coordinator == "" {
 		fatalf("-replicas only applies to a coordinator (-coordinator)")
 	}
-	cfg := serve.Config{CacheCapacity: *cache, CheckpointEvery: *checkpointEvery, ReadOnly: *followerOf != "", NoMaintain: *noMaintain}
+	cfg := serve.Config{
+		CacheCapacity:    *cache,
+		SubspaceCacheCap: *subspaceCacheCap,
+		CheckpointEvery:  *checkpointEvery,
+		ReadOnly:         *followerOf != "",
+		NoMaintain:       *noMaintain,
+	}
 	if *shardOf != "" {
 		var idx, count int
 		if n, err := fmt.Sscanf(*shardOf, "%d/%d", &idx, &count); n != 2 || err != nil ||

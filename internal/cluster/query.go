@@ -38,7 +38,11 @@ type gather struct {
 	stats    []serve.TableStatsInfo
 	prune    bool // statistics-driven shard pruning applies
 	noKernel bool // merge with the scalar reference pass (request noKernel)
-	query    func(ctx context.Context, shard int) (*serve.QueryResponse, error)
+	// noElim keeps the gathered union un-eliminated: a UnionRanker
+	// (skyline layers) needs every shard-local row — cross-shard
+	// dominance elimination would discard the deeper layers.
+	noElim bool
+	query  func(ctx context.Context, shard int) (*serve.QueryResponse, error)
 }
 
 // result of the gather: merged candidates plus scatter metadata.
@@ -273,7 +277,11 @@ func (g *gather) run(ctx context.Context, co *Coordinator) (*gathered, error) {
 	out.queried = responded
 	out.cacheHit = responded > 0 && hits == responded
 	out.metrics.Shards = responded
-	out.merged = eliminate(all, g.doms, g.noKernel)
+	if g.noElim {
+		out.merged = all
+	} else {
+		out.merged = eliminate(all, g.doms, g.noKernel)
+	}
 	return out, nil
 }
 
@@ -395,13 +403,33 @@ func (co *Coordinator) planQuery(ctx context.Context, ct *ctable, req serve.Quer
 		return nil, err
 	}
 
+	// A ranking with the UnionRanker capability (skyline layers) is
+	// evaluated over the *un-eliminated* union of shard-local ranked
+	// results: each shard ships its own layers-≤K rows (a row's global
+	// layer never exceeds K unless its local layer already does) and the
+	// coordinator re-ranks the union. Every other ranking scatters the
+	// unranked variant and re-ranks the merged skyline globally.
+	var unionRanker plan.UnionRanker
+	if req.TopK > 0 && q.Rank != plan.RankNone {
+		r, ok := plan.LookupRanker(string(q.Rank))
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown rank %q", q.Rank)
+		}
+		unionRanker, _ = r.(plan.UnionRanker)
+	}
+
 	// The scatter request: same variant, no top-k (rank scores are
 	// global — a shard-local rank could evict globally surviving rows),
 	// no row limit (the merge needs every candidate), and the
 	// coordinator's algorithm choice pinned so shards skip re-planning.
+	// Union rankings keep top-k and rank: the shard-local ranked result
+	// is exactly what the union merge consumes.
 	sreq := req
 	sreq.TopK, sreq.Rank, sreq.Ideal = 0, "", nil
 	sreq.Limit, sreq.Explain = 0, false
+	if unionRanker != nil {
+		sreq.TopK, sreq.Rank = req.TopK, req.Rank
+	}
 	if sreq.Algo == "" {
 		sreq.Algo = explain.Algorithm
 	}
@@ -416,7 +444,11 @@ func (co *Coordinator) planQuery(ctx context.Context, ct *ctable, req serve.Quer
 	}
 	g := &gather{
 		ct: ct, keptTO: keptTO, keptPO: keptPO, doms: doms,
-		stats: stats, prune: len(co.shards) > 1, noKernel: req.NoKernel,
+		stats: stats, noKernel: req.NoKernel,
+		// Min-corner pruning is unsound for union rankings: a dominated
+		// shard's rows are past layer 1, not past layer K.
+		prune:  len(co.shards) > 1 && unionRanker == nil,
+		noElim: unionRanker != nil,
 	}
 	g.query = func(ctx context.Context, i int) (*serve.QueryResponse, error) {
 		var resp serve.QueryResponse
@@ -430,8 +462,18 @@ func (co *Coordinator) planQuery(ctx context.Context, ct *ctable, req serve.Quer
 	co.pruned.Add(int64(len(gr.pruned)))
 
 	merged := gr.merged
+	// Weight-restricted skylines: each shard already restricted its local
+	// result (FWeights rode the scatter), and F-dominance is transitive,
+	// so one member-only elimination pass over the merged union is exact.
+	// Sound under pruning too: a pruned shard's rows are t-dominated —
+	// hence F-dominated — by a gathered candidate.
+	if len(q.FWeights) > 0 && unionRanker == nil {
+		merged = restrictCandidates(g, &q, merged)
+	}
 	if req.TopK > 0 {
-		if merged, err = co.rank(ctx, ct, g, req, q, merged); err != nil {
+		if unionRanker != nil {
+			merged = rankUnion(g, unionRanker, &q, req.TopK, merged)
+		} else if merged, err = co.rank(ctx, ct, g, req, q, merged); err != nil {
 			return nil, err
 		}
 	}
@@ -465,76 +507,123 @@ func (co *Coordinator) planOnce(ct *ctable, q plan.Query, stats []serve.TableSta
 }
 
 // rank orders the merged skyline globally and keeps the best K — the
-// re-rank half of distributed top-k. Ideal ranks are row-intrinsic and
-// computed at the coordinator; dominance counts are summed from every
-// shard's partial counts (including pruned shards: their rows are
-// still part of R). Ties break on row values (then shard, row), which
-// is deterministic across any placement.
+// re-rank half of distributed top-k, dispatched through the plan.Ranker
+// registry by capability. WireScorer rankings (ideal) are row-intrinsic
+// and score at the coordinator; PartialScorer rankings (domcount,
+// dpidp) scatter the candidates to every shard — including pruned ones:
+// their rows are still part of R — and combine the partial scores. Ties
+// break on row values (then shard, row), which is deterministic across
+// any placement.
 func (co *Coordinator) rank(ctx context.Context, ct *ctable, g *gather, req serve.QueryRequest, q plan.Query, merged []candidate) ([]candidate, error) {
 	k := req.TopK
-	if q.Rank == plan.RankNone {
-		if k < len(merged) {
-			merged = merged[:k]
+	if q.Rank != plan.RankNone {
+		r, ok := plan.LookupRanker(string(q.Rank))
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown rank %q", q.Rank)
 		}
-		return merged, nil
+		var scores []float64
+		switch s := r.(type) {
+		case plan.WireScorer:
+			rows := make([]plan.WireRow, len(merged))
+			for i := range merged {
+				rows[i] = plan.WireRow{TO: merged[i].row.TO, PO: merged[i].pt.PO}
+			}
+			scores = s.WireScores(g.wireContext(&q, req.NoKernel), rows)
+		case plan.PartialScorer:
+			parts, err := co.scatterPartials(ctx, ct, g, req, merged)
+			if err != nil {
+				return nil, err
+			}
+			if scores, err = s.CombinePartials(parts, len(merged)); err != nil {
+				return nil, fmt.Errorf("cluster: %s", err)
+			}
+		default:
+			return nil, fmt.Errorf("cluster: rank %q has no distributed evaluation", q.Rank)
+		}
+		return sortCandidates(merged, scores, k), nil
 	}
-	scores := make([]float64, len(merged))
-	switch q.Rank {
-	case plan.RankIdeal:
-		depths := make([][]int32, len(g.keptPO))
-		for j, d := range g.keptPO {
-			dom := ct.domains[d]
-			col := make([]int32, dom.Size())
-			for v := int32(0); int(v) < dom.Size(); v++ {
-				for w := int32(0); int(w) < dom.Size(); w++ {
-					if dom.TPrefers(w, v) {
-						col[v]++
-					}
-				}
-			}
-			depths[j] = col
-		}
-		for i := range merged {
-			var s float64
-			for _, d := range g.keptTO {
-				var ref int64
-				if q.Ideal != nil {
-					ref = q.Ideal[d]
-				}
-				diff := merged[i].row.TO[d] - ref
-				if diff < 0 {
-					diff = -diff
-				}
-				s += float64(diff)
-			}
-			for j := range g.keptPO {
-				s += float64(depths[j][merged[i].pt.PO[j]])
-			}
-			scores[i] = s
-		}
-	case plan.RankDomCount:
-		dreq := serve.DomCountRequest{Subspace: req.Subspace, Where: req.Where}
-		for i := range merged {
-			dreq.Rows = append(dreq.Rows, serve.RowSpec{TO: merged[i].row.TO, PO: merged[i].row.PO})
-		}
-		resps := make([]serve.DomCountResponse, len(co.shards))
-		errs := co.scatter(func(i int) error {
-			return co.readShard(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/domcount"), g.pin(i), dreq, &resps[i])
-		})
-		if err := firstError(errs); err != nil {
-			return nil, err
-		}
-		for _, r := range resps {
-			if len(r.Counts) != len(merged) {
-				return nil, fmt.Errorf("cluster: shard returned %d domcounts for %d candidates", len(r.Counts), len(merged))
-			}
-			for i, c := range r.Counts {
-				scores[i] -= float64(c) // negated: higher counts rank first
-			}
-		}
-	default:
-		return nil, fmt.Errorf("cluster: unknown rank %q", q.Rank)
+	// Unranked: keep a merge-order prefix.
+	if k < len(merged) {
+		merged = merged[:k]
 	}
+	return merged, nil
+}
+
+// wireContext assembles the coordinator-side scoring context.
+func (g *gather) wireContext(q *plan.Query, noKernel bool) *plan.WireContext {
+	return &plan.WireContext{Query: q, KeptTO: g.keptTO, KeptPO: g.keptPO, Doms: g.doms, NoKernel: noKernel}
+}
+
+// scatterPartials fans the merged candidates out to every shard for
+// partial scoring (/domcount with the ranking named). The rank field is
+// left empty for domcount, preserving the endpoint's original request
+// shape.
+func (co *Coordinator) scatterPartials(ctx context.Context, ct *ctable, g *gather, req serve.QueryRequest, merged []candidate) ([]plan.Partials, error) {
+	dreq := serve.DomCountRequest{Subspace: req.Subspace, Where: req.Where}
+	if r := plan.Rank(req.Rank); r != plan.RankDomCount {
+		dreq.Rank = req.Rank
+	}
+	for i := range merged {
+		dreq.Rows = append(dreq.Rows, serve.RowSpec{TO: merged[i].row.TO, PO: merged[i].row.PO})
+	}
+	resps := make([]serve.DomCountResponse, len(co.shards))
+	errs := co.scatter(func(i int) error {
+		return co.readShard(ctx, i, http.MethodPost, co.shards[i].tablePath(ct.name, "/domcount"), g.pin(i), dreq, &resps[i])
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	parts := make([]plan.Partials, len(resps))
+	for i, r := range resps {
+		parts[i] = plan.Partials{Counts: r.Counts}
+		for _, h := range r.Hists {
+			parts[i].Hists = append(parts[i].Hists, plan.KHist{Ks: h.Ks, Counts: h.Counts})
+		}
+	}
+	return parts, nil
+}
+
+// rankUnion evaluates a UnionRanker over the un-eliminated gathered
+// union: the ranker scores (and possibly excludes) every row, and the
+// survivors order by (score, row values, shard, row) with no count
+// truncation — a union ranking's k is a depth bound the shards already
+// applied, not a row budget.
+func rankUnion(g *gather, ur plan.UnionRanker, q *plan.Query, k int, merged []candidate) []candidate {
+	pts := make([]core.Point, len(merged))
+	for i := range merged {
+		pts[i] = merged[i].pt
+	}
+	scores, keep := ur.RankUnion(g.wireContext(q, g.noKernel), pts, k)
+	kept := make([]candidate, 0, len(merged))
+	keptScores := make([]float64, 0, len(merged))
+	for i := range merged {
+		if keep[i] {
+			kept = append(kept, merged[i])
+			keptScores = append(keptScores, scores[i])
+		}
+	}
+	return sortCandidates(kept, keptScores, len(kept))
+}
+
+// restrictCandidates applies the F-dominance weight constraint to the
+// merged skyline, eliminating members F-dominated by another member
+// (exact by transitivity; see plan/fdom.go).
+func restrictCandidates(g *gather, q *plan.Query, merged []candidate) []candidate {
+	pts := make([]core.Point, len(merged))
+	for i := range merged {
+		pts[i] = merged[i].pt
+	}
+	keep := plan.FDomSurvivors(g.doms, plan.FVertices(q.FWeights, g.keptTO), pts)
+	out := make([]candidate, len(keep))
+	for i, j := range keep {
+		out[i] = merged[j]
+	}
+	return out
+}
+
+// sortCandidates orders candidates by (score ascending, row values,
+// shard, row index) and keeps the first k.
+func sortCandidates(merged []candidate, scores []float64, k int) []candidate {
 	idx := make([]int, len(merged))
 	for i := range idx {
 		idx[i] = i
@@ -559,7 +648,7 @@ func (co *Coordinator) rank(ctx context.Context, ct *ctable, g *gather, req serv
 	for i, j := range idx {
 		out[i] = merged[j]
 	}
-	return out, nil
+	return out
 }
 
 // compareRows orders rows by their values, lexicographically.

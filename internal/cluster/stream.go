@@ -106,9 +106,12 @@ func (co *Coordinator) streamPlanQuery(w http.ResponseWriter, r *http.Request, c
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if q.Rank != plan.RankNone {
+	if q.Rank != plan.RankNone || len(q.FWeights) > 0 {
 		// Ranked top-k: scores are global, so the re-rank needs every
-		// merged candidate — compute buffered, replay.
+		// merged candidate. Weight-restricted skylines: the incremental
+		// merge certifies by t-dominance only, and the cross-shard
+		// F-dominance elimination needs the full union. Both compute
+		// buffered and replay.
 		co.streamBuffered(w, r, ct, limit, func(ctx context.Context) (*serve.QueryResponse, error) {
 			return co.planQuery(ctx, ct, req)
 		})

@@ -1,0 +1,306 @@
+package core
+
+import "sort"
+
+// ScoreIndex is the per-table dp-idp score structure: for every skyline
+// member m it keeps the k-histogram h_m[k] = #{rows t : m dominates t
+// and exactly k skyline members dominate t}. The dp-idp score of m is
+// then Σ_k h_m[k]/k — each dominated row contributes 1/k(t) split over
+// its k dominators, so rows few members can "explain" weigh more.
+// Histograms are integers, which makes the index exactly maintainable
+// under mutation (increment/decrement) and the materialized float64
+// score bit-reproducible: DPIDPScoreFromHist sums in ascending-k order
+// everywhere (build, advance, per-shard combine), so index-backed,
+// cold-computed and cluster-combined scores are comparable with ==.
+type ScoreIndex struct {
+	members []int32           // skyline member ids, ascending
+	hists   []map[int32]int64 // parallel to members; k -> count, counts > 0
+}
+
+// NewScoreIndex builds an index from per-member k-histograms. members
+// lists every skyline member in any order; hists maps member id to its
+// histogram (members absent from the map dominate nothing). The maps
+// are retained, not copied.
+func NewScoreIndex(members []int32, hists map[int32]map[int32]int64) *ScoreIndex {
+	ms := append([]int32(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	ix := &ScoreIndex{members: ms, hists: make([]map[int32]int64, len(ms))}
+	for i, m := range ms {
+		h := hists[m]
+		if h == nil {
+			h = map[int32]int64{}
+		}
+		ix.hists[i] = h
+	}
+	return ix
+}
+
+// BuildScoreIndex computes the full-dimension dp-idp index for the
+// skyline sky of ds from scratch: one O(n·m) dominance scan collecting,
+// per row, the set of members dominating it.
+func BuildScoreIndex(ds *Dataset, sky []int32) *ScoreIndex {
+	members := append([]int32(nil), sky...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	ix := &ScoreIndex{members: members, hists: make([]map[int32]int64, len(members))}
+	for i := range ix.hists {
+		ix.hists[i] = map[int32]int64{}
+	}
+	var dom []int
+	for i := range ds.Pts {
+		t := &ds.Pts[i]
+		dom = dom[:0]
+		for j, m := range members {
+			if m == t.ID {
+				continue
+			}
+			if DominatesUnder(ds.Domains, &ds.Pts[m], t) {
+				dom = append(dom, j)
+			}
+		}
+		if len(dom) == 0 {
+			continue
+		}
+		k := int32(len(dom))
+		for _, j := range dom {
+			ix.hists[j][k]++
+		}
+	}
+	return ix
+}
+
+// Members returns the indexed skyline member ids, ascending. The slice
+// is shared; do not mutate.
+func (ix *ScoreIndex) Members() []int32 { return ix.members }
+
+// Len returns the number of indexed members.
+func (ix *ScoreIndex) Len() int { return len(ix.members) }
+
+// Hist returns member i's k-histogram (shared; do not mutate).
+func (ix *ScoreIndex) Hist(i int) map[int32]int64 { return ix.hists[i] }
+
+// ScoreMap materializes the dp-idp score of every indexed member.
+func (ix *ScoreIndex) ScoreMap() map[int32]float64 {
+	out := make(map[int32]float64, len(ix.members))
+	for i, m := range ix.members {
+		out[m] = DPIDPScoreFromHist(ix.hists[i])
+	}
+	return out
+}
+
+// DPIDPScoreFromHist materializes a k-histogram into the dp-idp score
+// Σ_k count[k]/k, summing in ascending-k order so every evaluation site
+// produces the identical float64.
+func DPIDPScoreFromHist(h map[int32]int64) float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	ks := make([]int32, 0, len(h))
+	for k := range h {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	var s float64
+	for _, k := range ks {
+		s += float64(h[k]) / float64(k)
+	}
+	return s
+}
+
+// Advance maintains the index across a batch mutation: oldDS→newDS with
+// delta's row renumbering, where the index covers oldDS's skyline and
+// newSky is newDS's (already maintained) skyline. It returns the
+// advanced index, or ok=false when the membership churn exceeds the
+// maintenance threshold and a cold rebuild is the better deal.
+//
+// The incremental argument: a surviving row's dominator set — and hence
+// its k and its 1/k contributions — can only change if some *changed*
+// member (left the skyline, joined it, or was removed from the table)
+// dominates it under either snapshot. Old members never dominate each
+// other, so a demoted member is dominated by a *new* member and a
+// promoted row was dominated by a *departed* one — both are caught by
+// the changed-member dominance probe. Every other surviving row keeps
+// its exact integer contributions; only affected rows are re-scanned
+// (subtract old-side contributions, add new-side), plus pure
+// subtraction for removed rows and pure addition for added ones.
+func (ix *ScoreIndex) Advance(oldDS, newDS *Dataset, delta *Delta, newSky []int32) (*ScoreIndex, bool) {
+	if delta == nil || len(delta.OldToNew) != len(oldDS.Pts) {
+		return nil, false
+	}
+	newN := len(newDS.Pts)
+	firstAdded := int32(newN - delta.Added)
+
+	// Map membership both ways.
+	oldSlot := make(map[int32]int, len(ix.members))
+	for i, m := range ix.members {
+		oldSlot[m] = i
+	}
+	newMember := make(map[int32]bool, len(newSky))
+	for _, m := range newSky {
+		newMember[m] = true
+	}
+	newToOld := make([]int32, newN)
+	for i := range newToOld {
+		newToOld[i] = -1
+	}
+	for o, n := range delta.OldToNew {
+		if n >= 0 {
+			newToOld[n] = int32(o)
+		}
+	}
+
+	// Changed members: departed the skyline (removed row or demoted) or
+	// joined it (added row or promoted). Their points drive the
+	// affected-row probe; the snapshot each point lives in supplies it.
+	var changed []Point
+	for _, m := range ix.members {
+		n := delta.OldToNew[m]
+		if n < 0 || !newMember[n] {
+			changed = append(changed, oldDS.Pts[m])
+		}
+	}
+	for _, m := range newSky {
+		if o := newToOld[m]; o >= 0 {
+			if _, was := oldSlot[o]; was {
+				continue
+			}
+		}
+		changed = append(changed, newDS.Pts[m])
+	}
+	limit := MaintainChurnFloor
+	if f := int(MaintainChurnFraction * float64(len(newSky))); f > limit {
+		limit = f
+	}
+	if len(changed) > limit {
+		return nil, false
+	}
+
+	// Start from a deep copy of the surviving members' histograms,
+	// re-keyed to new ids.
+	adv := &ScoreIndex{members: make([]int32, 0, len(newSky)), hists: make([]map[int32]int64, 0, len(newSky))}
+	srcHist := make(map[int32]map[int32]int64, len(newSky))
+	for _, m := range newSky {
+		var h map[int32]int64
+		if o := newToOld[m]; o >= 0 {
+			if slot, was := oldSlot[o]; was {
+				h = make(map[int32]int64, len(ix.hists[slot]))
+				for k, c := range ix.hists[slot] {
+					h[k] = c
+				}
+			}
+		}
+		if h == nil {
+			h = map[int32]int64{}
+		}
+		srcHist[m] = h
+	}
+	newSlot := func(id int32) (map[int32]int64, bool) {
+		h, ok := srcHist[id]
+		return h, ok
+	}
+
+	// Subtract the old-side contributions of removed rows and of
+	// surviving rows whose dominator set may have changed; add the
+	// new-side contributions back. oldContrib/newContrib collect the
+	// dominator sets under each snapshot.
+	oldContrib := func(t *Point) ([]int32, int32) {
+		var ds []int32
+		for _, m := range ix.members {
+			if m == t.ID {
+				continue
+			}
+			if DominatesUnder(oldDS.Domains, &oldDS.Pts[m], t) {
+				ds = append(ds, m)
+			}
+		}
+		return ds, int32(len(ds))
+	}
+	newContrib := func(t *Point) ([]int32, int32) {
+		var ds []int32
+		for _, m := range newSky {
+			if m == t.ID {
+				continue
+			}
+			if DominatesUnder(newDS.Domains, &newDS.Pts[m], t) {
+				ds = append(ds, m)
+			}
+		}
+		return ds, int32(len(ds))
+	}
+	subOld := func(t *Point) bool {
+		doms, k := oldContrib(t)
+		if k == 0 {
+			return true
+		}
+		for _, m := range doms {
+			n := delta.OldToNew[m]
+			if n < 0 {
+				continue
+			}
+			h, ok := newSlot(n)
+			if !ok {
+				continue // member demoted: its histogram is not carried over
+			}
+			h[k]--
+			switch {
+			case h[k] == 0:
+				delete(h, k)
+			case h[k] < 0:
+				return false
+			}
+		}
+		return true
+	}
+	addNew := func(t *Point) {
+		doms, k := newContrib(t)
+		if k == 0 {
+			return
+		}
+		for _, m := range doms {
+			if h, ok := newSlot(m); ok {
+				h[k]++
+			}
+		}
+	}
+
+	// Removed rows: old-side subtraction only.
+	for o, n := range delta.OldToNew {
+		if n < 0 {
+			if !subOld(&oldDS.Pts[o]) {
+				return nil, false
+			}
+		}
+	}
+	// Affected new rows: added rows always; surviving rows when a
+	// changed member dominates them under either snapshot (surviving
+	// rows keep their values, so the new-snapshot probe covers both).
+	for i := range newDS.Pts {
+		t := &newDS.Pts[i]
+		affected := t.ID >= firstAdded
+		if !affected {
+			for c := range changed {
+				if DominatesUnder(newDS.Domains, &changed[c], t) {
+					affected = true
+					break
+				}
+			}
+		}
+		if !affected {
+			continue
+		}
+		if o := newToOld[t.ID]; o >= 0 {
+			if !subOld(&oldDS.Pts[o]) {
+				return nil, false
+			}
+		}
+		addNew(t)
+	}
+
+	for _, m := range append([]int32(nil), newSky...) {
+		adv.members = append(adv.members, m)
+	}
+	sort.Slice(adv.members, func(i, j int) bool { return adv.members[i] < adv.members[j] })
+	for _, m := range adv.members {
+		adv.hists = append(adv.hists, srcHist[m])
+	}
+	return adv, true
+}

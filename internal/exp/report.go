@@ -179,6 +179,20 @@ func WriteMaintainRows(w io.Writer, rows []MaintainRow) {
 	fmt.Fprintln(w)
 }
 
+// WriteRankRows renders the ranking experiment: index-backed dp-idp
+// top-k and single layered queries against their over-fetch baselines.
+func WriteRankRows(w io.Writer, rows []RankRow) {
+	fmt.Fprintln(w, "Rank — maintained dp-idp score index and layered queries vs over-fetch")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\tN\tk\trows\tfast(ms)\tbaseline(ms)\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.2f\t%.1fx\n",
+			r.Kind, r.N, r.K, r.Rows, r.FastMs, r.BaselineMs, r.Speedup)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
 // WriteStoreRows renders the storage experiment: batch-apply latency,
 // rebuild-aside vs incremental, plus WAL append durability cost.
 func WriteStoreRows(w io.Writer, rows []StoreRow) {

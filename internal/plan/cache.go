@@ -41,6 +41,12 @@ type MaintStats struct {
 	Promotions int64 `json:"promotions"`
 	// SubspaceEvictions counts subspace entries evicted by the LRU cap.
 	SubspaceEvictions int64 `json:"subspaceEvictions"`
+	// IndexAdvances counts dp-idp score indexes carried across a
+	// mutation incrementally; IndexFallbacks counts indexes dropped
+	// (membership churn over threshold, or no maintained skyline to
+	// advance against) — the next index-backed ranked query rebuilds.
+	IndexAdvances  int64 `json:"indexAdvances"`
+	IndexFallbacks int64 `json:"indexFallbacks"`
 }
 
 // maintCounters is the shared mutable form of MaintStats. One instance
@@ -49,6 +55,7 @@ type MaintStats struct {
 // table, not per snapshot.
 type maintCounters struct {
 	advances, fallbacks, promotions, subEvictions atomic.Int64
+	idxAdvances, idxFallbacks                     atomic.Int64
 }
 
 // MemoCache is a ready-made Cache: an atomically published memo of the
@@ -61,7 +68,8 @@ type maintCounters struct {
 // not discarded: Advance re-certifies its entries against the batch
 // delta (see that method).
 type MemoCache struct {
-	full atomic.Pointer[memoEntry]
+	full     atomic.Pointer[memoEntry]
+	scoreIdx atomic.Pointer[core.ScoreIndex] // dp-idp index of the full skyline
 
 	mu     sync.Mutex
 	sub    map[string]*memoEntry // kept-dimension key -> subspace skyline
@@ -74,6 +82,24 @@ type MemoCache struct {
 // NewMemoCache returns an empty memo with the default subspace cap.
 func NewMemoCache() *MemoCache {
 	return &MemoCache{subCap: DefaultSubspaceCap, maint: &maintCounters{}}
+}
+
+// NewMemoCacheWithCap returns an empty memo whose subspace LRU holds up
+// to cap entries; cap <= 0 means DefaultSubspaceCap. Advance propagates
+// the cap to successor memos.
+func NewMemoCacheWithCap(cap int) *MemoCache {
+	if cap <= 0 {
+		cap = DefaultSubspaceCap
+	}
+	return &MemoCache{subCap: cap, maint: &maintCounters{}}
+}
+
+// SubspaceCap reports the configured subspace LRU capacity.
+func (c *MemoCache) SubspaceCap() int {
+	if c.subCap <= 0 {
+		return DefaultSubspaceCap
+	}
+	return c.subCap
 }
 
 // GetFull returns the memoised full skyline, if any, and whether the
@@ -89,6 +115,19 @@ func (c *MemoCache) GetFull() (ids []int32, maintained, ok bool) {
 // compute — maintained entries are installed only by Advance). The
 // caller must not mutate ids afterwards.
 func (c *MemoCache) PutFull(ids []int32) { c.full.Store(&memoEntry{ids: ids}) }
+
+// GetScoreIndex returns the memo's dp-idp score index, if any —
+// the ScoreIndexCache capability the executor probes for.
+func (c *MemoCache) GetScoreIndex() (*core.ScoreIndex, bool) {
+	if ix := c.scoreIdx.Load(); ix != nil {
+		return ix, true
+	}
+	return nil, false
+}
+
+// PutScoreIndex publishes a cold-built dp-idp index of the current row
+// set's full skyline. The caller must not mutate it afterwards.
+func (c *MemoCache) PutScoreIndex(ix *core.ScoreIndex) { c.scoreIdx.Store(ix) }
 
 // GetSubspace returns the memoised skyline of the kept-dimension set
 // named by key (see SubspaceKey), if any, and whether the entry was
@@ -152,6 +191,8 @@ func (c *MemoCache) MaintStats() MaintStats {
 		Fallbacks:         c.maint.fallbacks.Load(),
 		Promotions:        c.maint.promotions.Load(),
 		SubspaceEvictions: c.maint.subEvictions.Load(),
+		IndexAdvances:     c.maint.idxAdvances.Load(),
+		IndexFallbacks:    c.maint.idxFallbacks.Load(),
 	}
 }
 
@@ -179,6 +220,25 @@ func (c *MemoCache) Advance(oldDS, newDS *core.Dataset, delta *core.Delta) *Memo
 		}
 	}
 
+	// The dp-idp score index advances only when the full skyline itself
+	// survived maintenance (the advanced member set is its input); a
+	// skyline fallback, an over-threshold membership churn, or a failed
+	// integer re-derivation drops the index for a lazy rebuild on the
+	// next index-backed ranked query.
+	if ix := c.scoreIdx.Load(); ix != nil {
+		advanced := false
+		if nf := next.full.Load(); nf != nil {
+			if nix, ok := ix.Advance(oldDS, newDS, delta, nf.ids); ok {
+				next.scoreIdx.Store(nix)
+				next.maint.idxAdvances.Add(1)
+				advanced = true
+			}
+		}
+		if !advanced {
+			next.maint.idxFallbacks.Add(1)
+		}
+	}
+
 	c.mu.Lock()
 	keys := make([]string, 0, len(c.sub))
 	entries := make([]*memoEntry, 0, len(c.sub))
@@ -188,6 +248,13 @@ func (c *MemoCache) Advance(oldDS, newDS *core.Dataset, delta *core.Delta) *Memo
 	}
 	c.mu.Unlock()
 	for i, key := range keys {
+		// Weight-restricted entries are not incrementally maintainable
+		// (an added row can join the restricted skyline without any
+		// member changing); they die with the snapshot, silently — the
+		// restriction recomputes from the maintained base entry.
+		if strings.Contains(key, restrictedKeyMark) {
+			continue
+		}
 		keptTO, keptPO, err := parseSubspaceKey(key)
 		if err != nil {
 			next.maint.fallbacks.Add(1)

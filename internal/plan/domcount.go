@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/poset"
 )
 
 // DomCounts counts, for each candidate point, how many rows of R — the
@@ -18,23 +19,9 @@ import (
 // single-node executor's self-exclusion. O(len(cands)·|R|) with the
 // exact dominance oracle; ctx is checked cooperatively.
 func DomCounts(ctx context.Context, ds *core.Dataset, q Query, cands []core.Point) ([]int64, error) {
-	sizes := make([]int, len(ds.Domains))
-	for d, dom := range ds.Domains {
-		sizes[d] = dom.Size()
-	}
-	if err := q.Validate(ds.NumTO(), ds.NumPO(), sizes); err != nil {
+	proj, keptTO, keptPO, doms, err := projectCandidates(ds, q, cands)
+	if err != nil {
 		return nil, err
-	}
-	keptTO, keptPO := resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
-	doms := keptPODomains(ds, keptPO)
-	proj := make([]core.Point, len(cands))
-	for i := range cands {
-		c := &cands[i]
-		if len(c.TO) != ds.NumTO() || len(c.PO) != ds.NumPO() {
-			return nil, fmt.Errorf("plan: candidate %d has %d/%d dims, table has %d/%d",
-				i, len(c.TO), len(c.PO), ds.NumTO(), ds.NumPO())
-		}
-		proj[i] = projectInto(c, keptTO, keptPO)
 	}
 	counts := make([]int64, len(cands))
 	for i := range ds.Pts {
@@ -55,6 +42,32 @@ func DomCounts(ctx context.Context, ds *core.Dataset, q Query, cands []core.Poin
 		}
 	}
 	return counts, nil
+}
+
+// projectCandidates validates q against ds's shape and maps the
+// full-dimensional, value-addressed candidates of a distributed scoring
+// request onto the kept dimensions, returning them with the resolved
+// subspace and its PO domains.
+func projectCandidates(ds *core.Dataset, q Query, cands []core.Point) (proj []core.Point, keptTO, keptPO []int, doms []*poset.Domain, err error) {
+	sizes := make([]int, len(ds.Domains))
+	for d, dom := range ds.Domains {
+		sizes[d] = dom.Size()
+	}
+	if err := q.Validate(ds.NumTO(), ds.NumPO(), sizes); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	keptTO, keptPO = resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
+	doms = keptPODomains(ds, keptPO)
+	proj = make([]core.Point, len(cands))
+	for i := range cands {
+		c := &cands[i]
+		if len(c.TO) != ds.NumTO() || len(c.PO) != ds.NumPO() {
+			return nil, nil, nil, nil, fmt.Errorf("plan: candidate %d has %d/%d dims, table has %d/%d",
+				i, len(c.TO), len(c.PO), ds.NumTO(), ds.NumPO())
+		}
+		proj[i] = projectInto(c, keptTO, keptPO)
+	}
+	return proj, keptTO, keptPO, doms, nil
 }
 
 // matchesAllPreds reports whether a row satisfies every predicate.

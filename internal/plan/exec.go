@@ -3,7 +3,6 @@ package plan
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -72,7 +71,7 @@ func (p *Plan) Run(ctx context.Context, ds *core.Dataset, env Env) (*core.Result
 		// wall-clock is divided across cores the model knows nothing
 		// about — are excluded too.
 		if p.route == RouteDirect {
-			env.Learned.ObserveSkyline(p.variant, len(eff.Pts), len(res.SkylineIDs))
+			env.Learned.ObserveSkyline(p.baseVariant, len(eff.Pts), len(res.SkylineIDs))
 		}
 		if p.shards == 0 {
 			// Train the multiplier on the model's *shape* error alone:
@@ -95,7 +94,7 @@ func (p *Plan) Run(ctx context.Context, ds *core.Dataset, env Env) (*core.Result
 			if p.Query.Subspace == nil {
 				env.Cache.PutFull(ids)
 			} else {
-				env.Cache.PutSubspace(p.variant, ids)
+				env.Cache.PutSubspace(p.baseVariant, ids)
 			}
 		}
 	}
@@ -103,8 +102,28 @@ func (p *Plan) Run(ctx context.Context, ds *core.Dataset, env Env) (*core.Result
 		return nil, err
 	}
 
+	// Restriction stage: the F-dominance restricted skyline is a subset
+	// of the skyline (plain dominance implies F-dominance), so whatever
+	// route produced the skyline — cached, cursor, cold — the weight
+	// constraint eliminates among its members afterwards. The restricted
+	// result memoises under its own weight-suffixed key; a hit skipped
+	// the elimination already.
+	if p.fvtx != nil && !p.cachedRestricted {
+		ids, err := p.restrictIDs(ctx, ds, res.SkylineIDs)
+		if err != nil {
+			return nil, err
+		}
+		if p.route == RouteDirect && env.Cache != nil && !p.Query.Hints.NoCache {
+			env.Cache.PutSubspace(p.variant, append([]int32(nil), ids...))
+		}
+		if p.route == RouteDirect && !res.FromCache {
+			env.Learned.ObserveSkyline(p.variant, observedRows, len(ids))
+		}
+		res.SkylineIDs = ids
+	}
+
 	if p.Query.TopK > 0 {
-		ids, err := p.rankAndTruncate(ctx, ds, res.SkylineIDs)
+		ids, err := p.rankAndTruncate(ctx, ds, env, res.SkylineIDs)
 		if err != nil {
 			return nil, err
 		}
@@ -210,8 +229,10 @@ func (p *Plan) filterIDs(ds *core.Dataset, ids []int32) []int32 {
 }
 
 // rankAndTruncate orders the skyline by the query's rank and keeps the
-// best K. RankNone keeps the first K in emission order.
-func (p *Plan) rankAndTruncate(ctx context.Context, ds *core.Dataset, ids []int32) ([]int32, error) {
+// best K. RankNone keeps the first K in emission order; everything else
+// dispatches through the Ranker registry and records where the scores
+// came from (index / memo / cold) in the explain output.
+func (p *Plan) rankAndTruncate(ctx context.Context, ds *core.Dataset, env Env, ids []int32) ([]int32, error) {
 	k := p.Query.TopK
 	if p.Query.Rank == RankNone {
 		if k < len(ids) {
@@ -219,68 +240,64 @@ func (p *Plan) rankAndTruncate(ctx context.Context, ds *core.Dataset, ids []int3
 		}
 		return ids, nil
 	}
-	scores := make(map[int32]float64, len(ids))
-	switch p.Query.Rank {
-	case RankDomCount:
-		counts, err := p.domCounts(ctx, ds, ids)
-		if err != nil {
-			return nil, err
-		}
-		// Negated so the shared ascending sort ranks higher counts first.
-		for id, c := range counts {
-			scores[id] = -float64(c)
-		}
-	case RankIdeal:
-		depths := p.idealDepths(ds)
-		for _, id := range ids {
-			scores[id] = p.idealScore(&ds.Pts[id], depths)
-		}
+	r, ok := LookupRanker(string(p.Query.Rank))
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown rank %q (have: %s)", p.Query.Rank, quotedRankerNames())
 	}
-	ranked := append([]int32(nil), ids...)
-	sort.Slice(ranked, func(i, j int) bool {
-		si, sj := scores[ranked[i]], scores[ranked[j]]
-		if si != sj {
-			return si < sj
-		}
-		return ranked[i] < ranked[j]
-	})
-	if k < len(ranked) {
-		ranked = ranked[:k]
+	sc := p.scoreContext(ds, env)
+	ranked, fromIndex, err := r.Rank(ctx, sc, ids, k)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case fromIndex:
+		p.Explain.RankedFrom = "index"
+		p.Explain.RouteReason = "ranked top-k scored from the score index"
+	case p.cached != nil:
+		p.Explain.RankedFrom = "memo"
+		p.Explain.RouteReason = "ranked top-k over the memoised skyline"
+	default:
+		p.Explain.RankedFrom = "cold"
 	}
 	return ranked, nil
 }
 
-// domCounts counts, per skyline row, the rows of R (the predicate-
-// filtered table) it dominates in the kept dimensions. O(|skyline|·|R|)
-// with the exact dominance oracle.
-func (p *Plan) domCounts(ctx context.Context, ds *core.Dataset, ids []int32) (map[int32]int, error) {
-	doms := keptPODomains(ds, p.keptPO)
-	counts := make(map[int32]int, len(ids))
-	sky := make([]projected, len(ids))
+// scoreContext assembles what the ranker sees. The score index applies
+// only to the full-table shape — no projection, no filter, no
+// restriction — because the index is built over full-dimension
+// dominance on all rows; any other shape scores cold.
+func (p *Plan) scoreContext(ds *core.Dataset, env Env) *ScoreContext {
+	sc := &ScoreContext{DS: ds, Query: &p.Query, KeptTO: p.keptTO, KeptPO: p.keptPO, Algo: p.algo}
+	if p.Query.Subspace == nil && len(p.Query.Where) == 0 && len(p.Query.FWeights) == 0 &&
+		env.Cache != nil && !p.Query.Hints.NoCache {
+		if sic, ok := env.Cache.(ScoreIndexCache); ok {
+			if ix, ok := sic.GetScoreIndex(); ok {
+				sc.Index = ix
+			}
+			sc.StoreIndex = sic.PutScoreIndex
+		}
+	}
+	return sc
+}
+
+// restrictIDs eliminates the skyline members F-dominated by another
+// member under the query's weight-constraint family (see fdom.go for
+// why member-only elimination is exact).
+func (p *Plan) restrictIDs(ctx context.Context, ds *core.Dataset, ids []int32) ([]int32, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	pts := make([]core.Point, len(ids))
 	for i, id := range ids {
-		sky[i] = projected{id: id, pt: p.projectPoint(&ds.Pts[id])}
+		pts[i] = p.projectPoint(&ds.Pts[id])
 	}
-	for i := range ds.Pts {
-		if i%ctxCheckEvery == 0 {
-			if err := ctxErr(ctx); err != nil {
-				return nil, err
-			}
-		}
-		row := &ds.Pts[i]
-		if len(p.Query.Where) > 0 && !p.matchesAll(row) {
-			continue
-		}
-		rp := p.projectPoint(row)
-		for j := range sky {
-			if sky[j].id == row.ID {
-				continue
-			}
-			if core.DominatesUnder(doms, &sky[j].pt, &rp) {
-				counts[sky[j].id]++
-			}
-		}
+	doms := keptPODomains(ds, p.keptPO)
+	keep := FDomSurvivors(doms, p.fvtx, pts)
+	out := make([]int32, len(keep))
+	for i, j := range keep {
+		out[i] = ids[j]
 	}
-	return counts, nil
+	return out, nil
 }
 
 type projected struct {
@@ -291,48 +308,6 @@ type projected struct {
 // projectPoint maps a full-dimensional row into the kept dimensions.
 func (p *Plan) projectPoint(pt *core.Point) core.Point {
 	return projectInto(pt, p.keptTO, p.keptPO)
-}
-
-// idealDepths precomputes, per kept PO column, each value's depth: the
-// number of values t-preferred to it (0 for DAG tops).
-func (p *Plan) idealDepths(ds *core.Dataset) [][]int32 {
-	depths := make([][]int32, len(p.keptPO))
-	for j, d := range p.keptPO {
-		dom := ds.Domains[d]
-		col := make([]int32, dom.Size())
-		for v := int32(0); int(v) < dom.Size(); v++ {
-			for w := int32(0); int(w) < dom.Size(); w++ {
-				if dom.TPrefers(w, v) {
-					col[v]++
-				}
-			}
-		}
-		depths[j] = col
-	}
-	return depths
-}
-
-// idealScore is the RankIdeal score of a (full-dimensional) row: L1
-// distance to the ideal point over the kept TO columns (the dTSS
-// fully-dynamic |v − q| transform) plus the preference-DAG depth of
-// each kept PO value. Smaller is better.
-func (p *Plan) idealScore(pt *core.Point, depths [][]int32) float64 {
-	var s float64
-	for _, d := range p.keptTO {
-		var q int64
-		if p.Query.Ideal != nil {
-			q = p.Query.Ideal[d]
-		}
-		diff := int64(pt.TO[d]) - q
-		if diff < 0 {
-			diff = -diff
-		}
-		s += float64(diff)
-	}
-	for j, d := range p.keptPO {
-		s += float64(depths[j][pt.PO[d]])
-	}
-	return s
 }
 
 // keptPODomains selects the kept PO columns' domains in subspace order.

@@ -1,9 +1,11 @@
 package plan
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/poset"
 )
 
 // Naive answers the query by brute force — filter, project, O(n²)
@@ -50,65 +52,74 @@ func Naive(ds *core.Dataset, q Query) ([]int32, error) {
 	}
 
 	sky := core.NaiveSkylineUnder(doms, rows)
+	if len(q.FWeights) > 0 {
+		// Independent restricted check: eliminate over ALL rows of R
+		// (not just skyline members) with a sampled superset of the
+		// vertex vectors — F_S-dominance for S ⊇ vertices coincides
+		// with the family's F-dominance, so agreement with the
+		// executor's member-only vertex elimination is exactly the
+		// soundness theorem under test.
+		sky = oracleRestrict(doms, keptTO, q.FWeights, rows, sky)
+	}
 	if q.TopK <= 0 {
 		return sky, nil
 	}
-	switch q.Rank {
-	case RankNone:
+	if q.Rank == RankNone {
 		if q.TopK < len(sky) {
 			sky = sky[:q.TopK]
 		}
 		return sky, nil
-	case RankDomCount:
-		byID := make(map[int32]*core.Point, len(rows))
-		for i := range rows {
-			byID[rows[i].ID] = &rows[i]
-		}
-		counts := make(map[int32]float64, len(sky))
-		for _, id := range sky {
-			s := byID[id]
-			var c float64
-			for i := range rows {
-				if rows[i].ID != id && core.DominatesUnder(doms, s, &rows[i]) {
-					c++
-				}
-			}
-			counts[id] = -c // ascending sort ranks bigger counts first
-		}
-		return sortByScore(sky, counts, q.TopK), nil
-	case RankIdeal:
-		scores := make(map[int32]float64, len(sky))
-		byID := make(map[int32]*core.Point, len(rows))
-		for i := range rows {
-			byID[rows[i].ID] = &rows[i]
-		}
-		for _, id := range sky {
-			s := byID[id]
-			var sc float64
-			for j, d := range keptTO {
-				var ideal int64
-				if q.Ideal != nil {
-					ideal = q.Ideal[d]
-				}
-				diff := int64(s.TO[j]) - ideal
-				if diff < 0 {
-					diff = -diff
-				}
-				sc += float64(diff)
-			}
-			for j := range keptPO {
-				dom := doms[j]
-				for w := int32(0); int(w) < dom.Size(); w++ {
-					if dom.TPrefers(w, s.PO[j]) {
-						sc++
-					}
-				}
-			}
-			scores[id] = sc
-		}
-		return sortByScore(sky, scores, q.TopK), nil
 	}
-	return sky, nil
+	r, ok := LookupRanker(string(q.Rank))
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown rank %q (have: %s)", q.Rank, quotedRankerNames())
+	}
+	oc := &OracleContext{Query: &q, KeptTO: keptTO, KeptPO: keptPO, Doms: doms, Rows: rows}
+	return r.OracleRank(oc, sky, q.TopK), nil
+}
+
+// oracleRestrict is the brute-force restricted skyline: every row of R
+// is checked against every other row under a deterministic sample of
+// the weight family — the vertices plus their pairwise midpoints (a
+// dyadic convex combination, so with dyadic weight bounds every dot
+// product is exact in float64 and the check is FP-identical to the
+// vertex-only one). The survivors are then intersected with the
+// unrestricted skyline order the executor preserves.
+func oracleRestrict(doms []*poset.Domain, keptTO []int, weights []float64, rows []core.Point, sky []int32) []int32 {
+	vtx := FVertices(weights, keptTO)
+	samples := append([][]float64(nil), vtx...)
+	for i := 0; i < len(vtx); i++ {
+		for j := i + 1; j < len(vtx); j++ {
+			mid := make([]float64, len(vtx[i]))
+			for d := range mid {
+				mid[d] = (vtx[i][d] + vtx[j][d]) / 2
+			}
+			samples = append(samples, mid)
+		}
+	}
+	surv := make(map[int32]bool)
+	for i := range rows {
+		dominated := false
+		for j := range rows {
+			if i == j {
+				continue
+			}
+			if FDominates(doms, samples, &rows[j], &rows[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			surv[rows[i].ID] = true
+		}
+	}
+	out := make([]int32, 0, len(surv))
+	for _, id := range sky {
+		if surv[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // sortByScore orders ids by ascending score (id-ascending on ties) and

@@ -27,6 +27,15 @@ type Cache interface {
 	PutSubspace(key string, ids []int32)
 }
 
+// ScoreIndexCache is the optional capability (probed by interface
+// assertion, so existing Cache implementations keep working) of a cache
+// that also persists the table's dp-idp score index. MemoCache
+// implements it and advances the index across mutations.
+type ScoreIndexCache interface {
+	GetScoreIndex() (*core.ScoreIndex, bool)
+	PutScoreIndex(*core.ScoreIndex)
+}
+
 // Env is the planning context: the table's statistics, the feedback
 // store, and an optional full-skyline cache. All fields may be nil —
 // Stats is computed on the fly, feedback is dropped, no cache routing.
@@ -63,6 +72,11 @@ type Explain struct {
 	// carried across mutations by delta maintenance rather than computed
 	// cold on this row set.
 	Maintained bool `json:"maintained,omitempty"`
+	// RankedFrom reports where a ranked top-k's scores came from:
+	// "index" (the maintained per-table score index), "memo" (scored
+	// over a memoised skyline) or "cold" (scored over a freshly
+	// computed skyline). Empty for unranked queries.
+	RankedFrom string `json:"rankedFrom,omitempty"`
 	// Kernel names the dominance-kernel configuration the run's
 	// elimination loops use: "bitset+columnar" (closure bitsets fit the
 	// memory budget on every kept PO domain), "columnar" (columnar scans
@@ -92,11 +106,23 @@ type Plan struct {
 	cached    []int32 // full or subspace skyline served from Env.Cache, nil on miss
 	keptTO    []int   // resolved subspace (identity when Query.Subspace == nil)
 	keptPO    []int
-	variant   string // kept-dimension key (SubspaceKey): memo + learned-frac key
-	estRows   int
-	estSky    int
-	predBase  float64   // static model prediction before the learned multiplier
-	prior     costPrior // chosen algorithm's model, for observation-time feedback
+	// baseVariant is the kept-dimension key (SubspaceKey) — the memo +
+	// learned-frac key of the *unrestricted* skyline this query shape
+	// derives from; variant appends the weight-constraint suffix for
+	// restricted queries and equals baseVariant otherwise. Unrestricted
+	// feedback and cache writes use baseVariant so a restricted
+	// workload never pollutes the unrestricted EWMAs, while the
+	// restricted result memoises and learns under variant.
+	baseVariant string
+	variant     string
+	fvtx        [][]float64 // restriction vertices (kept order), nil when unrestricted
+	// cachedRestricted marks p.cached as an already-restricted memo
+	// entry — the executor's restriction stage is skipped.
+	cachedRestricted bool
+	estRows          int
+	estSky           int
+	predBase         float64   // static model prediction before the learned multiplier
+	prior            costPrior // chosen algorithm's model, for observation-time feedback
 
 	cursorRows int // rows the cursor route indexed (observed-rows reporting)
 }
@@ -161,7 +187,12 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 
 	p := &Plan{Query: q, Explain: Explain{Variant: q.Variant()}}
 	p.keptTO, p.keptPO = resolveSubspace(q.Subspace, ds.NumTO(), ds.NumPO())
-	p.variant = SubspaceKey(q.Subspace)
+	p.baseVariant = SubspaceKey(q.Subspace)
+	p.variant = p.baseVariant
+	if len(q.FWeights) > 0 {
+		p.fvtx = FVertices(q.FWeights, p.keptTO)
+		p.variant = p.baseVariant + "|" + fweightsKey(q.FWeights, p.keptTO)
+	}
 
 	// Route: push-down is the definition; post-filter needs the
 	// anti-monotonicity proof and pays off only when the full skyline is
@@ -178,7 +209,21 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	switch {
 	case len(q.Where) == 0:
 		p.route = RouteDirect
+		restrictedHit := false
+		if p.fvtx != nil && useCache {
+			// Restricted results memoise under their weight-suffixed key;
+			// a miss still reuses the unrestricted base entry below as
+			// elimination input (ND ⊆ SKY).
+			if ids, maint, ok := env.Cache.GetSubspace(p.variant); ok {
+				p.cached = ids
+				p.cachedRestricted = true
+				p.Explain.Maintained = maint
+				p.Explain.RouteReason = fmt.Sprintf("restricted skyline cached (key %s)", p.variant)
+				restrictedHit = true
+			}
+		}
 		switch {
+		case restrictedHit:
 		case q.Subspace == nil && cacheHas:
 			p.cached = cachedFull
 			p.Explain.Maintained = cacheMaint
@@ -191,13 +236,13 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 			// Subspace-keyed memo: repeated subspace queries on the same
 			// snapshot are served without recomputation, exactly like
 			// repeated full queries.
-			if ids, maint, ok := env.Cache.GetSubspace(p.variant); ok {
+			if ids, maint, ok := env.Cache.GetSubspace(p.baseVariant); ok {
 				p.cached = ids
 				p.Explain.Maintained = maint
 				if maint {
-					p.Explain.RouteReason = fmt.Sprintf("subspace skyline maintained across mutations (key %s)", p.variant)
+					p.Explain.RouteReason = fmt.Sprintf("subspace skyline maintained across mutations (key %s)", p.baseVariant)
 				} else {
-					p.Explain.RouteReason = fmt.Sprintf("subspace skyline cached (key %s)", p.variant)
+					p.Explain.RouteReason = fmt.Sprintf("subspace skyline cached (key %s)", p.baseVariant)
 				}
 			}
 		}
@@ -257,8 +302,11 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	// skipped when the caller forced a shard count — the cursor is
 	// sequential, so honoring the hint means running the full
 	// partition-and-merge pass and truncating.
+	// A restricted query can never stop early: the weight-constraint
+	// elimination needs every skyline member before TopK truncates.
 	hinted := strings.ToLower(q.Hints.Algorithm)
-	p.earlyExit = q.TopK > 0 && q.Rank == RankNone && p.route != RoutePostFilter &&
+	p.earlyExit = q.TopK > 0 && q.Rank == RankNone && len(q.FWeights) == 0 &&
+		p.route != RoutePostFilter &&
 		p.cached == nil && q.Hints.Parallelism <= 0 && (hinted == "" || hinted == "stss")
 
 	// Dominance-kernel selection, reported up front so Explain shows
@@ -272,6 +320,17 @@ func New(ds *core.Dataset, q Query, env Env) (*Plan, error) {
 	effPO := len(p.keptPO)
 	if err := p.chooseAlgorithm(env.Learned, effPO, hinted); err != nil {
 		return nil, err
+	}
+
+	// Rankings that declare their own cost-model term (RankCoster) add
+	// it to the estimate; the classic rankings predate the term and
+	// keep their historical estimates.
+	if q.TopK > 0 && q.Rank != RankNone {
+		if r, ok := LookupRanker(string(q.Rank)); ok {
+			if rc, ok := r.(RankCoster); ok {
+				p.Explain.EstSeconds += rc.RankCostSeconds(p.estRows, p.estSky, q.TopK)
+			}
+		}
 	}
 
 	// Parallelism: the partition-and-merge executor pays off on large

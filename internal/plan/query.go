@@ -33,6 +33,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -111,7 +112,25 @@ const (
 	// values t-preferred to the row's value (depth below the top of the
 	// preference DAG). Missing Ideal means the all-zeros origin.
 	RankIdeal Rank = "ideal"
+	// RankDPIDP orders skyline rows by the dominance-potential (dp-idp)
+	// score, descending: every row of R dominated by exactly k skyline
+	// members contributes 1/k to each of them, so members that
+	// exclusively "explain" rows score highest. Index-eligible shapes
+	// (full table, no filter) serve the scores from a per-table index
+	// maintained across mutations.
+	RankDPIDP Rank = "dpidp"
+	// RankLayer returns rows by iterated-skyline depth: TopK is a depth
+	// bound, and the result is every row of layers 1..K (layer 1 = the
+	// skyline, layer i = the skyline of what remains) ordered by
+	// (layer, id) — more rows than the skyline, by design.
+	RankLayer Rank = "layer"
 )
+
+// The built-in rankings are registered in ranker.go/rankdpidp.go; the
+// constants above are their wire names. Every tier — executor, oracle,
+// stream, serving layer, cluster coordinator — dispatches through
+// LookupRanker, so an externally registered Ranker is served end to end
+// without new switch arms.
 
 // Route is a physical predicate/cache placement, as reported (and
 // optionally forced through Hints) by the planner.
@@ -161,7 +180,13 @@ type Query struct {
 	TopK  int
 	Rank  Rank
 	Ideal []int64 // RankIdeal reference point, one value per table TO column
-	Hints Hints
+	// FWeights asks for the F-dominance restricted skyline instead of
+	// the full one: per table TO column, a lower bound w_d ≥ 0 on the
+	// scoring weight, with Σ over the kept columns ≤ 1 (see fdom.go for
+	// the family W(w) this spans). Empty means unrestricted. Combines
+	// with Subspace/Where/unranked TopK, but not with a Rank.
+	FWeights []float64
+	Hints    Hints
 }
 
 // Variant names the query shape for explain output and metrics.
@@ -172,6 +197,9 @@ func (q *Query) Variant() string {
 	}
 	if len(q.Where) > 0 {
 		parts = append(parts, "constrained")
+	}
+	if len(q.FWeights) > 0 {
+		parts = append(parts, "restricted")
 	}
 	if q.TopK > 0 {
 		parts = append(parts, "top-k")
@@ -192,20 +220,49 @@ func (q *Query) Validate(nTO, nPO int, domainSizes []int) error {
 	if q.TopK < 0 {
 		return fmt.Errorf("plan: negative TopK %d", q.TopK)
 	}
-	switch q.Rank {
-	case RankNone, RankDomCount, RankIdeal:
-	default:
-		return fmt.Errorf("plan: unknown rank %q (have: %q, %q)", q.Rank, RankDomCount, RankIdeal)
-	}
-	if q.Rank != RankNone && q.TopK == 0 {
-		return fmt.Errorf("plan: rank %q without TopK", q.Rank)
+	var ranker Ranker
+	if q.Rank != RankNone {
+		r, ok := LookupRanker(string(q.Rank))
+		if !ok {
+			return fmt.Errorf("plan: unknown rank %q (have: %s)", q.Rank, quotedRankerNames())
+		}
+		ranker = r
+		if q.TopK == 0 {
+			return fmt.Errorf("plan: rank %q without TopK", q.Rank)
+		}
 	}
 	if q.Ideal != nil {
-		if q.Rank != RankIdeal {
+		if _, uses := ranker.(IdealConsumer); !uses {
 			return fmt.Errorf("plan: ideal point without rank %q", RankIdeal)
 		}
 		if len(q.Ideal) != nTO {
 			return fmt.Errorf("plan: ideal point has %d values, table has %d TO columns", len(q.Ideal), nTO)
+		}
+	}
+	if len(q.FWeights) > 0 {
+		if q.Rank != RankNone {
+			return fmt.Errorf("plan: fweights cannot combine with rank %q (the restricted skyline is unranked; unranked TopK keeps a prefix)", q.Rank)
+		}
+		if len(q.FWeights) != nTO {
+			return fmt.Errorf("plan: fweights has %d values, table has %d TO columns", len(q.FWeights), nTO)
+		}
+		kept := make(map[int]bool, nTO)
+		if q.Subspace != nil {
+			for _, d := range q.Subspace.TO {
+				kept[d] = true
+			}
+		}
+		var sum float64
+		for d, w := range q.FWeights {
+			if !(w >= 0) || math.IsInf(w, 0) {
+				return fmt.Errorf("plan: fweights[%d] = %v: weights must be finite and >= 0", d, w)
+			}
+			if q.Subspace == nil || kept[d] {
+				sum += w
+			}
+		}
+		if sum > 1 {
+			return fmt.Errorf("plan: fweights sum %.6g over the kept TO columns exceeds 1 (the family { v >= w, sum(v) = 1 } is empty)", sum)
 		}
 	}
 	if s := q.Subspace; s != nil {

@@ -1,0 +1,497 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/poset"
+)
+
+// Ranker is one registered top-k ranking method. The executor, the
+// brute-force oracle, the streaming path and the cluster coordinator
+// all dispatch through this registry — a new ranking registers itself
+// here (like core.Algorithm implementations) and every tier picks it up
+// without a new switch arm.
+//
+// Rank orders the skyline ids of the running query and returns the
+// best k. A ranker may return rows beyond the input ids when its
+// semantics demand it (RankLayer's k is a depth bound: it returns every
+// row of skyline layers 1..k, of which the input skyline is layer 1).
+// fromIndex reports that the scores were served from a maintained score
+// index rather than computed against the table.
+//
+// OracleRank is the ranker's brute-force reference semantics, used by
+// Naive and the differential/fuzz harnesses; it must be independent of
+// Rank's implementation strategy.
+//
+// Optional capabilities, discovered by interface assertion:
+//
+//   - PartialScorer: per-shard partial scores + coordinator combine,
+//     for distributed ranking where scores aggregate over shard-local
+//     scans (dominance counts, dp-idp histograms).
+//   - WireScorer: coordinator-local scoring of gathered candidate rows,
+//     for scores computable from the candidate values alone (ideal
+//     distance).
+//   - UnionRanker: the coordinator gathers every shard's local result
+//     without dominance elimination and the ranker orders the union
+//     (skyline layers).
+//   - StreamBounder: a sound lower bound on every future progressive-
+//     cursor emission's score, enabling ranked streaming with early
+//     termination.
+//   - IdealConsumer: the ranker consumes Query.Ideal.
+//   - RankCoster: adds the ranking stage's cost-model term to the
+//     planner's estimate.
+type Ranker interface {
+	Name() string
+	Rank(ctx context.Context, sc *ScoreContext, ids []int32, k int) (ranked []int32, fromIndex bool, err error)
+	OracleRank(oc *OracleContext, sky []int32, k int) []int32
+}
+
+// ScoreContext is what a Ranker's executor-side Rank sees: the table
+// dataset (table layout, ds.Pts[i].ID == i), the query, the resolved
+// kept dimensions, and — when the query shape is index-eligible — the
+// snapshot's maintained score index plus a callback to persist a
+// freshly built one.
+type ScoreContext struct {
+	DS     *core.Dataset
+	Query  *Query
+	KeptTO []int
+	KeptPO []int
+	// Index is the table's maintained dp-idp score index, nil when
+	// absent or when the query shape (subspace/filter/restriction,
+	// NoCache) makes it inapplicable.
+	Index *core.ScoreIndex
+	// StoreIndex persists a cold-built index on the snapshot's cache;
+	// nil when the shape is not index-eligible.
+	StoreIndex func(*core.ScoreIndex)
+	// Algo is the plan's cost-chosen skyline algorithm; rankers that
+	// peel residual skylines (layer depth) reuse it rather than
+	// re-deriving a choice. Nil falls back to the paper's default.
+	Algo core.Algorithm
+}
+
+// OracleContext is what OracleRank sees: the query, kept dimensions,
+// the kept PO domains, and R — the predicate-filtered rows projected
+// onto the kept dimensions, with original table ids.
+type OracleContext struct {
+	Query  *Query
+	KeptTO []int
+	KeptPO []int
+	Doms   []*poset.Domain
+	Rows   []core.Point
+}
+
+// WireRow is one gathered cluster candidate as a WireScorer sees it:
+// the full-width TO values off the wire plus the kept PO value ids
+// (projected, in kept order) resolved against the coordinator's merged
+// domains.
+type WireRow struct {
+	TO []int64
+	PO []int32
+}
+
+// WireContext is the coordinator-side scoring context: the query, the
+// kept dimensions, and the kept PO domains of the merged table schema.
+type WireContext struct {
+	Query    *Query
+	KeptTO   []int
+	KeptPO   []int
+	Doms     []*poset.Domain
+	NoKernel bool
+}
+
+// KHist is the wire form of one candidate's k-histogram: parallel
+// (k, count) pairs with k ascending.
+type KHist struct {
+	Ks     []int32
+	Counts []int64
+}
+
+// Partials is one shard's contribution to a distributed ranking:
+// Counts for count-additive scores (dominance counts), Hists for
+// histogram-additive ones (dp-idp). Each is parallel to the candidate
+// list; a ranker fills the representation it combines.
+type Partials struct {
+	Counts []int64
+	Hists  []KHist
+}
+
+// PartialScorer is the distributed-aggregation capability: Partials
+// scores the candidate rows against one shard's local table, and
+// CombinePartials folds every shard's result into final scores
+// (ascending = better, matching the shared rank sort).
+type PartialScorer interface {
+	Partials(ctx context.Context, ds *core.Dataset, q Query, cands []core.Point) (Partials, error)
+	CombinePartials(shards []Partials, n int) ([]float64, error)
+}
+
+// WireScorer scores gathered candidates from their values alone, with
+// no shard round-trip.
+type WireScorer interface {
+	WireScores(wc *WireContext, rows []WireRow) []float64
+}
+
+// UnionRanker ranks the un-eliminated union of every shard's local
+// result: scores (ascending = better) plus a keep mask for rows the
+// ranking excludes entirely.
+type UnionRanker interface {
+	RankUnion(wc *WireContext, pts []core.Point, k int) (scores []float64, keep []bool)
+}
+
+// StreamBounder yields a per-row score function plus a slack s such
+// that key − s never exceeds any future emission's score, where key is
+// the progressive cursor's non-decreasing heap bound — the sound
+// early-stop condition of the score-threshold streaming path. ok=false
+// declines (e.g. the bound is only sound for a specific query shape).
+type StreamBounder interface {
+	StreamScorer(sc *ScoreContext) (score func(pt *core.Point) float64, slack int64, ok bool)
+}
+
+// IdealConsumer marks rankers that consume Query.Ideal; Validate
+// rejects an ideal point sent to any other ranking.
+type IdealConsumer interface{ ConsumesIdeal() }
+
+// RankCoster adds the ranking stage's own cost-model term (seconds, for
+// n table rows, m estimated skyline rows and top-k k) to the planner's
+// estimate. Rankings cheap relative to the skyline itself omit it.
+type RankCoster interface {
+	RankCostSeconds(n, m, k int) float64
+}
+
+var (
+	rankerMu  sync.RWMutex
+	rankerReg = map[string]Ranker{}
+)
+
+// RegisterRanker adds a ranking to the registry under its Name,
+// case-insensitively. It panics on an empty or duplicate name —
+// registration happens in init functions, where a clash is a
+// programming error.
+func RegisterRanker(r Ranker) {
+	name := canonicalRankName(r.Name())
+	if name == "" {
+		panic("plan: RegisterRanker with empty name")
+	}
+	rankerMu.Lock()
+	defer rankerMu.Unlock()
+	if _, dup := rankerReg[name]; dup {
+		panic(fmt.Sprintf("plan: RegisterRanker called twice for %q", name))
+	}
+	rankerReg[name] = r
+}
+
+// LookupRanker finds a registered ranking by name, case-insensitively.
+func LookupRanker(name string) (Ranker, bool) {
+	rankerMu.RLock()
+	defer rankerMu.RUnlock()
+	r, ok := rankerReg[canonicalRankName(name)]
+	return r, ok
+}
+
+// RankerNames returns the registered ranking names, sorted.
+func RankerNames() []string {
+	rankerMu.RLock()
+	defer rankerMu.RUnlock()
+	names := make([]string, 0, len(rankerReg))
+	for name := range rankerReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Rankers returns the registered rankings, sorted by name.
+func Rankers() []Ranker {
+	names := RankerNames()
+	rankerMu.RLock()
+	defer rankerMu.RUnlock()
+	out := make([]Ranker, 0, len(names))
+	for _, name := range names {
+		out = append(out, rankerReg[name])
+	}
+	return out
+}
+
+func canonicalRankName(name string) string { return strings.ToLower(name) }
+
+// quotedRankerNames renders the registry for error messages.
+func quotedRankerNames() string {
+	names := RankerNames()
+	for i, n := range names {
+		names[i] = fmt.Sprintf("%q", n)
+	}
+	return strings.Join(names, ", ")
+}
+
+// RankPartials evaluates one shard's partial scores for a distributed
+// ranking — the serving layer's /domcount handler dispatches here.
+func RankPartials(ctx context.Context, ds *core.Dataset, q Query, rank string, cands []core.Point) (Partials, error) {
+	r, ok := LookupRanker(rank)
+	if !ok {
+		return Partials{}, fmt.Errorf("plan: unknown rank %q (have: %s)", rank, quotedRankerNames())
+	}
+	ps, ok := r.(PartialScorer)
+	if !ok {
+		return Partials{}, fmt.Errorf("plan: rank %q has no per-shard partial scores", rank)
+	}
+	return ps.Partials(ctx, ds, q, cands)
+}
+
+func init() {
+	RegisterRanker(domcountRanker{})
+	RegisterRanker(idealRanker{})
+}
+
+// domcountRanker is RankDomCount: skyline rows ordered by the number of
+// rows of R they dominate in the kept dimensions, descending.
+type domcountRanker struct{}
+
+func (domcountRanker) Name() string { return string(RankDomCount) }
+
+func (domcountRanker) Rank(ctx context.Context, sc *ScoreContext, ids []int32, k int) ([]int32, bool, error) {
+	counts, err := domCountScores(ctx, sc, ids)
+	if err != nil {
+		return nil, false, err
+	}
+	scores := make(map[int32]float64, len(ids))
+	// Negated so the shared ascending sort ranks higher counts first.
+	for id, c := range counts {
+		scores[id] = -float64(c)
+	}
+	return sortByScore(ids, scores, k), false, nil
+}
+
+func (domcountRanker) OracleRank(oc *OracleContext, sky []int32, k int) []int32 {
+	rows := oc.Rows
+	byID := make(map[int32]*core.Point, len(rows))
+	for i := range rows {
+		byID[rows[i].ID] = &rows[i]
+	}
+	counts := make(map[int32]float64, len(sky))
+	for _, id := range sky {
+		s := byID[id]
+		var c float64
+		for i := range rows {
+			if rows[i].ID != id && core.DominatesUnder(oc.Doms, s, &rows[i]) {
+				c++
+			}
+		}
+		counts[id] = -c // ascending sort ranks bigger counts first
+	}
+	return sortByScore(sky, counts, k)
+}
+
+// Partials delegates to the exact per-shard dominance-count scan the
+// coordinator has always scattered; CombinePartials sums and negates.
+func (domcountRanker) Partials(ctx context.Context, ds *core.Dataset, q Query, cands []core.Point) (Partials, error) {
+	counts, err := DomCounts(ctx, ds, q, cands)
+	if err != nil {
+		return Partials{}, err
+	}
+	return Partials{Counts: counts}, nil
+}
+
+func (domcountRanker) CombinePartials(shards []Partials, n int) ([]float64, error) {
+	scores := make([]float64, n)
+	for _, p := range shards {
+		if len(p.Counts) != n {
+			return nil, fmt.Errorf("shard returned %d domcounts for %d candidates", len(p.Counts), n)
+		}
+		for i, c := range p.Counts {
+			scores[i] -= float64(c)
+		}
+	}
+	return scores, nil
+}
+
+// domCountScores counts, per skyline row, the rows of R (the predicate-
+// filtered table) it dominates in the kept dimensions. O(|skyline|·|R|)
+// with the exact dominance oracle.
+func domCountScores(ctx context.Context, sc *ScoreContext, ids []int32) (map[int32]int, error) {
+	ds := sc.DS
+	doms := keptPODomains(ds, sc.KeptPO)
+	counts := make(map[int32]int, len(ids))
+	sky := make([]projected, len(ids))
+	for i, id := range ids {
+		sky[i] = projected{id: id, pt: projectInto(&ds.Pts[id], sc.KeptTO, sc.KeptPO)}
+	}
+	for i := range ds.Pts {
+		if i%ctxCheckEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		row := &ds.Pts[i]
+		if len(sc.Query.Where) > 0 && !matchesAllPreds(sc.Query.Where, row) {
+			continue
+		}
+		rp := projectInto(row, sc.KeptTO, sc.KeptPO)
+		for j := range sky {
+			if sky[j].id == row.ID {
+				continue
+			}
+			if core.DominatesUnder(doms, &sky[j].pt, &rp) {
+				counts[sky[j].id]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+// idealRanker is RankIdeal: skyline rows ordered by L1 distance to an
+// ideal point over the kept TO columns (the dTSS fully-dynamic |v − q|
+// transform) plus the preference-DAG depth of each kept PO value,
+// ascending.
+type idealRanker struct{}
+
+func (idealRanker) Name() string { return string(RankIdeal) }
+
+func (idealRanker) ConsumesIdeal() {}
+
+func (idealRanker) Rank(ctx context.Context, sc *ScoreContext, ids []int32, k int) ([]int32, bool, error) {
+	depths := idealDepths(sc.DS, sc.KeptPO)
+	scores := make(map[int32]float64, len(ids))
+	for _, id := range ids {
+		scores[id] = idealScore(sc.Query, sc.KeptTO, sc.KeptPO, &sc.DS.Pts[id], depths)
+	}
+	return sortByScore(ids, scores, k), false, nil
+}
+
+func (idealRanker) OracleRank(oc *OracleContext, sky []int32, k int) []int32 {
+	q := oc.Query
+	rows := oc.Rows
+	scores := make(map[int32]float64, len(sky))
+	byID := make(map[int32]*core.Point, len(rows))
+	for i := range rows {
+		byID[rows[i].ID] = &rows[i]
+	}
+	for _, id := range sky {
+		s := byID[id]
+		var sc float64
+		for j, d := range oc.KeptTO {
+			var ideal int64
+			if q.Ideal != nil {
+				ideal = q.Ideal[d]
+			}
+			diff := int64(s.TO[j]) - ideal
+			if diff < 0 {
+				diff = -diff
+			}
+			sc += float64(diff)
+		}
+		for j := range oc.KeptPO {
+			dom := oc.Doms[j]
+			for w := int32(0); int(w) < dom.Size(); w++ {
+				if dom.TPrefers(w, s.PO[j]) {
+					sc++
+				}
+			}
+		}
+		scores[id] = sc
+	}
+	return sortByScore(sky, scores, k)
+}
+
+// WireScores ranks gathered cluster candidates coordinator-locally:
+// the score needs only the candidate's own values and the merged
+// domains, no shard round-trip.
+func (idealRanker) WireScores(wc *WireContext, rows []WireRow) []float64 {
+	depths := make([][]int32, len(wc.KeptPO))
+	for j := range wc.KeptPO {
+		dom := wc.Doms[j]
+		col := make([]int32, dom.Size())
+		for v := int32(0); int(v) < dom.Size(); v++ {
+			for w := int32(0); int(w) < dom.Size(); w++ {
+				if dom.TPrefers(w, v) {
+					col[v]++
+				}
+			}
+		}
+		depths[j] = col
+	}
+	scores := make([]float64, len(rows))
+	for i := range rows {
+		var s float64
+		for _, d := range wc.KeptTO {
+			var ref int64
+			if wc.Query.Ideal != nil {
+				ref = wc.Query.Ideal[d]
+			}
+			diff := rows[i].TO[d] - ref
+			if diff < 0 {
+				diff = -diff
+			}
+			s += float64(diff)
+		}
+		for j := range wc.KeptPO {
+			s += float64(depths[j][rows[i].PO[j]])
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// StreamScorer is the sound streaming bound of the origin-ideal
+// ranking: the cursor's heap bound is Σ kept TO + Σ topological
+// ordinal, an ordinal never undershoots its value's depth, so
+// key − Σ(|domain|−1) ≤ score for every future emission. Off-origin
+// ideal points break the bound, so the capability declines them.
+func (idealRanker) StreamScorer(sc *ScoreContext) (func(pt *core.Point) float64, int64, bool) {
+	if sc.Query.Ideal != nil {
+		return nil, 0, false
+	}
+	depths := idealDepths(sc.DS, sc.KeptPO)
+	var slack int64
+	for _, d := range sc.KeptPO {
+		slack += int64(sc.DS.Domains[d].Size() - 1)
+	}
+	q, keptTO, keptPO := sc.Query, sc.KeptTO, sc.KeptPO
+	return func(pt *core.Point) float64 {
+		return idealScore(q, keptTO, keptPO, pt, depths)
+	}, slack, true
+}
+
+// idealDepths precomputes, per kept PO column, each value's depth: the
+// number of values t-preferred to it (0 for DAG tops).
+func idealDepths(ds *core.Dataset, keptPO []int) [][]int32 {
+	depths := make([][]int32, len(keptPO))
+	for j, d := range keptPO {
+		dom := ds.Domains[d]
+		col := make([]int32, dom.Size())
+		for v := int32(0); int(v) < dom.Size(); v++ {
+			for w := int32(0); int(w) < dom.Size(); w++ {
+				if dom.TPrefers(w, v) {
+					col[v]++
+				}
+			}
+		}
+		depths[j] = col
+	}
+	return depths
+}
+
+// idealScore is the RankIdeal score of a (full-dimensional) row: L1
+// distance to the ideal point over the kept TO columns plus the
+// preference-DAG depth of each kept PO value. Smaller is better.
+func idealScore(q *Query, keptTO, keptPO []int, pt *core.Point, depths [][]int32) float64 {
+	var s float64
+	for _, d := range keptTO {
+		var ref int64
+		if q.Ideal != nil {
+			ref = q.Ideal[d]
+		}
+		diff := int64(pt.TO[d]) - ref
+		if diff < 0 {
+			diff = -diff
+		}
+		s += float64(diff)
+	}
+	for j, d := range keptPO {
+		s += float64(depths[j][pt.PO[d]])
+	}
+	return s
+}

@@ -36,16 +36,17 @@ type StreamRow struct {
 //     certified row immediately. An unranked top-k stops the traversal
 //     after K emissions. The stream order is the cursor's non-decreasing
 //     mindist order, so a first-K stream is a prefix of the full stream.
-//   - Score-threshold top-k: RankIdeal at the origin collects cursor
-//     emissions only until the K-th best score provably beats every
-//     future emission (cursor heap bound minus the topological-ordinal
-//     slack), then emits the top K in rank order — early termination
-//     without scanning the full skyline.
+//   - Score-threshold top-k: a ranking with the StreamBounder
+//     capability (origin-ideal today) collects cursor emissions only
+//     until the K-th best score provably beats every future emission
+//     (cursor heap bound minus the ranker's slack), then emits the top
+//     K in rank order — early termination without scanning the full
+//     skyline.
 //   - Buffered fallback: everything else (cache hits, forced non-sTSS
-//     algorithms, forced parallelism, dominance-count and off-origin
-//     ideal ranking) runs Run and replays the finished rows through
-//     emit, so the wire protocol is uniform even when progressiveness
-//     is impossible.
+//     algorithms, forced parallelism, restricted skylines, and
+//     rankings without a sound streaming bound) runs Run and replays
+//     the finished rows through emit, so the wire protocol is uniform
+//     even when progressiveness is impossible.
 //
 // Like the cursor route in Run, progressive runs feed no learned
 // feedback; a fully exhausted unranked enumeration fills the result
@@ -58,15 +59,31 @@ func (p *Plan) RunStream(ctx context.Context, ds *core.Dataset, env Env, emit fu
 	}
 	hinted := strings.ToLower(p.Query.Hints.Algorithm)
 	cursorOK := p.cached == nil && p.Query.Hints.Parallelism <= 0 &&
-		(hinted == "" || hinted == "stss")
+		len(p.Query.FWeights) == 0 && (hinted == "" || hinted == "stss")
+
+	// A ranked stream is progressive only when the ranking provides a
+	// sound bound on future emissions (StreamBounder) and accepts this
+	// query's shape.
+	var boundScore func(pt *core.Point) float64
+	var boundSlack int64
+	if cursorOK && p.Query.TopK > 0 && p.Query.Rank != RankNone {
+		if r, ok := LookupRanker(string(p.Query.Rank)); ok {
+			if sb, ok := r.(StreamBounder); ok {
+				boundScore, boundSlack, ok = sb.StreamScorer(p.scoreContext(ds, env))
+				if !ok {
+					boundScore = nil
+				}
+			}
+		}
+	}
 
 	var res *core.Result
 	var err error
 	switch {
 	case cursorOK && p.Query.Rank == RankNone:
 		res, err = p.streamCursor(ctx, ds, env, emit, start)
-	case cursorOK && p.Query.TopK > 0 && p.Query.Rank == RankIdeal && p.Query.Ideal == nil:
-		res, err = p.streamThresholdTopK(ctx, ds, emit, start)
+	case boundScore != nil:
+		res, err = p.streamThresholdTopK(ctx, ds, emit, start, boundScore, boundSlack)
 	default:
 		if res, err = p.Run(ctx, ds, env); err == nil {
 			for i, id := range res.SkylineIDs {
@@ -156,33 +173,28 @@ func (p *Plan) streamCursor(ctx context.Context, ds *core.Dataset, env Env, emit
 		if p.Query.Subspace == nil {
 			env.Cache.PutFull(ids)
 		} else {
-			env.Cache.PutSubspace(p.variant, ids)
+			env.Cache.PutSubspace(p.baseVariant, ids)
 		}
 	}
 	return res, nil
 }
 
-// streamThresholdTopK answers an origin-ideal ranked top-k through the
-// cursor with a sound early stop. Every future emission's ideal score
-// (Σ kept TO + Σ preference-DAG depth) is bounded below by the cursor's
-// heap bound (Σ kept TO + Σ topological ordinal of the next unexamined
-// entry) minus the per-dimension ordinal slack: an ordinal never
-// undershoots its value's depth, so key − Σ(|domain|−1) ≤ score. Once K
-// collected scores beat that bound strictly, no future emission can
-// displace them (nor tie into a different id order), and the traversal
-// stops without enumerating the rest of the skyline.
-func (p *Plan) streamThresholdTopK(ctx context.Context, ds *core.Dataset, emit func(StreamRow) error, start time.Time) (*core.Result, error) {
+// streamThresholdTopK answers a ranked top-k through the cursor with a
+// sound early stop supplied by the ranking's StreamBounder capability:
+// every future emission's score is bounded below by the cursor's heap
+// bound (Σ kept TO + Σ topological ordinal of the next unexamined
+// entry) minus the ranker's slack — for the origin-ideal ranking, an
+// ordinal never undershoots its value's depth, so key − Σ(|domain|−1) ≤
+// score. Once K collected scores beat that bound strictly, no future
+// emission can displace them (nor tie into a different id order), and
+// the traversal stops without enumerating the rest of the skyline.
+func (p *Plan) streamThresholdTopK(ctx context.Context, ds *core.Dataset, emit func(StreamRow) error, start time.Time, score func(pt *core.Point) float64, slack int64) (*core.Result, error) {
 	eff, err := p.effective(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
 	p.cursorRows = len(eff.Pts)
 	cur := core.NewSTSSCursor(eff, core.Options{UseMemTree: true})
-	depths := p.idealDepths(ds)
-	var slack int64
-	for _, d := range p.keptPO {
-		slack += int64(ds.Domains[d].Size() - 1)
-	}
 	k := p.Query.TopK
 	postFilter := p.route == RoutePostFilter
 
@@ -206,7 +218,7 @@ func (p *Plan) streamThresholdTopK(ctx context.Context, ds *core.Dataset, emit f
 		if postFilter && !p.matchesAll(&ds.Pts[id]) {
 			continue
 		}
-		s := p.idealScore(&ds.Pts[id], depths)
+		s := score(&ds.Pts[id])
 		cands = append(cands, scored{id: id, score: s})
 		if i := sort.SearchFloat64s(best, s); i < k {
 			if len(best) < k {

@@ -115,7 +115,7 @@ func (s *Server) ImportSnapshot(name string, snap *store.Snapshot) (TableInfo, e
 	if err != nil {
 		return TableInfo{}, err
 	}
-	e, err := newTableEntry(spec, s.cacheCap, snap.Version)
+	e, err := newTableEntry(spec, s.cacheCap, s.subspaceCap, snap.Version)
 	if err != nil {
 		return TableInfo{}, err
 	}

@@ -115,10 +115,11 @@ func (sc *Schema) PlanQuery(req QueryRequest) (plan.Query, error) {
 		par = runtime.GOMAXPROCS(0)
 	}
 	q := plan.Query{
-		TopK:  req.TopK,
-		Rank:  plan.Rank(req.Rank),
-		Ideal: req.Ideal,
-		Hints: plan.Hints{Algorithm: req.Algo, Parallelism: par, NoKernel: req.NoKernel, NoCache: req.NoCache},
+		TopK:     req.TopK,
+		Rank:     plan.Rank(req.Rank),
+		Ideal:    req.Ideal,
+		FWeights: req.FWeights,
+		Hints:    plan.Hints{Algorithm: req.Algo, Parallelism: par, NoKernel: req.NoKernel, NoCache: req.NoCache},
 	}
 	if len(req.Subspace) > 0 {
 		s := &plan.Subspace{}

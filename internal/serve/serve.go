@@ -32,6 +32,10 @@ type Config struct {
 	// CacheCapacity sizes each new table's dynamic result cache
 	// (0 = DefaultCacheCapacity).
 	CacheCapacity int
+	// SubspaceCacheCap sizes each table's subspace skyline-memo LRU
+	// (0 = plan.DefaultSubspaceCap). Surfaced per table in /statsz as
+	// planCache.subspaceCapacity.
+	SubspaceCacheCap int
 	// Store, when non-nil, makes every table durable: batches append
 	// to a write-ahead log before publishing, logs checkpoint into
 	// snapshots, and tables recover on startup (see Recover).
@@ -70,6 +74,7 @@ type Server struct {
 	tables map[string]*tableEntry
 
 	cacheCap        int
+	subspaceCap     int
 	store           store.Store // nil = ephemeral
 	checkpointEvery int64
 	shard           *ShardIdentity
@@ -101,6 +106,7 @@ func NewWithConfig(cfg Config) *Server {
 	return &Server{
 		tables:          make(map[string]*tableEntry),
 		cacheCap:        cfg.CacheCapacity,
+		subspaceCap:     cfg.SubspaceCacheCap,
 		store:           cfg.Store,
 		checkpointEvery: cfg.CheckpointEvery,
 		shard:           cfg.Shard,
@@ -132,7 +138,7 @@ func (s *Server) Recover() ([]TableInfo, error) {
 		if err != nil {
 			return infos, fmt.Errorf("recover table %q: %w", name, err)
 		}
-		e, err := newTableEntry(spec, s.cacheCap, snap.Version)
+		e, err := newTableEntry(spec, s.cacheCap, s.subspaceCap, snap.Version)
 		if err != nil {
 			return infos, fmt.Errorf("recover table %q: %w", name, err)
 		}
@@ -164,7 +170,7 @@ func (s *Server) CreateTable(spec TableSpec) (TableInfo, error) {
 	if dup {
 		return TableInfo{}, ErrTableExists
 	}
-	e, err := newTableEntry(spec, s.cacheCap, 0)
+	e, err := newTableEntry(spec, s.cacheCap, s.subspaceCap, 0)
 	if err != nil {
 		return TableInfo{}, err
 	}
@@ -734,9 +740,11 @@ func (s *Server) handleTableStats(w http.ResponseWriter, r *http.Request, e *tab
 }
 
 // handleDomCount answers POST /tables/{name}/domcount: per candidate
-// row (value-addressed), the number of rows of the Where-filtered table
-// it dominates on the Subspace dimensions. This is the shard-side half
-// of distributed top-k by dominance count.
+// row (value-addressed), this shard's partial contribution to the
+// requested ranking's global score — dominance counts for "domcount"
+// (the default, and the endpoint's original contract), dominator-count
+// histograms for "dpidp". This is the shard-side half of distributed
+// ranked top-k.
 func (s *Server) handleDomCount(w http.ResponseWriter, r *http.Request, e *tableEntry) {
 	var req DomCountRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -752,6 +760,19 @@ func (s *Server) handleDomCount(w http.ResponseWriter, r *http.Request, e *table
 	rows := make([]tss.TableRow, len(req.Rows))
 	for i, rw := range req.Rows {
 		rows[i] = tss.TableRow{TO: rw.TO, PO: rw.PO}
+	}
+	if req.Rank != "" && req.Rank != "domcount" {
+		parts, err := snap.table.RankPartials(r.Context(), q, req.Rank, rows)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		resp := DomCountResponse{Table: e.name, Version: snap.version, Counts: parts.Counts}
+		for _, h := range parts.Hists {
+			resp.Hists = append(resp.Hists, RankHist{Ks: h.Ks, Counts: h.Counts})
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
 	counts, err := snap.table.DomCounts(r.Context(), q, rows)
 	if err != nil {

@@ -45,6 +45,11 @@ type tableEntry struct {
 	// default) for persistence across restarts.
 	specCacheCap int
 
+	// subspaceCap sizes each fresh snapshot memo's subspace LRU
+	// (Config.SubspaceCacheCap; 0 = plan.DefaultSubspaceCap). Advanced
+	// memos inherit it through plan.MemoCache.Advance.
+	subspaceCap int
+
 	writeMu sync.Mutex // serializes mutations; readers never take it
 	snap    atomic.Pointer[snapshot]
 
@@ -77,6 +82,11 @@ type tableEntry struct {
 	planSubHits        atomic.Int64
 	planSubMisses      atomic.Int64
 	planMaintainedHits atomic.Int64
+	// Ranked top-k queries by score provenance (Explain.RankedFrom):
+	// score index, memoised skyline, or cold compute.
+	planRankedIndex atomic.Int64
+	planRankedMemo  atomic.Int64
+	planRankedCold  atomic.Int64
 }
 
 // buildOrders compiles OrderSpecs into tss Orders, converting the
@@ -102,7 +112,7 @@ func buildOrders(specs []OrderSpec) (orders []*tss.Order, err error) {
 // given version and returns the ready entry. cacheCap sizes the
 // dynamic result cache; version is 0 for fresh tables and the
 // recovered version when loading from a store.
-func newTableEntry(spec TableSpec, cacheCap int, version int64) (*tableEntry, error) {
+func newTableEntry(spec TableSpec, cacheCap, subspaceCap int, version int64) (*tableEntry, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("table name is required")
 	}
@@ -127,6 +137,7 @@ func newTableEntry(spec TableSpec, cacheCap int, version int64) (*tableEntry, er
 		schema:       schema,
 		orders:       orders,
 		specCacheCap: spec.CacheCapacity,
+		subspaceCap:  subspaceCap,
 	}
 	if spec.CacheCapacity > 0 {
 		cacheCap = spec.CacheCapacity
@@ -161,7 +172,7 @@ func (e *tableEntry) freshTable() (t *tss.Table, err error) {
 // in. Callers hold writeMu (or own the entry exclusively).
 func (e *tableEntry) publish(version int64, table *tss.Table, cacheCap int) {
 	table.Seal()
-	table.SetQueryCache(plan.NewMemoCache())
+	table.SetQueryCache(plan.NewMemoCacheWithCap(e.subspaceCap))
 	dyn := table.PrepareDynamic()
 	dyn.EnableCache(cacheCap)
 	e.snap.Store(&snapshot{version: version, table: table, dyn: dyn})
@@ -208,7 +219,7 @@ func (e *tableEntry) applyBatch(req BatchRequest, persist func(version int64) er
 	// instead of recomputing from cold. NoMaintain restores the old
 	// fresh-memo-per-batch behaviour.
 	if e.noMaintain || next.QueryCache() == nil {
-		next.SetQueryCache(plan.NewMemoCache())
+		next.SetQueryCache(plan.NewMemoCacheWithCap(e.subspaceCap))
 	}
 	dyn := cur.dyn.ApplyDelta(next, delta)
 
@@ -238,6 +249,9 @@ func (e *tableEntry) info() TableInfo {
 		SubspaceHits:   e.planSubHits.Load(),
 		SubspaceMisses: e.planSubMisses.Load(),
 		MaintainedHits: e.planMaintainedHits.Load(),
+		RankedIndex:    e.planRankedIndex.Load(),
+		RankedMemo:     e.planRankedMemo.Load(),
+		RankedCold:     e.planRankedCold.Load(),
 	}
 	// Maintenance counters live in the memo lineage itself (cumulative
 	// across Advance calls, shared by every snapshot of the table).
@@ -247,6 +261,9 @@ func (e *tableEntry) info() TableInfo {
 		pc.Promotions = ms.Promotions
 		pc.MaintFallbacks = ms.Fallbacks
 		pc.SubspaceEvictions = ms.SubspaceEvictions
+		pc.IndexAdvances = ms.IndexAdvances
+		pc.IndexFallbacks = ms.IndexFallbacks
+		pc.SubspaceCapacity = mc.SubspaceCap()
 	}
 	return TableInfo{
 		Name:      e.name,
@@ -272,6 +289,14 @@ func (e *tableEntry) info() TableInfo {
 // memo, unless a post-filter cache hit is reported, which counts as a
 // hit of its entry's route).
 func (e *tableEntry) countPlanCache(ex *plan.Explain, subspace bool) {
+	switch ex.RankedFrom {
+	case "index":
+		e.planRankedIndex.Add(1)
+	case "memo":
+		e.planRankedMemo.Add(1)
+	case "cold":
+		e.planRankedCold.Add(1)
+	}
 	switch {
 	case ex.CacheHit && ex.Maintained:
 		e.planMaintainedHits.Add(1)

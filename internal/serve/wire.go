@@ -104,6 +104,19 @@ type PlanCacheStats struct {
 	Promotions        int64 `json:"promotions"`
 	MaintFallbacks    int64 `json:"maintFallbacks"`
 	SubspaceEvictions int64 `json:"subspaceEvictions"`
+	// SubspaceCapacity is the configured subspace-memo LRU cap (tssserve
+	// -subspace-cache-cap; not a counter).
+	SubspaceCapacity int `json:"subspaceCapacity,omitempty"`
+	// Ranked top-k queries by where their scores came from: the
+	// incrementally maintained score index, the memoised skyline (scored
+	// on demand), or a cold skyline compute.
+	RankedIndex int64 `json:"rankedIndex,omitempty"`
+	RankedMemo  int64 `json:"rankedMemo,omitempty"`
+	RankedCold  int64 `json:"rankedCold,omitempty"`
+	// Score-index maintenance counters from the memo lineage (see
+	// plan.MaintStats).
+	IndexAdvances  int64 `json:"indexAdvances,omitempty"`
+	IndexFallbacks int64 `json:"indexFallbacks,omitempty"`
 }
 
 // Add folds another shard's counters in (cluster aggregation).
@@ -117,6 +130,14 @@ func (p *PlanCacheStats) Add(o PlanCacheStats) {
 	p.Promotions += o.Promotions
 	p.MaintFallbacks += o.MaintFallbacks
 	p.SubspaceEvictions += o.SubspaceEvictions
+	if p.SubspaceCapacity == 0 {
+		p.SubspaceCapacity = o.SubspaceCapacity
+	}
+	p.RankedIndex += o.RankedIndex
+	p.RankedMemo += o.RankedMemo
+	p.RankedCold += o.RankedCold
+	p.IndexAdvances += o.IndexAdvances
+	p.IndexFallbacks += o.IndexFallbacks
 }
 
 // BatchRequest mutates rows (POST /tables/{name}/rows:batch). Remove
@@ -196,8 +217,13 @@ type QueryRequest struct {
 	Subspace []string    `json:"subspace,omitempty"` // kept column names
 	Where    []WhereSpec `json:"where,omitempty"`
 	TopK     int         `json:"topK,omitempty"`
-	Rank     string      `json:"rank,omitempty"` // "", "domcount", "ideal"
-	Algo     string      `json:"algo,omitempty"` // force an algorithm
+	Rank     string      `json:"rank,omitempty"` // "", or a registered ranking: "domcount", "ideal", "dpidp", "layer"
+	// FWeights asks for the F-dominance *restricted* skyline: one lower
+	// bound per table TO column, defining the linear-scoring family
+	// { v : v >= w, sum(v) = 1 } over the kept TO dimensions. Combines
+	// with Subspace/Where and unranked TopK, not with Rank.
+	FWeights []float64 `json:"fweights,omitempty"`
+	Algo     string    `json:"algo,omitempty"` // force an algorithm
 	// Parallel > 0 forces that many shards, < 0 forces one shard per
 	// server CPU, 0 lets the planner decide — the same contract as the
 	// tssquery -parallel flag.
@@ -217,6 +243,7 @@ type QueryRequest struct {
 // HasPlanFields reports whether any planner-mode field is set.
 func (r *QueryRequest) HasPlanFields() bool {
 	return len(r.Subspace) > 0 || len(r.Where) > 0 || r.TopK > 0 || r.Rank != "" ||
+		len(r.FWeights) > 0 ||
 		r.Algo != "" || r.Parallel != 0 || r.Explain || r.NoKernel || r.NoCache
 }
 
@@ -376,13 +403,29 @@ type DomCountRequest struct {
 	Rows     []RowSpec   `json:"rows"`
 	Subspace []string    `json:"subspace,omitempty"`
 	Where    []WhereSpec `json:"where,omitempty"`
+	// Rank selects which ranking's per-shard partial scores to compute
+	// ("" = "domcount", the endpoint's original meaning). Rankings with
+	// histogram-shaped partials (dpidp) answer in Hists; count-shaped
+	// ones (domcount) answer in Counts.
+	Rank string `json:"rank,omitempty"`
 }
 
-// DomCountResponse carries one count per candidate, in request order.
+// RankHist is one candidate's dominator-count histogram, ascending-k
+// parallel arrays: Counts[i] rows are dominated by the candidate and
+// have exactly Ks[i] dominators in this shard's filtered rows.
+type RankHist struct {
+	Ks     []int32 `json:"ks"`
+	Counts []int64 `json:"counts"`
+}
+
+// DomCountResponse carries one partial score per candidate, in request
+// order: Counts for count-shaped rankings, Hists for histogram-shaped
+// ones (exactly one of the two is set).
 type DomCountResponse struct {
-	Table   string  `json:"table"`
-	Version int64   `json:"version"`
-	Counts  []int64 `json:"counts"`
+	Table   string     `json:"table"`
+	Version int64      `json:"version"`
+	Counts  []int64    `json:"counts"`
+	Hists   []RankHist `json:"hists,omitempty"`
 }
 
 // errorResponse is every non-2xx body.

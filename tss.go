@@ -637,6 +637,32 @@ func (t *Table) QueryStream(ctx context.Context, q plan.Query, emit func(plan.St
 // dominance count, where the coordinator's merged skyline rows carry no
 // usable ids for any one shard. q's TopK/Rank fields are ignored.
 func (t *Table) DomCounts(ctx context.Context, q plan.Query, rows []TableRow) ([]int64, error) {
+	cands, err := t.wireCandidates(rows)
+	if err != nil {
+		return nil, err
+	}
+	q.TopK, q.Rank, q.Ideal = 0, plan.RankNone, nil
+	return plan.DomCounts(ctx, t.ds, q, cands)
+}
+
+// RankPartials computes, per candidate row, this table's partial
+// contribution to the named ranking's global score — the generalized
+// form of DomCounts the distributed ranked top-k scatter uses (rankings
+// that define per-shard partials answer here; see plan.PartialScorer).
+// Candidates are value-addressed like DomCounts; q's TopK/Rank/Ideal/
+// FWeights fields are ignored.
+func (t *Table) RankPartials(ctx context.Context, q plan.Query, rank string, rows []TableRow) (plan.Partials, error) {
+	cands, err := t.wireCandidates(rows)
+	if err != nil {
+		return plan.Partials{}, err
+	}
+	q.TopK, q.Rank, q.Ideal, q.FWeights = 0, plan.RankNone, nil, nil
+	return plan.RankPartials(ctx, t.ds, q, rank, cands)
+}
+
+// wireCandidates converts value-addressed rows into storage-encoded
+// points (ID -1: the candidates are not rows of this table).
+func (t *Table) wireCandidates(rows []TableRow) ([]core.Point, error) {
 	cands := make([]core.Point, len(rows))
 	for i, r := range rows {
 		if len(r.TO) != len(t.toNames) {
@@ -666,8 +692,7 @@ func (t *Table) DomCounts(ctx context.Context, q plan.Query, rows []TableRow) ([
 		}
 		cands[i] = p
 	}
-	q.TopK, q.Rank, q.Ideal = 0, plan.RankNone, nil
-	return plan.DomCounts(ctx, t.ds, q, cands)
+	return cands, nil
 }
 
 // Stats returns the planner's statistics for the current rows,
